@@ -1,0 +1,141 @@
+package ecvslrc
+
+import (
+	"testing"
+
+	"ecvslrc/internal/apps"
+	"ecvslrc/internal/core"
+	"ecvslrc/internal/fabric"
+	"ecvslrc/internal/harness"
+	"ecvslrc/internal/run"
+)
+
+// Benchmarks regenerate the paper's tables at Bench scale (Go benchmarks at
+// full paper scale take minutes per cell; use cmd/dsmbench -scale paper for
+// the real numbers). Each reported iteration simulates a complete parallel
+// run including result verification. The custom metrics report simulated
+// seconds, messages and bytes — the paper's quantities.
+
+func benchCell(b *testing.B, app string, impl core.Impl, nprocs int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		a, err := apps.New(app, apps.Bench)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := run.Run(a, impl, nprocs, fabric.DefaultCostModel())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(res.Stats.Time.Seconds(), "sim-sec")
+			b.ReportMetric(float64(res.Stats.Msgs), "sim-msgs")
+			b.ReportMetric(float64(res.Stats.Bytes), "sim-bytes")
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates Table 3's comparison cells: the best EC and
+// best LRC implementation per application (per the paper's Table 3 "Imp."
+// columns), at 8 processors.
+func BenchmarkTable3(b *testing.B) {
+	best := map[string][2]core.Impl{
+		"SOR":        {{Model: core.EC, Trap: core.Twinning, Collect: core.Timestamps}, {Model: core.LRC, Trap: core.Twinning, Collect: core.Diffs}},
+		"SOR+":       {{Model: core.EC, Trap: core.Twinning, Collect: core.Timestamps}, {Model: core.LRC, Trap: core.Twinning, Collect: core.Timestamps}},
+		"QS":         {{Model: core.EC, Trap: core.Twinning, Collect: core.Diffs}, {Model: core.LRC, Trap: core.Twinning, Collect: core.Diffs}},
+		"Water":      {{Model: core.EC, Trap: core.CompilerInstr, Collect: core.Timestamps}, {Model: core.LRC, Trap: core.Twinning, Collect: core.Diffs}},
+		"Barnes-Hut": {{Model: core.EC, Trap: core.Twinning, Collect: core.Timestamps}, {Model: core.LRC, Trap: core.Twinning, Collect: core.Diffs}},
+		"IS":         {{Model: core.EC, Trap: core.Twinning, Collect: core.Timestamps}, {Model: core.LRC, Trap: core.Twinning, Collect: core.Timestamps}},
+		"3D-FFT":     {{Model: core.EC, Trap: core.CompilerInstr, Collect: core.Timestamps}, {Model: core.LRC, Trap: core.Twinning, Collect: core.Diffs}},
+	}
+	for _, app := range apps.Names() {
+		pair := best[app]
+		b.Run(app+"/seq", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				a, err := apps.New(app, apps.Bench)
+				if err != nil {
+					b.Fatal(err)
+				}
+				t, err := run.RunSeq(a)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					b.ReportMetric(t.Seconds(), "sim-sec")
+				}
+			}
+		})
+		b.Run(app+"/"+pair[0].String(), func(b *testing.B) { benchCell(b, app, pair[0], 8) })
+		b.Run(app+"/"+pair[1].String(), func(b *testing.B) { benchCell(b, app, pair[1], 8) })
+	}
+}
+
+// BenchmarkTable4 regenerates Table 4: every EC implementation on every
+// application.
+func BenchmarkTable4(b *testing.B) {
+	for _, app := range apps.Names() {
+		for _, impl := range core.ModelImpls(core.EC) {
+			b.Run(app+"/"+impl.String(), func(b *testing.B) { benchCell(b, app, impl, 8) })
+		}
+	}
+}
+
+// BenchmarkTable5 regenerates Table 5: every LRC implementation on every
+// application.
+func BenchmarkTable5(b *testing.B) {
+	for _, app := range apps.Names() {
+		for _, impl := range core.ModelImpls(core.LRC) {
+			b.Run(app+"/"+impl.String(), func(b *testing.B) { benchCell(b, app, impl, 8) })
+		}
+	}
+}
+
+// BenchmarkMicroFactors regenerates the Section 7.1 factor kernels across
+// the full implementation matrix.
+func BenchmarkMicroFactors(b *testing.B) {
+	for _, name := range apps.MicroNames() {
+		for _, impl := range core.Implementations() {
+			b.Run(name+"/"+impl.String(), func(b *testing.B) { benchCell(b, name, impl, 8) })
+		}
+	}
+}
+
+// BenchmarkInstrumentationOptimization is the Section 8.1 ablation: SOR with
+// naive vs loop-split compiler instrumentation (the paper measured a 16%
+// improvement for SOR).
+func BenchmarkInstrumentationOptimization(b *testing.B) {
+	for _, opt := range []struct {
+		name  string
+		naive bool
+	}{{"optimized", false}, {"naive", true}} {
+		b.Run(opt.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				a, err := apps.New("SOR", apps.Bench)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cm := fabric.DefaultCostModel()
+				if opt.naive {
+					cm.InstrStoreOpt = cm.InstrStore
+				}
+				res, err := run.Run(a, core.Impl{Model: core.EC, Trap: core.CompilerInstr, Collect: core.Timestamps}, 8, cm)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					b.ReportMetric(res.Stats.Time.Seconds(), "sim-sec")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHarnessTable3 exercises the full harness path end to end.
+func BenchmarkHarnessTable3(b *testing.B) {
+	cfg := harness.Config{Scale: apps.Test, NProcs: 4, Cost: fabric.DefaultCostModel()}
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Table3(cfg, []string{"IS"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

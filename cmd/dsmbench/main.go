@@ -1,0 +1,110 @@
+// Command dsmbench regenerates the paper's evaluation tables: Table 2
+// (application parameters), Table 3 (best EC vs best LRC), Table 4 (EC
+// trapping x collection), Table 5 (LRC trapping x collection), the Section
+// 7.2 message/data counters, and the Section 7.1 factor kernels.
+//
+// Usage:
+//
+//	dsmbench -table 3 -scale paper -procs 8
+//	dsmbench -all -scale bench
+//	dsmbench -micro
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ecvslrc/internal/apps"
+	"ecvslrc/internal/core"
+	"ecvslrc/internal/harness"
+)
+
+func main() {
+	table := flag.Int("table", 0, "table to regenerate (2, 3, 4 or 5)")
+	all := flag.Bool("all", false, "regenerate every table")
+	micro := flag.Bool("micro", false, "run the Section 7.1 factor kernels")
+	counters := flag.Bool("counters", false, "print the Section 7.2 message/data counters")
+	scale := flag.String("scale", "paper", "problem scale: test, bench or paper")
+	procs := flag.Int("procs", 8, "number of simulated processors")
+	appsFlag := flag.String("apps", "", "comma-free application subset, e.g. \"SOR\" (default: all)")
+	flag.Parse()
+
+	cfg := harness.Default()
+	cfg.NProcs = *procs
+	switch *scale {
+	case "test":
+		cfg.Scale = apps.Test
+	case "bench":
+		cfg.Scale = apps.Bench
+	case "paper":
+		cfg.Scale = apps.Paper
+	default:
+		fmt.Fprintf(os.Stderr, "dsmbench: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	names := apps.Names()
+	if *appsFlag != "" {
+		names = []string{*appsFlag}
+	}
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "dsmbench: %v\n", err)
+		os.Exit(1)
+	}
+
+	did := false
+	if *all || *table == 2 {
+		did = true
+		fmt.Print(harness.Table2(cfg))
+		fmt.Println()
+	}
+	var t3 []harness.Table3Result
+	if *all || *table == 3 || *counters {
+		did = true
+		rows, err := harness.Table3(cfg, names)
+		if err != nil {
+			fail(err)
+		}
+		t3 = rows
+		if *all || *table == 3 {
+			fmt.Print(harness.FormatTable3(rows))
+			fmt.Println()
+		}
+	}
+	if *all || *table == 4 {
+		did = true
+		rows, err := harness.TableModel(cfg, core.EC, names)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(harness.FormatTableModel(core.EC, rows, names))
+		fmt.Println()
+	}
+	if *all || *table == 5 {
+		did = true
+		rows, err := harness.TableModel(cfg, core.LRC, names)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(harness.FormatTableModel(core.LRC, rows, names))
+		fmt.Println()
+	}
+	if *all || *counters {
+		did = true
+		fmt.Print(harness.FormatCounters(t3))
+		fmt.Println()
+	}
+	if *all || *micro {
+		did = true
+		rows, err := harness.Micro(cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(harness.FormatMicro(rows))
+	}
+	if !did {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,71 @@
+// Command dsmrun executes one (application, implementation) combination on
+// the simulated DSM cluster and prints its statistics.
+//
+// Usage:
+//
+//	dsmrun -app Water -impl LRC-diff -procs 8 -scale paper
+//	dsmrun -app QS -impl EC-time -procs 4 -scale test
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ecvslrc/internal/apps"
+	"ecvslrc/internal/core"
+	"ecvslrc/internal/fabric"
+	"ecvslrc/internal/run"
+)
+
+func main() {
+	appName := flag.String("app", "SOR", "application: "+strings.Join(apps.Names(), ", "))
+	implName := flag.String("impl", "LRC-diff", "implementation: EC-ci, EC-time, EC-diff, LRC-ci, LRC-time, LRC-diff")
+	procs := flag.Int("procs", 8, "number of simulated processors")
+	scale := flag.String("scale", "paper", "problem scale: test, bench or paper")
+	seq := flag.Bool("seq", false, "also run the sequential reference")
+	flag.Parse()
+
+	var sc apps.Scale
+	switch *scale {
+	case "test":
+		sc = apps.Test
+	case "bench":
+		sc = apps.Bench
+	case "paper":
+		sc = apps.Paper
+	default:
+		fmt.Fprintf(os.Stderr, "dsmrun: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	impl, err := core.ParseImpl(*implName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsmrun:", err)
+		os.Exit(2)
+	}
+	if *seq {
+		a, err := apps.New(*appName, sc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dsmrun:", err)
+			os.Exit(1)
+		}
+		t, err := run.RunSeq(a)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dsmrun:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s sequential: %v\n", *appName, t)
+	}
+	a, err := apps.New(*appName, sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsmrun:", err)
+		os.Exit(1)
+	}
+	res, err := run.Run(a, impl, *procs, fabric.DefaultCostModel())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsmrun:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s on %v, %d procs (%s scale):\n  %v\n", *appName, impl, *procs, *scale, res.Stats)
+}

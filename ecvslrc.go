@@ -1,0 +1,109 @@
+// Package ecvslrc reproduces "A Comparison of Entry Consistency and Lazy
+// Release Consistency Implementations" (Adve, Cox, Dwarkadas, Rajamony,
+// Zwaenepoel — HPCA 1996) as a deterministic simulation of the paper's
+// software-DSM systems: entry consistency (Midway-style) and lazy release
+// consistency (TreadMarks-style), with both write-trapping mechanisms
+// (compiler instrumentation, twinning) and both write-collection mechanisms
+// (timestamps, diffs), plus the paper's application suite.
+//
+// This top-level package is the convenience surface: run a named application
+// under a named implementation and regenerate the paper's tables. The full
+// programming interface (core.DSM, the simulator, the protocols) lives in
+// the internal packages; see DESIGN.md for the map.
+package ecvslrc
+
+import (
+	"ecvslrc/internal/apps"
+	"ecvslrc/internal/core"
+	"ecvslrc/internal/fabric"
+	"ecvslrc/internal/harness"
+	"ecvslrc/internal/run"
+	"ecvslrc/internal/sim"
+)
+
+// Scale names a problem-size preset.
+type Scale = apps.Scale
+
+// Problem-size presets.
+const (
+	Test  = apps.Test
+	Bench = apps.Bench
+	Paper = apps.Paper
+)
+
+// Stats is the per-run measurement set (execution time, messages, data
+// moved, faults, lock and barrier counts).
+type Stats = core.Stats
+
+// Apps lists the application suite in the paper's table order.
+func Apps() []string { return apps.Names() }
+
+// Impls lists the implementation names of Table 1: EC-ci, EC-time, EC-diff,
+// LRC-ci, LRC-time, LRC-diff.
+func Impls() []string {
+	var out []string
+	for _, i := range core.Implementations() {
+		out = append(out, i.String())
+	}
+	return out
+}
+
+// Run executes one application under one implementation on nprocs simulated
+// processors and returns the aggregated statistics. The run verifies its
+// own result against the application's sequential reference.
+func Run(app, impl string, nprocs int, scale Scale) (Stats, error) {
+	i, err := core.ParseImpl(impl)
+	if err != nil {
+		return Stats{}, err
+	}
+	a, err := apps.New(app, scale)
+	if err != nil {
+		return Stats{}, err
+	}
+	res, err := run.Run(a, i, nprocs, fabric.DefaultCostModel())
+	if err != nil {
+		return Stats{}, err
+	}
+	return res.Stats, nil
+}
+
+// RunSeq executes the sequential reference of an application and returns
+// its simulated time — the paper's "1 proc." column.
+func RunSeq(app string, scale Scale) (sim.Time, error) {
+	a, err := apps.New(app, scale)
+	if err != nil {
+		return 0, err
+	}
+	return run.RunSeq(a)
+}
+
+// Table3 regenerates the paper's headline table (best EC vs best LRC per
+// application) as formatted text.
+func Table3(scale Scale, nprocs int, appNames ...string) (string, error) {
+	cfg := harness.Config{Scale: scale, NProcs: nprocs, Cost: fabric.DefaultCostModel()}
+	if len(appNames) == 0 {
+		appNames = apps.Names()
+	}
+	rows, err := harness.Table3(cfg, appNames)
+	if err != nil {
+		return "", err
+	}
+	return harness.FormatTable3(rows), nil
+}
+
+// Table45 regenerates Table 4 (model "EC") or Table 5 (model "LRC").
+func Table45(model string, scale Scale, nprocs int, appNames ...string) (string, error) {
+	cfg := harness.Config{Scale: scale, NProcs: nprocs, Cost: fabric.DefaultCostModel()}
+	if len(appNames) == 0 {
+		appNames = apps.Names()
+	}
+	m := core.EC
+	if model == "LRC" {
+		m = core.LRC
+	}
+	rows, err := harness.TableModel(cfg, m, appNames)
+	if err != nil {
+		return "", err
+	}
+	return harness.FormatTableModel(m, rows, appNames), nil
+}

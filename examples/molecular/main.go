@@ -1,0 +1,30 @@
+// Molecular: the Water molecular-dynamics workload, showing LRC's prefetch
+// advantage and the Section 7.2 data-restructuring experiment (splitting the
+// displacement array gives EC a comparable prefetch effect).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ecvslrc"
+)
+
+func main() {
+	fmt.Println("Water: per-molecule locks vs page prefetch, 8 processors")
+	for _, impl := range []string{"EC-ci", "LRC-diff"} {
+		st, err := ecvslrc.Run("Water", impl, 8, ecvslrc.Bench)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %-12v msgs=%d\n", impl, st.Time, st.Msgs)
+	}
+	fmt.Println("\nAfter restructuring (split displacement array, per-processor locks):")
+	for _, impl := range []string{"EC-ci", "LRC-diff"} {
+		st, err := ecvslrc.Run("Water-split", impl, 8, ecvslrc.Bench)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %-12v msgs=%d\n", impl, st.Time, st.Msgs)
+	}
+}

@@ -1,0 +1,27 @@
+// Quickstart: run one application of the paper's suite under both models
+// and compare — the 30-second tour of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ecvslrc"
+)
+
+func main() {
+	const app = "IS"
+	seq, err := ecvslrc.RunSeq(app, ecvslrc.Bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s sequential reference: %v\n\n", app, seq)
+
+	for _, impl := range ecvslrc.Impls() {
+		st, err := ecvslrc.Run(app, impl, 8, ecvslrc.Bench)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %s\n", impl, st)
+	}
+}

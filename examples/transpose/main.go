@@ -1,0 +1,23 @@
+// Transpose: the 3D-FFT workload, where the coherence unit decides the
+// winner — EC's update protocol ships an eight-page transpose block in one
+// lock exchange, while LRC's invalidate protocol faults page by page
+// (Section 7.2).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ecvslrc"
+)
+
+func main() {
+	fmt.Println("3D-FFT transpose: update vs invalidate, 8 processors")
+	for _, impl := range ecvslrc.Impls() {
+		st, err := ecvslrc.Run("3D-FFT", impl, 8, ecvslrc.Bench)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s time=%-12v msgs=%-7d misses=%d\n", impl, st.Time, st.Msgs, st.AccessMisses)
+	}
+}

@@ -1,0 +1,89 @@
+// Package apps implements the paper's application suite (Section 2): SOR and
+// SOR+, Quicksort, Water, Barnes-Hut, Integer Sort and 3D-FFT, plus the
+// synthetic kernels behind the Section 7.1 factor analysis. Every application
+// is written once, in the dual programming style of Section 3.3: the LRC code
+// path is the program "as written for sequential consistency", and the EC
+// path adds the lock bindings, read-only locks, extra exclusive locks and
+// rebinding the model demands.
+package apps
+
+import (
+	"fmt"
+
+	"ecvslrc/internal/run"
+	"ecvslrc/internal/sim"
+)
+
+// Scale selects a problem-size preset.
+type Scale int
+
+const (
+	// Test is small enough for unit tests (fractions of a second of real time).
+	Test Scale = iota
+	// Bench is a medium size for Go benchmarks.
+	Bench
+	// Paper is the data-set size of Table 2.
+	Paper
+)
+
+func (s Scale) String() string {
+	switch s {
+	case Test:
+		return "test"
+	case Bench:
+		return "bench"
+	default:
+		return "paper"
+	}
+}
+
+// Factory builds a fresh application instance at the given scale. Instances
+// hold per-run state and must not be reused across runs.
+type Factory func(scale Scale) run.App
+
+var registry = map[string]Factory{}
+
+func register(name string, f Factory) { registry[name] = f }
+
+// New builds the named application at the given scale.
+func New(name string, scale Scale) (run.App, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("apps: unknown application %q", name)
+	}
+	return f(scale), nil
+}
+
+// Names lists the registered applications in table order.
+func Names() []string {
+	return []string{"SOR", "SOR+", "QS", "Water", "Barnes-Hut", "IS", "3D-FFT"}
+}
+
+// MicroNames lists the synthetic Section 7.1 kernels.
+func MicroNames() []string {
+	return []string{"micro-migratory", "micro-producer-consumer", "micro-false-sharing", "micro-prefetch", "micro-rebinding"}
+}
+
+// lcg is a small deterministic pseudo-random generator (stdlib-only, and
+// identical across runs so results are bit-reproducible).
+type lcg struct{ s uint64 }
+
+func newLCG(seed uint64) *lcg { return &lcg{s: seed*2862933555777941757 + 3037000493} }
+
+func (l *lcg) next() uint64 {
+	l.s = l.s*6364136223846793005 + 1442695040888963407
+	return l.s
+}
+
+// intn returns a value in [0, n).
+func (l *lcg) intn(n int) int { return int(l.next() % uint64(n)) }
+
+// f64 returns a value in [0, 1).
+func (l *lcg) f64() float64 { return float64(l.next()>>11) / (1 << 53) }
+
+// band splits n items into p nearly-equal contiguous chunks and returns the
+// half-open range of chunk i.
+func band(n, p, i int) (lo, hi int) { return n * i / p, n * (i + 1) / p }
+
+// us is shorthand for microseconds of simulated time.
+func us(n float64) sim.Time { return sim.Time(n * 1000) }

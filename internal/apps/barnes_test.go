@@ -1,0 +1,91 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"ecvslrc/internal/core"
+	"ecvslrc/internal/fabric"
+	"ecvslrc/internal/run"
+)
+
+func TestBarnesAllImpls(t *testing.T) {
+	testAllImpls(t, "Barnes-Hut", 4)
+}
+
+func TestBarnesSequential(t *testing.T) {
+	app, _ := New("Barnes-Hut", Test)
+	if _, err := run.RunSeq(app); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefTreeMassConservation(t *testing.T) {
+	a := newBarnes(Test)
+	pos := make([][3]float64, a.m)
+	mass := make([]float64, a.m)
+	var total float64
+	for i := range pos {
+		pos[i], mass[i] = a.initPos(i)
+		total += mass[i]
+	}
+	tree := buildRefTree(pos, mass)
+	_, rootMass := tree.com(0)
+	if math.Abs(rootMass-total) > 1e-12 {
+		t.Errorf("root mass = %v, want %v", rootMass, total)
+	}
+}
+
+func TestOctantAndChildCenter(t *testing.T) {
+	center := [3]float64{0.5, 0.5, 0.5}
+	if o := octant(center, [3]float64{0.1, 0.1, 0.1}); o != 0 {
+		t.Errorf("low octant = %d", o)
+	}
+	if o := octant(center, [3]float64{0.9, 0.9, 0.9}); o != 7 {
+		t.Errorf("high octant = %d", o)
+	}
+	cc := childCenter(center, 0.5, 7)
+	if cc != [3]float64{0.75, 0.75, 0.75} {
+		t.Errorf("childCenter = %v", cc)
+	}
+	cc = childCenter(center, 0.5, 0)
+	if cc != [3]float64{0.25, 0.25, 0.25} {
+		t.Errorf("childCenter(0) = %v", cc)
+	}
+}
+
+func TestGravityPointsTowardMass(t *testing.T) {
+	f := gravity([3]float64{0, 0, 0}, [3]float64{1, 0, 0}, 1)
+	if f[0] <= 0 || f[1] != 0 || f[2] != 0 {
+		t.Errorf("gravity = %v", f)
+	}
+	// Closer mass pulls harder.
+	f2 := gravity([3]float64{0, 0, 0}, [3]float64{0.5, 0, 0}, 1)
+	if f2[0] <= f[0] {
+		t.Errorf("closer pull %v not stronger than %v", f2[0], f[0])
+	}
+}
+
+// Barnes-Hut combines extra synchronization and prefetching in LRC's favour
+// with false sharing in EC's favour; the first two dominate (§7.2): LRC
+// sends fewer messages, EC moves less data.
+func TestBarnesSectionEffects(t *testing.T) {
+	lrcApp, _ := New("Barnes-Hut", Test)
+	lrcRes, err := run.Run(lrcApp, core.Impl{Model: core.LRC, Trap: core.Twinning, Collect: core.Diffs}, 4, fabric.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ecApp, _ := New("Barnes-Hut", Test)
+	ecRes, err := run.Run(ecApp, core.Impl{Model: core.EC, Trap: core.Twinning, Collect: core.Timestamps}, 4, fabric.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lrcRes.Stats.Msgs >= ecRes.Stats.Msgs {
+		t.Errorf("LRC msgs = %d, EC msgs = %d: expected LRC < EC", lrcRes.Stats.Msgs, ecRes.Stats.Msgs)
+	}
+	// The paper's data-volume reversal (EC 9.5 MB < LRC 29.9 MB) needs
+	// thousands of bodies before page-grain false sharing dominates; at
+	// test scale the whole tree fits in a handful of pages, so only the
+	// message-count relation is asserted here. EXPERIMENTS.md records the
+	// paper-scale volumes.
+}

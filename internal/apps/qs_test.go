@@ -1,0 +1,123 @@
+package apps
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ecvslrc/internal/core"
+	"ecvslrc/internal/fabric"
+	"ecvslrc/internal/run"
+)
+
+func TestQSAllImpls(t *testing.T) {
+	testAllImpls(t, "QS", 4)
+}
+
+func TestISAllImpls(t *testing.T) {
+	res := testAllImpls(t, "IS", 4)
+	// IS's shared array is migratory: under EC, timestamping must move less
+	// data than diffing (overlapping diffs travel with the lock).
+	if rt, ok := res["EC-time"]; ok {
+		if rd, ok2 := res["EC-diff"]; ok2 && rt.Stats.Bytes >= rd.Stats.Bytes {
+			t.Errorf("EC-time bytes = %d, EC-diff = %d: timestamps should send less for migratory data",
+				rt.Stats.Bytes, rd.Stats.Bytes)
+		}
+	}
+}
+
+func TestQSSequential(t *testing.T) {
+	app, _ := New("QS", Test)
+	if _, err := run.RunSeq(app); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestISSequential(t *testing.T) {
+	app, _ := New("IS", Test)
+	if _, err := run.RunSeq(app); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionProperties(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		buf := make([]int32, len(raw))
+		for i, v := range raw {
+			buf[i] = int32(v)
+		}
+		want := append([]int32(nil), buf...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		p := partition(buf)
+		if p == 0 { // all equal
+			for _, v := range buf {
+				if v != buf[0] {
+					return false
+				}
+			}
+			return true
+		}
+		if p < 1 || p >= len(buf) {
+			return false
+		}
+		maxL := buf[0]
+		for _, v := range buf[:p] {
+			if v > maxL {
+				maxL = v
+			}
+		}
+		for _, v := range buf[p:] {
+			if v < maxL {
+				return false
+			}
+		}
+		// Partition preserves the multiset.
+		got := append([]int32(nil), buf...)
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBubblesortSorts(t *testing.T) {
+	f := func(raw []int16) bool {
+		buf := make([]int32, len(raw))
+		for i, v := range raw {
+			buf[i] = int32(v)
+		}
+		bubblesort(buf)
+		return sort.SliceIsSorted(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// QS exhibits false sharing under LRC (task size is not a multiple of the
+// page size): EC should transfer less data (3.4MB vs 7.1MB in Section 7.2).
+func TestQSECMovesLessDataThanLRC(t *testing.T) {
+	ecApp, _ := New("QS", Test)
+	ecRes, err := run.Run(ecApp, core.Impl{Model: core.EC, Trap: core.Twinning, Collect: core.Diffs}, 4, fabric.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lrcApp, _ := New("QS", Test)
+	lrcRes, err := run.Run(lrcApp, core.Impl{Model: core.LRC, Trap: core.Twinning, Collect: core.Timestamps}, 4, fabric.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ecRes.Stats.Bytes >= lrcRes.Stats.Bytes {
+		t.Errorf("EC bytes = %d >= LRC bytes = %d; expected EC < LRC (false sharing)",
+			ecRes.Stats.Bytes, lrcRes.Stats.Bytes)
+	}
+}

@@ -1,0 +1,328 @@
+package apps
+
+import (
+	"fmt"
+
+	"ecvslrc/internal/core"
+	"ecvslrc/internal/mem"
+	"ecvslrc/internal/run"
+	"ecvslrc/internal/sim"
+)
+
+func init() {
+	register("SOR", func(s Scale) run.App { return newSOR(s, false) })
+	register("SOR+", func(s Scale) run.App { return newSOR(s, true) })
+}
+
+// sorPerElem is the CPU cost of one five-point stencil update, calibrated so
+// the paper-size sequential run lands near Table 3's 86.10 s.
+const sorPerElem = 1720 * sim.Nanosecond
+
+// SOR solves a PDE by Red-Black Successive Over-Relaxation on a float32
+// matrix whose four edges are constant. Each iteration has a red and a black
+// phase separated by barriers; the matrix is divided into bands of
+// consecutive rows, one band per processor, and communication occurs across
+// band boundaries.
+//
+// Rows are laid out with all red elements first and all black elements next
+// (the layout behind the paper's prefetch observation for LRC, Section 7.2).
+//
+// In the plus variant (SOR+) only the band-boundary rows are declared
+// shared; interior rows live in private memory.
+type SOR struct {
+	plus         bool
+	rows, cols   int
+	iters        int
+	base         mem.Addr    // full matrix (SOR) or boundary-row block (SOR+)
+	sharedOf     map[int]int // row -> index in the shared boundary block (SOR+)
+	expected     [][]float32
+	priv         map[int][][]float32 // SOR+: per-processor private bands
+	verifyGather bool
+}
+
+func newSOR(s Scale, plus bool) *SOR {
+	a := &SOR{plus: plus, priv: make(map[int][][]float32), sharedOf: make(map[int]int)}
+	switch s {
+	case Test:
+		a.rows, a.cols, a.iters = 48, 64, 4
+	case Bench:
+		a.rows, a.cols, a.iters = 256, 256, 8
+	default: // Paper: 1000x1000 floats (Table 2)
+		a.rows, a.cols, a.iters = 1000, 1000, 50
+	}
+	return a
+}
+
+// Name implements run.App.
+func (a *SOR) Name() string {
+	if a.plus {
+		return "SOR+"
+	}
+	return "SOR"
+}
+
+// rowBytes is the storage size of one row (red half then black half).
+func (a *SOR) rowBytes() int { return a.cols * 4 }
+
+// sharedStride is the spacing of rows inside SOR+'s boundary block. Shared
+// rows belong to different processors and live pages apart in the real
+// program's address space; packing them tightly would introduce artificial
+// false sharing, so each shared row gets its own page(s).
+func (a *SOR) sharedStride() int {
+	pages := (a.rowBytes() + mem.PageSize - 1) / mem.PageSize
+	return pages * mem.PageSize
+}
+
+// elemAddr returns the shared address of element (i,j) given the base
+// address of row i's storage: red elements pack first, black second.
+func (a *SOR) elemAddr(rowBase mem.Addr, i, j int) mem.Addr {
+	nRed := (a.cols + 1 - i%2) / 2 // count of red (i+j even) elements in row i
+	if (i+j)%2 == 0 {
+		return rowBase + mem.Addr(4*(j/2))
+	}
+	return rowBase + mem.Addr(4*(nRed+j/2))
+}
+
+// redRange and blackRange give the two color halves of a row's storage.
+func (a *SOR) redRange(rowBase mem.Addr, i int) mem.Range {
+	nRed := (a.cols + 1 - i%2) / 2
+	return mem.Range{Base: rowBase, Len: 4 * nRed}
+}
+
+func (a *SOR) blackRange(rowBase mem.Addr, i int) mem.Range {
+	nRed := (a.cols + 1 - i%2) / 2
+	return mem.Range{Base: rowBase + mem.Addr(4*nRed), Len: 4 * (a.cols - nRed)}
+}
+
+// rowBase returns the shared base address of row i, or -1 if the row is
+// private (SOR+ interior rows).
+func (a *SOR) rowBase(i int) mem.Addr {
+	if !a.plus {
+		return a.base + mem.Addr(i*a.rowBytes())
+	}
+	if idx, ok := a.sharedOf[i]; ok {
+		return a.base + mem.Addr(idx*a.sharedStride())
+	}
+	return -1
+}
+
+// Layout implements run.App.
+func (a *SOR) Layout(al *mem.Allocator) {
+	if !a.plus {
+		a.base = al.Alloc("matrix", a.rows*a.rowBytes(), 4)
+		return
+	}
+	// SOR+ shares only the band-boundary rows. The band split must match
+	// Program's; it depends only on row count and processor count, so we
+	// precompute for every plausible processor count by sharing the first
+	// and last row of every band for 1..64 processors. Redundant rows
+	// collapse via the map.
+	for p := 1; p <= 64; p++ {
+		for q := 0; q < p; q++ {
+			lo, hi := band(a.rows-2, p, q)
+			for _, r := range []int{lo + 1, hi} {
+				if r >= 1 && r <= a.rows-2 {
+					if _, ok := a.sharedOf[r]; !ok {
+						a.sharedOf[r] = len(a.sharedOf)
+					}
+				}
+			}
+		}
+	}
+	a.base = al.Alloc("boundary-rows", len(a.sharedOf)*a.sharedStride(), 4)
+}
+
+// initValue gives the deterministic nonzero initial matrix (internal
+// elements change on every iteration, as the paper arranged for a fair
+// trapping comparison).
+func (a *SOR) initValue(i, j int) float32 {
+	if i == 0 || j == 0 || i == a.rows-1 || j == a.cols-1 {
+		return float32(100 + (i+j)%7) // constant edges
+	}
+	return float32(1 + (i*31+j*17)%23)
+}
+
+// Init implements run.App: it seeds the shared rows and precomputes the
+// expected result with a plain sequential solver.
+func (a *SOR) Init(im *mem.Image) {
+	for i := 0; i < a.rows; i++ {
+		base := a.rowBase(i)
+		if base < 0 {
+			continue
+		}
+		for j := 0; j < a.cols; j++ {
+			im.WriteF32(a.elemAddr(base, i, j), a.initValue(i, j))
+		}
+	}
+	// Sequential reference.
+	m := make([][]float32, a.rows)
+	for i := range m {
+		m[i] = make([]float32, a.cols)
+		for j := range m[i] {
+			m[i][j] = a.initValue(i, j)
+		}
+	}
+	for it := 0; it < a.iters; it++ {
+		for color := 0; color < 2; color++ {
+			for i := 1; i < a.rows-1; i++ {
+				for j := 1; j < a.cols-1; j++ {
+					if (i+j)%2 == color {
+						m[i][j] = (m[i-1][j] + m[i+1][j] + m[i][j-1] + m[i][j+1]) / 4
+					}
+				}
+			}
+		}
+	}
+	a.expected = m
+}
+
+// lock ids: per (row, color).
+func (a *SOR) lockOf(row, color int) core.LockID { return core.LockID(1 + 2*row + color) }
+
+// Program implements run.App.
+func (a *SOR) Program(d core.DSM) {
+	ec := d.Model() == core.EC
+	np := d.NProcs()
+	me := d.Proc()
+	lo, hi := band(a.rows-2, np, me)
+	lo, hi = lo+1, hi+1 // interior rows [lo, hi)
+
+	if ec {
+		// Bindings are static program declarations: every processor issues
+		// the identical full set (lock managers must know them too).
+		for i := 1; i < a.rows-1; i++ {
+			if base := a.rowBase(i); base >= 0 {
+				d.Bind(a.lockOf(i, 0), a.redRange(base, i))
+				d.Bind(a.lockOf(i, 1), a.blackRange(base, i))
+			}
+		}
+	}
+
+	// SOR+: private band storage, rows [lo-1, hi] inclusive halo.
+	var pm [][]float32
+	if a.plus {
+		pm = make([][]float32, a.rows)
+		for i := lo - 1; i <= hi; i++ {
+			pm[i] = make([]float32, a.cols)
+			for j := 0; j < a.cols; j++ {
+				pm[i][j] = a.initValue(i, j)
+			}
+		}
+		a.priv[me] = pm
+	}
+
+	get := func(i, j int) float32 {
+		if a.plus {
+			if base := a.rowBase(i); base >= 0 && (i < lo || i >= hi) {
+				return d.ReadF32(a.elemAddr(base, i, j))
+			}
+			return pm[i][j]
+		}
+		return d.ReadF32(a.elemAddr(a.rowBase(i), i, j))
+	}
+	put := func(i, j int, v float32) {
+		if a.plus {
+			pm[i][j] = v
+			if base := a.rowBase(i); base >= 0 {
+				d.WriteF32(a.elemAddr(base, i, j), v)
+			}
+			return
+		}
+		d.WriteF32(a.elemAddr(a.rowBase(i), i, j), v)
+	}
+
+	barrier := core.BarrierID(0)
+	for it := 0; it < a.iters; it++ {
+		for color := 0; color < 2; color++ {
+			if ec {
+				// Read-only locks on the neighbours' boundary rows (the
+				// other colour is read), exclusive locks on own rows.
+				for _, i := range []int{lo - 1, hi} {
+					if i >= 1 && i <= a.rows-2 && (i < lo || i >= hi) && a.rowBase(i) >= 0 {
+						d.AcquireRead(a.lockOf(i, 1-color))
+					}
+				}
+				for i := lo; i < hi; i++ {
+					if a.rowBase(i) >= 0 {
+						d.Acquire(a.lockOf(i, color))
+					}
+				}
+			}
+			for i := lo; i < hi; i++ {
+				for j := 1; j < a.cols-1; j++ {
+					if (i+j)%2 == color {
+						v := (get(i-1, j) + get(i+1, j) + get(i, j-1) + get(i, j+1)) / 4
+						put(i, j, v)
+					}
+				}
+				d.Compute(sim.Time(a.cols/2) * sorPerElem)
+			}
+			if ec {
+				for i := lo; i < hi; i++ {
+					if a.rowBase(i) >= 0 {
+						d.Release(a.lockOf(i, color))
+					}
+				}
+				for _, i := range []int{lo - 1, hi} {
+					if i >= 1 && i <= a.rows-2 && (i < lo || i >= hi) && a.rowBase(i) >= 0 {
+						d.Release(a.lockOf(i, 1-color))
+					}
+				}
+			}
+			d.Barrier(barrier)
+		}
+	}
+	d.StatsEnd()
+
+	// Verify own band against the reference; gather shared rows to proc 0.
+	for i := lo; i < hi; i++ {
+		for j := 1; j < a.cols-1; j++ {
+			var got float32
+			if a.plus {
+				got = pm[i][j]
+			} else {
+				got = d.ReadF32(a.elemAddr(a.rowBase(i), i, j))
+			}
+			if got != a.expected[i][j] {
+				panic(fmt.Sprintf("%s: proc %d: m[%d][%d] = %v, want %v", a.Name(), me, i, j, got, a.expected[i][j]))
+			}
+		}
+	}
+	d.Barrier(1)
+	if me == 0 {
+		for i := 1; i < a.rows-1; i++ {
+			base := a.rowBase(i)
+			if base < 0 {
+				continue
+			}
+			if ec {
+				d.AcquireRead(a.lockOf(i, 0))
+				d.AcquireRead(a.lockOf(i, 1))
+			}
+			for j := 1; j < a.cols-1; j++ {
+				_ = d.ReadF32(a.elemAddr(base, i, j))
+			}
+			if ec {
+				d.Release(a.lockOf(i, 0))
+				d.Release(a.lockOf(i, 1))
+			}
+		}
+	}
+}
+
+// Verify implements run.App: checks every shared row in processor 0's image.
+func (a *SOR) Verify(im *mem.Image) error {
+	for i := 1; i < a.rows-1; i++ {
+		base := a.rowBase(i)
+		if base < 0 {
+			continue
+		}
+		for j := 1; j < a.cols-1; j++ {
+			got := im.ReadF32(a.elemAddr(base, i, j))
+			if got != a.expected[i][j] {
+				return fmt.Errorf("%s: m[%d][%d] = %v, want %v", a.Name(), i, j, got, a.expected[i][j])
+			}
+		}
+	}
+	return nil
+}

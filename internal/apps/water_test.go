@@ -1,0 +1,76 @@
+package apps
+
+import (
+	"testing"
+
+	"ecvslrc/internal/core"
+	"ecvslrc/internal/fabric"
+	"ecvslrc/internal/run"
+)
+
+func TestWaterAllImpls(t *testing.T) {
+	testAllImpls(t, "Water", 4)
+}
+
+// Water's dominant effect is LRC prefetching: a page fault brings every
+// molecule on the page, while EC pays one read-lock exchange per molecule
+// (11381 vs 69422 messages in §7.2). The effect needs enough molecules per
+// page to bite, hence the Bench preset.
+func TestWaterLRCPrefetchBeatsEC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench-scale run")
+	}
+	lrcApp, _ := New("Water", Bench)
+	lrcRes, err := run.Run(lrcApp, core.Impl{Model: core.LRC, Trap: core.Twinning, Collect: core.Diffs}, 8, fabric.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ecApp, _ := New("Water", Bench)
+	ecRes, err := run.Run(ecApp, core.Impl{Model: core.EC, Trap: core.CompilerInstr, Collect: core.Timestamps}, 8, fabric.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lrcRes.Stats.Msgs >= ecRes.Stats.Msgs {
+		t.Errorf("LRC-diff msgs = %d, EC-ci msgs = %d: expected LRC < EC",
+			lrcRes.Stats.Msgs, ecRes.Stats.Msgs)
+	}
+	if lrcRes.Stats.Time >= ecRes.Stats.Time {
+		t.Errorf("LRC-diff time = %v, EC-ci time = %v: expected LRC faster (Table 3 shape)",
+			lrcRes.Stats.Time, ecRes.Stats.Time)
+	}
+}
+
+func TestWaterSplitAllImpls(t *testing.T) {
+	testAllImpls(t, "Water-split", 4)
+}
+
+func TestWaterSequential(t *testing.T) {
+	app, _ := New("Water", Test)
+	if _, err := run.RunSeq(app); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The §7.2 restructuring: binding a per-processor lock to all displacements
+// computed by a processor reduces EC's message count relative to
+// per-molecule read locks.
+func TestWaterSplitImprovesEC(t *testing.T) {
+	base, _ := New("Water", Test)
+	baseRes, err := run.Run(base, core.Impl{Model: core.EC, Trap: core.CompilerInstr, Collect: core.Timestamps}, 4, fabric.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, _ := New("Water-split", Test)
+	splitRes, err := run.Run(split, core.Impl{Model: core.EC, Trap: core.CompilerInstr, Collect: core.Timestamps}, 4, fabric.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if splitRes.Stats.Msgs >= baseRes.Stats.Msgs {
+		t.Errorf("split msgs = %d, base msgs = %d: expected split < base",
+			splitRes.Stats.Msgs, baseRes.Stats.Msgs)
+	}
+	if splitRes.Stats.Time >= baseRes.Stats.Time {
+		t.Errorf("split time = %v, base time = %v: expected split faster",
+			splitRes.Stats.Time, baseRes.Stats.Time)
+	}
+}

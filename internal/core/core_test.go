@@ -1,0 +1,109 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestImplNames(t *testing.T) {
+	cases := map[string]Impl{
+		"EC-ci":    {EC, CompilerInstr, Timestamps},
+		"EC-time":  {EC, Twinning, Timestamps},
+		"EC-diff":  {EC, Twinning, Diffs},
+		"LRC-ci":   {LRC, CompilerInstr, Timestamps},
+		"LRC-time": {LRC, Twinning, Timestamps},
+		"LRC-diff": {LRC, Twinning, Diffs},
+	}
+	for want, impl := range cases {
+		if got := impl.String(); got != want {
+			t.Errorf("%+v.String() = %q, want %q", impl, got, want)
+		}
+		parsed, err := ParseImpl(want)
+		if err != nil || parsed != impl {
+			t.Errorf("ParseImpl(%q) = %+v, %v", want, parsed, err)
+		}
+	}
+}
+
+func TestParseImplUnknown(t *testing.T) {
+	if _, err := ParseImpl("EC-lazy"); err == nil {
+		t.Error("want error for unknown implementation")
+	}
+}
+
+func TestImplValidity(t *testing.T) {
+	// Compiler instrumentation + diffing is the excluded combination
+	// (memory overhead of both dirty bits and diffs, Section 5.3).
+	bad := Impl{EC, CompilerInstr, Diffs}
+	if bad.Valid() {
+		t.Error("ci+diff must be invalid")
+	}
+	for _, i := range Implementations() {
+		if !i.Valid() {
+			t.Errorf("%v listed but invalid", i)
+		}
+	}
+}
+
+func TestImplementationsMatchTable1(t *testing.T) {
+	impls := Implementations()
+	if len(impls) != 6 {
+		t.Fatalf("count = %d, want 6", len(impls))
+	}
+	if len(ModelImpls(EC)) != 3 || len(ModelImpls(LRC)) != 3 {
+		t.Error("each model has three implementations")
+	}
+	seen := map[string]bool{}
+	for _, i := range impls {
+		if seen[i.String()] {
+			t.Errorf("duplicate %v", i)
+		}
+		seen[i.String()] = true
+	}
+}
+
+func TestStatsMBAndString(t *testing.T) {
+	s := Stats{Bytes: 5_700_000, Msgs: 10498, Time: 13_230_000_000}
+	if s.MB() != 5.7 {
+		t.Errorf("MB = %v", s.MB())
+	}
+	out := s.String()
+	for _, frag := range []string{"13.23s", "msgs=10498", "5.70MB"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("String() = %q missing %q", out, frag)
+		}
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if EC.String() != "EC" || LRC.String() != "LRC" {
+		t.Error("Model strings")
+	}
+	if CompilerInstr.String() != "ci" || Twinning.String() != "twin" {
+		t.Error("Trap strings")
+	}
+	if Timestamps.String() != "time" || Diffs.String() != "diff" {
+		t.Error("Collect strings")
+	}
+}
+
+// Property: String/ParseImpl round-trip for every valid combination.
+func TestPropertyImplRoundTrip(t *testing.T) {
+	f := func(m, tr, c uint8) bool {
+		impl := Impl{Model: Model(m % 2), Trap: Trap(tr % 2), Collect: Collect(c % 2)}
+		if !impl.Valid() {
+			return true
+		}
+		// Names collapse trapping/collection into the paper's three labels;
+		// ci implies timestamps.
+		parsed, err := ParseImpl(impl.String())
+		if err != nil {
+			return false
+		}
+		return parsed.Model == impl.Model && parsed.String() == impl.String()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,614 @@
+// Package ec implements entry consistency (Section 3.1), the model used by
+// Midway: all shared data is bound to a synchronization object, and an
+// update protocol makes exactly the bound data consistent at acquire time.
+// Write trapping is by compiler instrumentation or twinning (with the
+// paper's improvement of eager copies for small objects), write collection
+// by per-lock incarnation-number timestamps or by diffs.
+package ec
+
+import (
+	"fmt"
+	"sort"
+
+	"ecvslrc/internal/core"
+	"ecvslrc/internal/fabric"
+	"ecvslrc/internal/mem"
+	"ecvslrc/internal/nodebase"
+	"ecvslrc/internal/sim"
+	"ecvslrc/internal/syncmgr"
+	"ecvslrc/internal/vm"
+	"ecvslrc/internal/wcollect"
+	"ecvslrc/internal/wtrap"
+)
+
+// binding records the data associated with a lock. Version counts rebinds so
+// that a grant after a Rebind conservatively carries the full bound data
+// (Section 7.1, "Rebinding").
+type binding struct {
+	ranges  []mem.Range
+	version int32
+	words   int
+	bytes   int
+	small   bool // below a page: twin eagerly instead of write-protecting
+}
+
+func (b *binding) recompute() {
+	b.words, b.bytes = 0, 0
+	for _, r := range b.ranges {
+		b.words += r.Words()
+		b.bytes += r.Len
+	}
+	b.small = b.bytes < mem.PageSize
+}
+
+type taggedDiff struct {
+	Tag  int32
+	Diff *wcollect.Diff
+}
+
+// acqPayload is the consistency part of a lock request: the requester's
+// incarnation number and its known binding version. NoData marks an
+// acquire-for-rebind: the requester will immediately rebind the lock, so
+// the grant must carry no update-protocol data (installing the old
+// binding's contents could clobber memory the requester holds newer values
+// for under other locks).
+type acqPayload struct {
+	Inc    int32
+	Bind   int32
+	NoData bool
+}
+
+const acqPayloadBytes = 8
+
+// grantPayload carries the update-protocol data with a lock grant.
+type grantPayload struct {
+	OwnerInc int32
+	Bind     int32
+	Ranges   []mem.Range // non-nil when the requester's binding is stale
+
+	Stamped wcollect.StampedData // Timestamps collection
+	Diffs   []taggedDiff         // Diffs collection: applied at the requester
+	// Carried diffs are older than the requester's incarnation (already
+	// reflected in its memory) but travel with ownership so the new owner
+	// can serve future requesters with even older incarnations.
+	Carried  []taggedDiff
+	KnownInc map[int]int32      // incarnation gossip for diff pruning
+	Full     []wcollect.DataRun // conservative full transfer after rebind
+}
+
+// Node is one processor's EC engine. It implements core.DSM.
+type Node struct {
+	nodebase.Base
+	impl core.Impl
+
+	locks *syncmgr.LockMgr
+	bars  *syncmgr.BarrierMgr
+
+	bindings map[core.LockID]*binding
+	inc      map[core.LockID]int32
+	dirty    map[core.LockID]bool // write epoch open and not yet harvested
+
+	// write collection state
+	stamps *wcollect.Stamps
+	diffs  map[core.LockID][]taggedDiff
+	// knownInc tracks, per lock, the last incarnation number each processor
+	// was seen to hold. It travels with exclusive grants and lets the owner
+	// prune diffs no live requester can still need, giving the steady-state
+	// "n-1 diffs per transfer" behaviour of Section 5.3 without losing
+	// correctness for processors that have never acquired the lock.
+	knownInc map[core.LockID]map[int]int32
+
+	// write trapping state
+	db         *wtrap.DirtyBits
+	twins      *wtrap.PageTwins
+	objTwins   map[core.LockID]*wtrap.ObjectTwin
+	openEpochs map[int]map[core.LockID]bool // page -> locks with open large-object epochs
+
+	nextNoData bool // the next acquire is an AcquireForRebind
+}
+
+// New builds the EC node for processor p. impl.Model must be core.EC.
+func New(p *sim.Proc, net *fabric.Network, al *mem.Allocator, nprocs int, impl core.Impl) *Node {
+	if impl.Model != core.EC || !impl.Valid() {
+		panic(fmt.Sprintf("ec: bad implementation %v", impl))
+	}
+	n := &Node{
+		impl:     impl,
+		bindings: make(map[core.LockID]*binding),
+		inc:      make(map[core.LockID]int32),
+		dirty:    make(map[core.LockID]bool),
+		diffs:    make(map[core.LockID][]taggedDiff),
+		knownInc: make(map[core.LockID]map[int]int32),
+	}
+	n.Init(p, net, al, core.EC, nprocs)
+	n.locks = syncmgr.NewLockMgr(p, net, nprocs, (*lockHooks)(n), &n.Cnt)
+	n.bars = syncmgr.NewBarrierMgr(p, net, nprocs, nilBarrierHooks{}, &n.Cnt)
+
+	if impl.Collect == core.Timestamps {
+		n.stamps = wcollect.NewStamps(al)
+	}
+	switch impl.Trap {
+	case core.CompilerInstr:
+		n.db = wtrap.NewDirtyBits(al, false)
+		n.OnWrite = func(a mem.Addr, size int) {
+			n.Charge(n.CM.InstrStoreOpt)
+			n.db.NoteWrite(a, size)
+		}
+	case core.Twinning:
+		n.twins = wtrap.NewPageTwins(n.Im)
+		n.objTwins = make(map[core.LockID]*wtrap.ObjectTwin)
+		n.openEpochs = make(map[int]map[core.LockID]bool)
+		n.MMU.SetHandler(n.onFault)
+	}
+	net.Attach(p, n.handle)
+	return n
+}
+
+// Impl returns the implementation configuration.
+func (n *Node) Impl() core.Impl { return n.impl }
+
+// NProcs implements core.DSM.
+func (n *Node) NProcs() int { return n.Base.NProcs }
+
+// Model implements core.DSM.
+func (n *Node) Model() core.Model { return core.EC }
+
+func (n *Node) handle(hc *fabric.HandlerCtx, m fabric.Msg) {
+	if n.locks.Handle(hc, m) || n.bars.Handle(hc, m) {
+		return
+	}
+	panic(fmt.Sprintf("ec: unhandled message kind %d", m.Kind))
+}
+
+// Bind implements core.DSM: associates ranges with l. Must be issued
+// identically on every processor before the lock is first transferred.
+func (n *Node) Bind(l core.LockID, rs ...mem.Range) {
+	if _, ok := n.bindings[l]; ok {
+		panic(fmt.Sprintf("ec: lock %d already bound (use Rebind)", l))
+	}
+	b := &binding{ranges: rs, version: 1}
+	b.recompute()
+	n.bindings[l] = b
+}
+
+// Rebind implements core.DSM: rebinds l to new ranges. The caller must hold
+// l exclusively; the next transfer sends all bound data conservatively.
+func (n *Node) Rebind(l core.LockID, rs ...mem.Range) {
+	held, mode := n.locks.Holding(l)
+	if !held || mode != syncmgr.Exclusive {
+		panic(fmt.Sprintf("ec: Rebind(%d) without holding the lock exclusively", l))
+	}
+	b := n.binding(l)
+	// Harvest the open epoch against the OLD binding first, so pending
+	// changes are not mis-scanned against the new ranges.
+	n.Charge(n.harvest(l))
+	// Every post-rebind transfer is a conservative full send, so diffs
+	// against the old binding can never be needed again.
+	n.diffs[l] = nil
+	b.ranges = rs
+	b.version++
+	b.recompute()
+	// Re-open the epoch for the new ranges: the holder may write them.
+	n.openEpoch(l)
+}
+
+func (n *Node) binding(l core.LockID) *binding {
+	b := n.bindings[l]
+	if b == nil {
+		panic(fmt.Sprintf("ec: lock %d has no bound data", l))
+	}
+	return b
+}
+
+// Acquire implements core.DSM.
+func (n *Node) Acquire(l core.LockID) {
+	n.Flush()
+	n.locks.Acquire(l, syncmgr.Exclusive)
+}
+
+// AcquireForRebind implements core.DSM: an exclusive acquire whose grant
+// carries no data, used just before a Rebind.
+func (n *Node) AcquireForRebind(l core.LockID) {
+	n.Flush()
+	n.nextNoData = true
+	n.locks.Acquire(l, syncmgr.Exclusive)
+	n.nextNoData = false
+}
+
+// AcquireRead implements core.DSM.
+func (n *Node) AcquireRead(l core.LockID) {
+	n.Flush()
+	n.locks.Acquire(l, syncmgr.ReadOnly)
+}
+
+// Release implements core.DSM.
+func (n *Node) Release(l core.LockID) {
+	n.Flush()
+	n.locks.Release(l)
+}
+
+// Barrier implements core.DSM. EC barriers carry no consistency data:
+// following Midway, shared data is associated with locks, not barriers.
+func (n *Node) Barrier(b core.BarrierID) {
+	n.Flush()
+	n.bars.Wait(b)
+}
+
+// onFault is the SIGSEGV handler for twinning mode: first write to a
+// write-protected large-object page makes the twin and unprotects.
+func (n *Node) onFault(a mem.Addr, write bool) {
+	if !write {
+		panic(fmt.Sprintf("ec: read fault at %d (EC pages are never read-protected)", a))
+	}
+	pg := mem.PageOf(a)
+	n.Charge(n.CM.ProtFault + mem.PageWords*n.CM.WordCopy + n.CM.MProtect)
+	n.twins.Make(pg)
+	n.Extra.TwinsMade++
+	n.MMU.SetProt(pg, vm.ReadWrite)
+}
+
+// openEpoch prepares write trapping for a newly acquired exclusive lock and
+// advances the lock's incarnation number.
+func (n *Node) openEpoch(l core.LockID) {
+	b := n.binding(l)
+	n.dirty[l] = true
+	if n.impl.Trap != core.Twinning {
+		return
+	}
+	if b.small {
+		// Eager copy: no protection faults for small objects (Section 4.2).
+		n.objTwins[l] = wtrap.MakeObjectTwin(n.Im, b.ranges)
+		n.Charge(sim.Time(b.words) * n.CM.WordCopy)
+		return
+	}
+	for _, r := range b.ranges {
+		protected := false
+		for _, pg := range r.Pages() {
+			// Register this epoch on every page it may write, so a twin
+			// shared with an overlapping lock's epoch survives until both
+			// have harvested.
+			eps := n.openEpochs[pg]
+			if eps == nil {
+				eps = make(map[core.LockID]bool)
+				n.openEpochs[pg] = eps
+			}
+			eps[l] = true
+			if n.twins.Has(pg) {
+				// Already twinned by an overlapping open epoch: writes are
+				// already trapped; the harvest intersects with our ranges.
+				continue
+			}
+			if n.MMU.Prot(pg) == vm.ReadWrite {
+				n.MMU.SetProt(pg, vm.ReadOnly)
+				protected = true
+			}
+		}
+		if protected {
+			n.Charge(n.CM.MProtect) // one mprotect call per contiguous range
+		}
+	}
+}
+
+// harvest closes the open write epoch of l: it discovers the changed words
+// via the trapping mechanism and records them for collection (stamping them
+// or building a diff). Returns the CPU cost.
+func (n *Node) harvest(l core.LockID) sim.Time {
+	if !n.dirty[l] {
+		return 0
+	}
+	n.dirty[l] = false
+	b := n.binding(l)
+	var changed []mem.Range
+	var work sim.Time
+
+	switch n.impl.Trap {
+	case core.CompilerInstr:
+		runs, scanned := n.db.Collect(b.ranges)
+		n.db.Reset(b.ranges)
+		changed = runs
+		work += sim.Time(scanned) * n.CM.WordScan
+	case core.Twinning:
+		if ot := n.objTwins[l]; ot != nil {
+			runs, cmp := ot.Compare()
+			delete(n.objTwins, l)
+			changed = runs
+			work += sim.Time(cmp) * n.CM.WordCompare
+		} else {
+			changed, work = n.harvestLargeObject(l, b)
+		}
+	}
+
+	switch n.impl.Collect {
+	case core.Timestamps:
+		n.stamps.Set(changed, wcollect.Stamp(n.inc[l]))
+	case core.Diffs:
+		if len(changed) > 0 {
+			d := wcollect.BuildDiff(n.Im, changed)
+			n.diffs[l] = append(n.diffs[l], taggedDiff{Tag: n.inc[l], Diff: d})
+			n.Extra.DiffsCreated++
+			work += sim.Time(d.Words()) * n.CM.WordCopy
+		}
+	}
+	return work
+}
+
+// known returns the incarnation-gossip map for l.
+func (n *Node) known(l core.LockID) map[int]int32 {
+	ki := n.knownInc[l]
+	if ki == nil {
+		ki = make(map[int]int32)
+		n.knownInc[l] = ki
+	}
+	return ki
+}
+
+// pruneDiffs discards diffs every processor has provably incorporated: those
+// tagged at or below the minimum incarnation seen across all processors.
+func (n *Node) pruneDiffs(l core.LockID) {
+	ki := n.knownInc[l]
+	if len(ki) < n.Base.NProcs {
+		return // some processor has never been heard from; assume inc 0
+	}
+	minInc := int32(1<<31 - 1)
+	for _, v := range ki {
+		if v < minInc {
+			minInc = v
+		}
+	}
+	ds := n.diffs[l]
+	keep := ds[:0]
+	for _, td := range ds {
+		if td.Tag > minInc {
+			keep = append(keep, td)
+		}
+	}
+	n.diffs[l] = keep
+}
+
+// harvestLargeObject compares the twinned pages overlapping l's ranges,
+// keeps the twins alive for other open epochs sharing a page, and refreshes
+// the twin contents within l's ranges so nothing is collected twice. Pages
+// are processed once each even when several of l's ranges share a page
+// (non-contiguous bindings like the transpose blocks or per-owner position
+// chunks).
+func (n *Node) harvestLargeObject(l core.LockID, b *binding) (changed []mem.Range, work sim.Time) {
+	seen := make(map[int]bool)
+	var pages []int
+	for _, r := range b.ranges {
+		for _, pg := range r.Pages() {
+			if !seen[pg] {
+				seen[pg] = true
+				pages = append(pages, pg)
+			}
+		}
+	}
+	sort.Ints(pages)
+	for _, pg := range pages {
+		if !n.twins.Has(pg) {
+			continue // never written
+		}
+		runs, cmp := n.twins.Compare(pg)
+		work += sim.Time(cmp) * n.CM.WordCompare
+		for _, run := range runs {
+			for _, r := range b.ranges {
+				if x, ok := intersect(run, r); ok {
+					changed = append(changed, x)
+				}
+			}
+		}
+		if eps := n.openEpochs[pg]; eps != nil {
+			delete(eps, l)
+			if len(eps) == 0 {
+				delete(n.openEpochs, pg)
+			}
+		}
+		if len(n.openEpochs[pg]) == 0 {
+			n.twins.Drop(pg)
+		} else {
+			// Refresh the twin within our spans so a later harvest of an
+			// overlapping lock does not re-collect our changes.
+			for _, r := range b.ranges {
+				lo := max(int(r.Base), int(mem.PageBase(pg)))
+				hi := min(int(r.End()), int(mem.PageBase(pg+1)))
+				if lo < hi {
+					twinCopy(n.twins, n.Im, pg, lo, hi)
+				}
+			}
+		}
+	}
+	return changed, work
+}
+
+func intersect(a, b mem.Range) (mem.Range, bool) {
+	lo := max(int(a.Base), int(b.Base))
+	hi := min(int(a.End()), int(b.End()))
+	if lo >= hi {
+		return mem.Range{}, false
+	}
+	return mem.Range{Base: mem.Addr(lo), Len: hi - lo}, true
+}
+
+// twinCopy refreshes twin bytes of page pg in [lo,hi).
+func twinCopy(t *wtrap.PageTwins, im *mem.Image, pg, lo, hi int) {
+	// The twin is reachable only through Compare/Drop in wtrap's API;
+	// refresh by dropping and re-making would lose other locks' deltas, so
+	// wtrap exposes Refresh for exactly this case.
+	t.Refresh(im, pg, lo, hi)
+}
+
+// --- syncmgr lock hooks -------------------------------------------------
+
+// lockHooks adapts Node to syncmgr.LockHooks. Defined as a separate type so
+// the hook methods do not pollute the core.DSM surface of Node.
+type lockHooks Node
+
+func (h *lockHooks) node() *Node { return (*Node)(h) }
+
+// MakeLockRequest sends our incarnation number and binding version.
+func (h *lockHooks) MakeLockRequest(l core.LockID, mode syncmgr.Mode) (any, int) {
+	n := h.node()
+	return acqPayload{Inc: n.inc[l], Bind: n.binding(l).version, NoData: n.nextNoData}, acqPayloadBytes
+}
+
+// MakeLockGrant runs at the owner: harvest pending changes, then collect
+// everything newer than the requester's incarnation.
+func (h *lockHooks) MakeLockGrant(l core.LockID, mode syncmgr.Mode, reqPayload any, requester int) (any, int, sim.Time) {
+	n := h.node()
+	req := reqPayload.(acqPayload)
+	b := n.binding(l)
+	work := n.harvest(l)
+
+	g := grantPayload{OwnerInc: n.inc[l], Bind: b.version}
+	size := 8 // incarnation + binding version
+
+	if req.NoData {
+		// Acquire-for-rebind: transfer ownership and the current binding,
+		// but no data. The requester rebinds immediately, after which every
+		// transfer is a conservative full send of the new binding.
+		g.Ranges = b.ranges
+		size += 8 * len(b.ranges)
+		if n.impl.Collect == core.Diffs && mode == syncmgr.Exclusive {
+			// Old-binding diffs are useless to the rebinder and to everyone
+			// after it (post-rebind transfers are full sends).
+			n.diffs[l] = nil
+		}
+		return g, size, work
+	}
+
+	if req.Bind != b.version {
+		// Rebound since the requester last saw it: conservatively send all
+		// bound data (the releaser cannot know what is already consistent).
+		g.Ranges = b.ranges
+		size += 8 * len(b.ranges)
+		g.Full = wcollect.ExtractRuns(n.Im, b.ranges)
+		for _, r := range g.Full {
+			size += wcollect.RunHeaderBytes + len(r.Data)
+		}
+		work += sim.Time(b.words) * n.CM.WordCopy
+	} else {
+		switch n.impl.Collect {
+		case core.Timestamps:
+			runs, scanned := n.stamps.Select(b.ranges, func(s wcollect.Stamp) bool { return s > wcollect.Stamp(req.Inc) })
+			work += sim.Time(scanned) * n.CM.WordScan
+			g.Stamped = wcollect.ExtractStamped(n.Im, runs)
+			size += g.Stamped.WireSize(wcollect.ECStampBytes)
+			n.Extra.StampRunsSent += int64(len(runs))
+		case core.Diffs:
+			ki := n.known(l)
+			ki[requester] = req.Inc
+			ki[n.P.ID()] = n.inc[l]
+			n.pruneDiffs(l)
+			for _, td := range n.diffs[l] {
+				if td.Tag > req.Inc {
+					g.Diffs = append(g.Diffs, td)
+					size += td.Diff.WireSize()
+				} else if mode == syncmgr.Exclusive {
+					g.Carried = append(g.Carried, td)
+					size += td.Diff.WireSize()
+				}
+			}
+			if mode == syncmgr.Exclusive {
+				// Ownership moves: the diffs travel with it (Section 5.2),
+				// along with the incarnation gossip that bounds the list.
+				g.KnownInc = make(map[int]int32, len(ki))
+				for p, v := range ki {
+					g.KnownInc[p] = v
+				}
+				n.diffs[l] = nil
+			}
+		}
+	}
+	return g, size, work
+}
+
+// ApplyLockGrant runs at the requester: install the update-protocol data.
+func (h *lockHooks) ApplyLockGrant(l core.LockID, mode syncmgr.Mode, payload any) sim.Time {
+	n := h.node()
+	g := payload.(grantPayload)
+	b := n.binding(l)
+	var work sim.Time
+
+	if g.Ranges != nil {
+		b.ranges = g.Ranges
+		b.version = g.Bind
+		b.recompute()
+	}
+	switch {
+	case g.Full != nil:
+		words := wcollect.ApplyRuns(n.Im, g.Full)
+		work += sim.Time(words) * n.CM.WordApply
+		if n.impl.Collect == core.Timestamps {
+			// The full content is current as of the owner's incarnation.
+			for _, r := range g.Full {
+				n.stamps.Set([]mem.Range{{Base: r.Base, Len: len(r.Data)}}, wcollect.Stamp(g.OwnerInc))
+			}
+		} else {
+			n.diffs[l] = nil
+		}
+	case n.impl.Collect == core.Timestamps:
+		words := g.Stamped.Apply(n.Im, n.stamps)
+		work += sim.Time(words) * n.CM.WordApply
+	default:
+		sort.Slice(g.Diffs, func(i, j int) bool { return g.Diffs[i].Tag < g.Diffs[j].Tag })
+		for _, td := range g.Diffs {
+			words := td.Diff.Apply(n.Im)
+			work += sim.Time(words) * n.CM.WordApply
+		}
+		if mode == syncmgr.Exclusive {
+			// Save everything (applied and carried) for future transmission.
+			n.diffs[l] = append(n.diffs[l], g.Carried...)
+			n.diffs[l] = append(n.diffs[l], g.Diffs...)
+			sort.Slice(n.diffs[l], func(i, j int) bool { return n.diffs[l][i].Tag < n.diffs[l][j].Tag })
+			ki := n.known(l)
+			for p, v := range g.KnownInc {
+				if v > ki[p] {
+					ki[p] = v
+				}
+			}
+		}
+	}
+
+	if mode == syncmgr.Exclusive {
+		n.inc[l] = g.OwnerInc + 1
+		if !n.nextNoData {
+			// An acquire-for-rebind skips the epoch on the old binding;
+			// Rebind opens one on the new ranges.
+			n.openEpoch(l)
+		} else {
+			n.dirty[l] = false
+		}
+	} else {
+		n.inc[l] = g.OwnerInc
+	}
+	return work
+}
+
+// LocalReacquire: the owner re-enters its own lock; a write acquire opens a
+// new epoch with a fresh incarnation so later requesters can tell the new
+// writes apart.
+func (h *lockHooks) LocalReacquire(l core.LockID, mode syncmgr.Mode) {
+	n := h.node()
+	if mode != syncmgr.Exclusive {
+		return
+	}
+	n.Charge(n.harvest(l)) // close any previous un-harvested epoch
+	n.inc[l]++
+	if !n.nextNoData {
+		n.openEpoch(l)
+	}
+}
+
+// OnRelease: collection is lazy (at grant time), nothing to do here.
+func (h *lockHooks) OnRelease(l core.LockID) sim.Time { return 0 }
+
+// nilBarrierHooks: EC barriers are pure synchronization.
+type nilBarrierHooks struct{}
+
+func (nilBarrierHooks) MakeArrival(core.BarrierID) (any, int, sim.Time)        { return nil, 0, 0 }
+func (nilBarrierHooks) AbsorbArrival(core.BarrierID, int, any) sim.Time        { return 0 }
+func (nilBarrierHooks) PrepareDepartures(core.BarrierID) sim.Time              { return 0 }
+func (nilBarrierHooks) MakeDeparture(core.BarrierID, int) (any, int, sim.Time) { return nil, 0, 0 }
+func (nilBarrierHooks) ApplyDeparture(core.BarrierID, any) sim.Time            { return 0 }
+
+var _ core.DSM = (*Node)(nil)
+var _ syncmgr.LockHooks = (*lockHooks)(nil)

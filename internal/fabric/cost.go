@@ -1,0 +1,92 @@
+// Package fabric models the paper's communication substrate: a 100-Mbps
+// point-to-point ATM LAN connecting 8 DECstation-5000/240 workstations, with
+// AAL3/4 messaging, programmed I/O, SIGIO-driven request handling, and
+// mprotect/SIGSEGV memory protection. Messages are one-way datagrams with a
+// size-dependent cost; incoming requests run as handlers that steal CPU time
+// from the receiving processor, exactly like the signal handlers in
+// TreadMarks and Midway.
+package fabric
+
+import "ecvslrc/internal/sim"
+
+// CostModel collects every platform constant used by the simulation. The
+// defaults are calibrated to the paper's environment (40 MHz DECstation CPUs,
+// Fore ATM interfaces with programmed I/O, Ultrix signal handling); see
+// EXPERIMENTS.md for the calibration notes. All values are simulated time.
+type CostModel struct {
+	// SendFixed is the fixed CPU cost of assembling and transmitting a
+	// message (system call, AAL3/4 fragmentation setup, FIFO programming).
+	SendFixed sim.Time
+	// SendPerByte is the per-byte CPU cost of programmed I/O into the
+	// transmit FIFO plus wire time at ~10 MB/s effective bandwidth.
+	SendPerByte sim.Time
+	// WireLatency is the switch+interrupt latency between the end of the
+	// send and the start of handler execution at the receiver.
+	WireLatency sim.Time
+	// HandlerFixed is the fixed cost of fielding the SIGIO interrupt,
+	// reassembling the message and dispatching the request handler.
+	HandlerFixed sim.Time
+
+	// ProtFault is the cost of a protection fault: SIGSEGV delivery,
+	// handler entry, and resumption under Ultrix.
+	ProtFault sim.Time
+	// MProtect is the cost of one mprotect call on one page.
+	MProtect sim.Time
+
+	// InstrStore is the per-store cost of the compiler-emitted dirty-bit
+	// code (vector to the region's template code and set the bit).
+	InstrStore sim.Time
+	// InstrStoreOpt is the per-store cost after the loop-splitting
+	// optimization of Section 4.1 (dirty-bit setting hoisted into its own
+	// loop, improving cache behaviour).
+	InstrStoreOpt sim.Time
+	// WordCopy is the per-word cost of making a twin.
+	WordCopy sim.Time
+	// WordCompare is the per-word cost of comparing data against its twin
+	// during diff creation or timestamp stamping.
+	WordCompare sim.Time
+	// WordScan is the per-word cost of scanning timestamps or dirty bits
+	// during write collection.
+	WordScan sim.Time
+	// WordApply is the per-word cost of applying received data (diff or
+	// timestamp runs) to local memory.
+	WordApply sim.Time
+}
+
+// DefaultCostModel returns the calibrated cost model for the paper's
+// platform. A 40 MHz DECstation executes roughly one instruction per 25 ns;
+// word-granularity software overheads are small multiples of that. Messaging
+// constants reflect the user-level AAL3/4 protocol the paper describes
+// (hundreds of microseconds per small message, ~10 MB/s for bulk data).
+func DefaultCostModel() CostModel {
+	return CostModel{
+		// A minimal user-level AAL3/4 message cost ~0.5 ms of software time
+		// each way on this platform (TreadMarks reported ~1 ms remote lock
+		// acquisitions and ~2 ms 8-processor barriers).
+		SendFixed:    250 * sim.Microsecond,
+		SendPerByte:  90 * sim.Nanosecond, // ≈ 11 MB/s effective
+		WireLatency:  100 * sim.Microsecond,
+		HandlerFixed: 150 * sim.Microsecond,
+		ProtFault:    120 * sim.Microsecond,
+		MProtect:     30 * sim.Microsecond,
+		// Setting a software dirty bit costs ~10-20 cycles at 40 MHz
+		// (vector to the region template, compute the bit address, set
+		// it); the loop-splitting optimization of Section 4.1 roughly
+		// halves it. The hierarchical LRC scheme adds half again.
+		InstrStore:    450 * sim.Nanosecond,
+		InstrStoreOpt: 260 * sim.Nanosecond,
+		WordCopy:      50 * sim.Nanosecond,
+		WordCompare:   75 * sim.Nanosecond,
+		WordScan:      50 * sim.Nanosecond,
+		WordApply:     50 * sim.Nanosecond,
+	}
+}
+
+// MsgCost returns the sender-side cost of transmitting size payload bytes.
+func (cm *CostModel) MsgCost(size int) sim.Time {
+	return cm.SendFixed + sim.Time(size)*cm.SendPerByte
+}
+
+// MsgHeader is the framing overhead charged to every message, covering ATM
+// cell headers and the operation-specific user-level protocol header.
+const MsgHeader = 32

@@ -1,0 +1,255 @@
+package fabric
+
+import (
+	"fmt"
+
+	"ecvslrc/internal/sim"
+)
+
+// Msg is one ATM message. Size is the payload size in bytes; MsgHeader is
+// added automatically for cost and statistics purposes.
+type Msg struct {
+	From    int
+	To      int
+	Kind    int
+	Size    int
+	Payload any
+
+	waiter *sim.Waiter // reply rendezvous for Call; nil for one-way messages
+}
+
+// Handler services an incoming request at a processor, in the role of the
+// paper's SIGIO signal handler: it runs at message-arrival time, consumes CPU
+// of the hosting processor, and may send or reply via the HandlerCtx.
+type Handler func(hc *HandlerCtx, m Msg)
+
+// Stats counts the traffic originated by one processor.
+type Stats struct {
+	Msgs  int64
+	Bytes int64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Msgs += other.Msgs
+	s.Bytes += other.Bytes
+}
+
+// Sub returns s minus other, used for measurement windows.
+func (s Stats) Sub(other Stats) Stats {
+	return Stats{Msgs: s.Msgs - other.Msgs, Bytes: s.Bytes - other.Bytes}
+}
+
+// Network is the simulated ATM LAN. Every processor attaches one endpoint
+// (its sim.Proc plus a request handler). Messages between distinct processors
+// cost sender CPU time, wire latency and receiver handler time; a processor
+// never sends a message to itself (protocol code must special-case local
+// managers, as the real systems do).
+type Network struct {
+	sim      *sim.Simulator
+	cm       CostModel
+	procs    []*sim.Proc
+	handlers []Handler
+	stats    []Stats
+}
+
+// New returns a network over s for nprocs processors using cost model cm.
+func New(s *sim.Simulator, cm CostModel, nprocs int) *Network {
+	return &Network{
+		sim:      s,
+		cm:       cm,
+		procs:    make([]*sim.Proc, nprocs),
+		handlers: make([]Handler, nprocs),
+		stats:    make([]Stats, nprocs),
+	}
+}
+
+// Cost returns the network's cost model.
+func (n *Network) Cost() *CostModel { return &n.cm }
+
+// Attach registers proc (with request handler h) as processor proc.ID().
+func (n *Network) Attach(p *sim.Proc, h Handler) {
+	n.procs[p.ID()] = p
+	n.handlers[p.ID()] = h
+}
+
+// ProcStats returns the traffic counters for processor id.
+func (n *Network) ProcStats(id int) Stats { return n.stats[id] }
+
+// Snapshot copies all per-processor counters.
+func (n *Network) Snapshot() []Stats {
+	out := make([]Stats, len(n.stats))
+	copy(out, n.stats)
+	return out
+}
+
+// Total sums traffic over all processors.
+func (n *Network) Total() Stats {
+	var t Stats
+	for _, s := range n.stats {
+		t.Add(s)
+	}
+	return t
+}
+
+func (n *Network) account(from, size int) int {
+	total := size + MsgHeader
+	n.stats[from].Msgs++
+	n.stats[from].Bytes += int64(total)
+	return total
+}
+
+// Send transmits a one-way message from the running processor p. The sender
+// is busy for the programmed-I/O cost of the message.
+func (n *Network) Send(p *sim.Proc, to, kind, size int, payload any) {
+	n.post(p, Msg{From: p.ID(), To: to, Kind: kind, Size: size, Payload: payload})
+}
+
+// Call transmits a request from the running processor p and blocks until the
+// matching Reply arrives, returning the reply message. The remote handler may
+// reply immediately, forward the request, or queue it and reply much later.
+func (n *Network) Call(p *sim.Proc, to, kind, size int, payload any) Msg {
+	w := n.CallAsync(p, to, kind, size, payload)
+	return w.Wait("rpc-reply").(Msg)
+}
+
+// CallAsync transmits a request and returns the reply Waiter without
+// blocking, so a processor can issue several requests in parallel (as
+// TreadMarks does for diff fetches) and then await all replies.
+func (n *Network) CallAsync(p *sim.Proc, to, kind, size int, payload any) *sim.Waiter {
+	w := sim.NewWaiter(p)
+	n.post(p, Msg{From: p.ID(), To: to, Kind: kind, Size: size, Payload: payload, waiter: w})
+	return w
+}
+
+// post charges the running sender and schedules delivery.
+func (n *Network) post(p *sim.Proc, m Msg) {
+	if m.To == p.ID() {
+		panic(fmt.Sprintf("fabric: proc %d sending to itself (kind %d)", m.To, m.Kind))
+	}
+	if m.To < 0 || m.To >= len(n.procs) {
+		panic(fmt.Sprintf("fabric: bad destination %d", m.To))
+	}
+	total := n.account(p.ID(), m.Size)
+	p.Sleep(n.cm.MsgCost(total))
+	arrive := p.Now() + n.cm.WireLatency
+	n.sim.Schedule(arrive, func() { n.deliver(m, arrive) })
+}
+
+// ForwardFrom re-addresses request req to another processor from process
+// context, preserving the original requester's reply path.
+func (n *Network) ForwardFrom(p *sim.Proc, req Msg, to int, extraSize int) {
+	if to == p.ID() {
+		panic("fabric: forwarding to self")
+	}
+	fwd := req
+	fwd.To = to
+	fwd.Size += extraSize
+	total := n.account(p.ID(), fwd.Size)
+	p.Sleep(n.cm.MsgCost(total))
+	arrive := p.Now() + n.cm.WireLatency
+	n.sim.Schedule(arrive, func() { n.deliver(fwd, arrive) })
+}
+
+// ReplyFrom sends the reply to request req from the running processor p.
+// Used when a request was queued by a handler and is granted later from
+// process context (e.g. a lock released while others are waiting).
+func (n *Network) ReplyFrom(p *sim.Proc, req Msg, kind, size int, payload any) {
+	if req.waiter == nil {
+		panic("fabric: ReplyFrom for a one-way message")
+	}
+	if req.From == p.ID() {
+		panic("fabric: replying to self")
+	}
+	total := n.account(p.ID(), size)
+	p.Sleep(n.cm.MsgCost(total))
+	arrive := p.Now() + n.cm.WireLatency
+	n.deliverReply(req, Msg{From: p.ID(), To: req.From, Kind: kind, Size: size, Payload: payload}, arrive)
+}
+
+func (n *Network) deliverReply(req Msg, reply Msg, arrive sim.Time) {
+	n.sim.Schedule(arrive, func() {
+		// Reply handling interrupts the receiver like any message.
+		n.procs[reply.To].InjectWork(n.cm.HandlerFixed)
+		req.waiter.Deliver(reply, arrive+n.cm.HandlerFixed)
+	})
+}
+
+// deliver runs the destination's request handler at arrival time, charging
+// handler CPU to the destination processor.
+func (n *Network) deliver(m Msg, at sim.Time) {
+	if m.waiter != nil && m.Kind < 0 {
+		panic("fabric: negative kinds are reserved")
+	}
+	hc := &HandlerCtx{n: n, self: m.To, at: at, busy: n.cm.HandlerFixed}
+	h := n.handlers[m.To]
+	if h == nil {
+		panic(fmt.Sprintf("fabric: no handler attached for proc %d", m.To))
+	}
+	h(hc, m)
+	n.procs[m.To].InjectWork(hc.busy)
+}
+
+// HandlerCtx is the execution context of a request handler. All time
+// consumed through it (fixed handler cost, Work, message sends) is charged to
+// the hosting processor after the handler returns.
+type HandlerCtx struct {
+	n    *Network
+	self int
+	at   sim.Time
+	busy sim.Time
+}
+
+// Self returns the processor the handler is running on.
+func (hc *HandlerCtx) Self() int { return hc.self }
+
+// Now returns the handler's current virtual time (arrival plus work so far).
+func (hc *HandlerCtx) Now() sim.Time { return hc.at + hc.busy }
+
+// Work charges d of CPU time inside the handler (e.g. a timestamp scan or a
+// diff creation performed while servicing the request).
+func (hc *HandlerCtx) Work(d sim.Time) { hc.busy += d }
+
+// Send transmits a one-way message from within the handler.
+func (hc *HandlerCtx) Send(to, kind, size int, payload any) {
+	if to == hc.self {
+		panic("fabric: handler sending to self")
+	}
+	total := hc.n.account(hc.self, size)
+	hc.busy += hc.n.cm.MsgCost(total)
+	arrive := hc.at + hc.busy + hc.n.cm.WireLatency
+	hc.n.sim.Schedule(arrive, func() { hc.n.deliver(Msg{From: hc.self, To: to, Kind: kind, Size: size, Payload: payload}, arrive) })
+}
+
+// Reply answers request req from within the handler.
+func (hc *HandlerCtx) Reply(req Msg, kind, size int, payload any) {
+	if req.waiter == nil {
+		panic("fabric: Reply to a one-way message")
+	}
+	total := hc.n.account(hc.self, size)
+	hc.busy += hc.n.cm.MsgCost(total)
+	arrive := hc.at + hc.busy + hc.n.cm.WireLatency
+	hc.n.deliverReply(req, Msg{From: hc.self, To: req.From, Kind: kind, Size: size, Payload: payload}, arrive)
+}
+
+// Forward re-addresses request req to another processor, preserving the
+// original requester's reply path (the manager-forwarding pattern of
+// Section 6). extraSize is added to the forwarded payload size.
+func (hc *HandlerCtx) Forward(req Msg, to int, extraSize int) {
+	if to == hc.self {
+		panic("fabric: forwarding to self")
+	}
+	fwd := req
+	fwd.To = to
+	fwd.Size += extraSize
+	total := hc.n.account(hc.self, fwd.Size)
+	hc.busy += hc.n.cm.MsgCost(total)
+	arrive := hc.at + hc.busy + hc.n.cm.WireLatency
+	hc.n.sim.Schedule(arrive, func() { hc.n.deliver(fwd, arrive) })
+}
+
+// LocalReply delivers a reply to a request that was queued earlier by this
+// same processor's handler and is being granted from handler context now.
+func (hc *HandlerCtx) LocalReply(req Msg, kind, size int, payload any) {
+	hc.Reply(req, kind, size, payload)
+}

@@ -1,0 +1,254 @@
+// Package harness regenerates the paper's evaluation artifacts: Table 2
+// (application parameters), Table 3 (best EC vs best LRC), Tables 4 and 5
+// (write trapping x write collection within each model), the in-text
+// message/data counters of Section 7.2, and the Section 7.1 factor
+// microbenchmarks.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ecvslrc/internal/apps"
+	"ecvslrc/internal/core"
+	"ecvslrc/internal/fabric"
+	"ecvslrc/internal/run"
+	"ecvslrc/internal/sim"
+)
+
+// Config selects the experiment size.
+type Config struct {
+	Scale  apps.Scale
+	NProcs int
+	Cost   fabric.CostModel
+}
+
+// Default returns the paper's configuration: 8 processors, paper-size data
+// sets, calibrated platform costs.
+func Default() Config {
+	return Config{Scale: apps.Paper, NProcs: 8, Cost: fabric.DefaultCostModel()}
+}
+
+// Row is the outcome of one (application, implementation) cell.
+type Row struct {
+	App  string
+	Impl core.Impl
+	run.Result
+	Err error
+}
+
+// RunCell executes one cell of the evaluation matrix.
+func RunCell(cfg Config, app string, impl core.Impl) Row {
+	a, err := apps.New(app, cfg.Scale)
+	if err != nil {
+		return Row{App: app, Impl: impl, Err: err}
+	}
+	res, err := run.Run(a, impl, cfg.NProcs, cfg.Cost)
+	return Row{App: app, Impl: impl, Result: res, Err: err}
+}
+
+// RunSeq executes the sequential reference of one application.
+func RunSeq(cfg Config, app string) (sim.Time, error) {
+	a, err := apps.New(app, cfg.Scale)
+	if err != nil {
+		return 0, err
+	}
+	return run.RunSeq(a)
+}
+
+// Table2 renders the application-parameter table for the configured scale.
+func Table2(cfg Config) string {
+	params := map[apps.Scale]map[string]string{
+		apps.Paper: {
+			"SOR":        "1000x1000 floats, 50 iterations",
+			"SOR+":       "1000x1000 floats (boundary rows shared), 50 iterations",
+			"QS":         "262,144 integers, cutoff 1024",
+			"Water":      "343 molecules, 5 iterations",
+			"Barnes-Hut": "8,192 bodies, 5 iterations",
+			"IS":         "N = 2^20, Bmax = 2^9, 10 rankings",
+			"3D-FFT":     "64x64x32",
+		},
+		apps.Bench: {
+			"SOR":        "256x256 floats, 8 iterations",
+			"SOR+":       "256x256 floats (boundary rows shared), 8 iterations",
+			"QS":         "32,768 integers, cutoff 1024",
+			"Water":      "125 molecules, 3 iterations",
+			"Barnes-Hut": "512 bodies, 2 iterations",
+			"IS":         "N = 2^16, Bmax = 2^9, 5 rankings",
+			"3D-FFT":     "32x32x32",
+		},
+		apps.Test: {
+			"SOR":        "48x64 floats, 4 iterations",
+			"SOR+":       "48x64 floats (boundary rows shared), 4 iterations",
+			"QS":         "4,096 integers, cutoff 256",
+			"Water":      "37 molecules, 2 iterations",
+			"Barnes-Hut": "64 bodies, 2 iterations",
+			"IS":         "N = 4096, Bmax = 128, 3 rankings",
+			"3D-FFT":     "16x16x32",
+		},
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: Application Parameters (%s scale)\n", cfg.Scale)
+	fmt.Fprintf(&b, "%-12s %s\n", "Application", "Data Set Size")
+	for _, name := range apps.Names() {
+		fmt.Fprintf(&b, "%-12s %s\n", name, params[cfg.Scale][name])
+	}
+	return b.String()
+}
+
+// Table3Result holds one application row of Table 3.
+type Table3Result struct {
+	App      string
+	SeqTime  sim.Time
+	BestEC   Row
+	BestLRC  Row
+	ECImpls  []Row
+	LRCImpls []Row
+}
+
+// Table3 runs every implementation of every application and reports the
+// best EC against the best LRC, the paper's headline comparison.
+func Table3(cfg Config, appNames []string) ([]Table3Result, error) {
+	var out []Table3Result
+	for _, name := range appNames {
+		seq, err := RunSeq(cfg, name)
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s sequential: %w", name, err)
+		}
+		r := Table3Result{App: name, SeqTime: seq}
+		for _, impl := range core.Implementations() {
+			row := RunCell(cfg, name, impl)
+			if row.Err != nil {
+				return nil, row.Err
+			}
+			if impl.Model == core.EC {
+				r.ECImpls = append(r.ECImpls, row)
+			} else {
+				r.LRCImpls = append(r.LRCImpls, row)
+			}
+		}
+		r.BestEC = best(r.ECImpls)
+		r.BestLRC = best(r.LRCImpls)
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func best(rows []Row) Row {
+	b := rows[0]
+	for _, r := range rows[1:] {
+		if r.Stats.Time < b.Stats.Time {
+			b = r
+		}
+	}
+	return b
+}
+
+// FormatTable3 renders Table 3 in the paper's layout.
+func FormatTable3(rows []Table3Result) string {
+	var b strings.Builder
+	b.WriteString("Table 3: Execution Times — best EC vs best LRC\n")
+	fmt.Fprintf(&b, "%-12s %9s %9s %9s %10s %10s\n", "App", "1 proc.", "EC", "LRC", "EC Imp.", "LRC Imp.")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %9.2f %9.2f %9.2f %10s %10s\n",
+			r.App, r.SeqTime.Seconds(), r.BestEC.Stats.Time.Seconds(), r.BestLRC.Stats.Time.Seconds(),
+			implSuffix(r.BestEC.Impl), implSuffix(r.BestLRC.Impl))
+	}
+	return b.String()
+}
+
+func implSuffix(i core.Impl) string {
+	s := i.String()
+	return s[strings.Index(s, "-")+1:]
+}
+
+// TableModel runs the trapping x collection matrix for one model (Table 4
+// for EC, Table 5 for LRC).
+func TableModel(cfg Config, model core.Model, appNames []string) (map[string][]Row, error) {
+	out := make(map[string][]Row)
+	for _, name := range appNames {
+		for _, impl := range core.ModelImpls(model) {
+			row := RunCell(cfg, name, impl)
+			if row.Err != nil {
+				return nil, row.Err
+			}
+			out[name] = append(out[name], row)
+		}
+	}
+	return out, nil
+}
+
+// FormatTableModel renders Table 4 or Table 5.
+func FormatTableModel(model core.Model, rows map[string][]Row, appNames []string) string {
+	var b strings.Builder
+	n := 4
+	if model == core.LRC {
+		n = 5
+	}
+	fmt.Fprintf(&b, "Table %d: Execution Times (seconds) for Write Trapping x Write Collection in %v\n", n, model)
+	impls := core.ModelImpls(model)
+	fmt.Fprintf(&b, "%-12s", "App")
+	for _, i := range impls {
+		fmt.Fprintf(&b, " %10s", i)
+	}
+	b.WriteString("\n")
+	for _, name := range appNames {
+		fmt.Fprintf(&b, "%-12s", name)
+		cells := rows[name]
+		sort.Slice(cells, func(i, j int) bool { return cells[i].Impl.String() < cells[j].Impl.String() })
+		byImpl := map[string]Row{}
+		for _, c := range cells {
+			byImpl[c.Impl.String()] = c
+		}
+		for _, i := range impls {
+			fmt.Fprintf(&b, " %10.2f", byImpl[i.String()].Stats.Time.Seconds())
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// FormatCounters renders the Section 7.2 in-text counters (messages and MB
+// moved) for the best implementations, the quantities the paper quotes when
+// explaining each application's outcome.
+func FormatCounters(rows []Table3Result) string {
+	var b strings.Builder
+	b.WriteString("Section 7.2 counters: messages and data moved (best impls)\n")
+	fmt.Fprintf(&b, "%-12s %12s %12s %12s %12s\n", "App", "EC msgs", "LRC msgs", "EC MB", "LRC MB")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %12d %12d %12.1f %12.1f\n",
+			r.App, r.BestEC.Stats.Msgs, r.BestLRC.Stats.Msgs,
+			r.BestEC.Stats.MB(), r.BestLRC.Stats.MB())
+	}
+	return b.String()
+}
+
+// Micro runs the Section 7.1 factor kernels for every implementation.
+func Micro(cfg Config) (map[string][]Row, error) {
+	out := make(map[string][]Row)
+	for _, name := range apps.MicroNames() {
+		for _, impl := range core.Implementations() {
+			row := RunCell(cfg, name, impl)
+			if row.Err != nil {
+				return nil, row.Err
+			}
+			out[name] = append(out[name], row)
+		}
+	}
+	return out, nil
+}
+
+// FormatMicro renders the factor-kernel comparison.
+func FormatMicro(rows map[string][]Row) string {
+	var b strings.Builder
+	b.WriteString("Section 7.1 factor kernels (time / msgs / KB per implementation)\n")
+	for _, name := range apps.MicroNames() {
+		fmt.Fprintf(&b, "%s:\n", name)
+		for _, r := range rows[name] {
+			fmt.Fprintf(&b, "  %-10s %10v %8d msgs %8.1f KB\n",
+				r.Impl, r.Stats.Time, r.Stats.Msgs, float64(r.Stats.Bytes)/1024)
+		}
+	}
+	return b.String()
+}

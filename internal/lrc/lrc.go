@@ -1,0 +1,746 @@
+// Package lrc implements lazy release consistency (Section 3.2), the model
+// used by TreadMarks: execution is divided into intervals, modifications are
+// summarized as per-page write notices ordered by interval vectors, and an
+// invalidate protocol propagates data lazily — a page access miss fetches
+// diffs (or timestamp-selected words) from the writers. Multiple concurrent
+// writers per page are supported, so there is no ping-pong effect under
+// false sharing (Section 7.1).
+package lrc
+
+import (
+	"fmt"
+	"sort"
+
+	"ecvslrc/internal/core"
+	"ecvslrc/internal/fabric"
+	"ecvslrc/internal/mem"
+	"ecvslrc/internal/nodebase"
+	"ecvslrc/internal/sim"
+	"ecvslrc/internal/syncmgr"
+	"ecvslrc/internal/vm"
+	"ecvslrc/internal/wcollect"
+	"ecvslrc/internal/wtrap"
+)
+
+// Trace enables protocol-level debug output (tests only).
+var Trace = false
+
+// Message kinds beyond the shared synchronization managers'.
+const (
+	kindFetchReq = 10 + iota
+	kindFetchReply
+)
+
+// interval is a closed execution interval of one processor: the unit the
+// write notices name. The vector captures the intervals of every other
+// processor that happened before this one.
+type interval struct {
+	proc  int
+	idx   int32
+	vec   []int32
+	pages []int
+}
+
+// wireSize is the cost of shipping this interval's write notices: interval
+// identity, its vector, and one notice per page.
+func (iv *interval) wireSize() int {
+	return 8 + 4*len(iv.vec) + 4*len(iv.pages)
+}
+
+// pageMeta is the per-page protocol state of one processor.
+type pageMeta struct {
+	// noticed[q] is the highest interval index of processor q for which a
+	// write notice names this page; applied[q] is the highest whose
+	// modifications have been installed locally.
+	noticed map[int]int32
+	applied map[int]int32
+	// closedIval is this processor's own closed-but-unharvested interval
+	// that modified the page (-1 if none); the twin is kept for lazy diff
+	// creation until someone asks or a conflicting event forces it.
+	closedIval int32
+}
+
+func newPageMeta() *pageMeta {
+	return &pageMeta{noticed: make(map[int]int32), applied: make(map[int]int32), closedIval: -1}
+}
+
+type ivalDiff struct {
+	Ival int32
+	Diff *wcollect.Diff
+}
+
+type fetchReq struct {
+	Page  int
+	Since int32 // highest interval of the responder already applied locally
+	// UpTo bounds the reply to intervals the requester holds write notices
+	// for: modifications from the responder's later intervals have not been
+	// "released" to the requester yet and must not travel early.
+	UpTo int32
+}
+
+type fetchReply struct {
+	Diffs   []ivalDiff           // Diffs collection
+	Stamped wcollect.StampedData // Timestamps collection
+}
+
+// Node is one processor's LRC engine. It implements core.DSM.
+type Node struct {
+	nodebase.Base
+	impl core.Impl
+
+	locks *syncmgr.LockMgr
+	bars  *syncmgr.BarrierMgr
+
+	cur     int32 // index of the currently open interval
+	vec     []int32
+	records [][]*interval // per processor, its known closed intervals in idx order
+
+	meta      map[int]*pageMeta
+	openPages map[int]bool // pages modified in the open interval (twinning)
+
+	// diffStore holds this processor's own harvested diffs: page -> diffs
+	// in interval order (Diffs collection).
+	diffStore map[int][]ivalDiff
+
+	stamps *wcollect.Stamps // Timestamps collection
+
+	db    *wtrap.DirtyBits // CompilerInstr trapping
+	twins *wtrap.PageTwins // Twinning
+
+	// barrier bookkeeping
+	lastBarrierSent int32               // own interval records up to this index were pushed at a barrier
+	arrivalVecs     map[int][]int32     // manager: vector received from each arriver
+	arrivalRecs     map[int][]*interval // manager: buffered records, absorbed at departure
+}
+
+// New builds the LRC node for processor p. impl.Model must be core.LRC.
+func New(p *sim.Proc, net *fabric.Network, al *mem.Allocator, nprocs int, impl core.Impl) *Node {
+	if impl.Model != core.LRC || !impl.Valid() {
+		panic(fmt.Sprintf("lrc: bad implementation %v", impl))
+	}
+	n := &Node{
+		impl:        impl,
+		cur:         1,
+		vec:         make([]int32, nprocs),
+		records:     make([][]*interval, nprocs),
+		meta:        make(map[int]*pageMeta),
+		openPages:   make(map[int]bool),
+		diffStore:   make(map[int][]ivalDiff),
+		arrivalVecs: make(map[int][]int32),
+		arrivalRecs: make(map[int][]*interval),
+	}
+	// vec[q] is the highest CLOSED interval of q whose write notices this
+	// node holds; the open interval (index cur) is not covered until it
+	// closes. Initially nothing is closed anywhere.
+	n.Init(p, net, al, core.LRC, nprocs)
+	n.locks = syncmgr.NewLockMgr(p, net, nprocs, (*lockHooks)(n), &n.Cnt)
+	n.bars = syncmgr.NewBarrierMgr(p, net, nprocs, (*barrierHooks)(n), &n.Cnt)
+
+	if impl.Collect == core.Timestamps {
+		n.stamps = wcollect.NewStamps(al)
+	}
+	switch impl.Trap {
+	case core.CompilerInstr:
+		// Hierarchical dirty bits: page-level bits narrow the collection
+		// scan because there is no lock/data association (Section 4.1).
+		n.db = wtrap.NewDirtyBits(al, true)
+		n.OnWrite = func(a mem.Addr, size int) {
+			// Setting both the word- and page-level bits costs more than
+			// EC's flat scheme (Section 8.1).
+			n.Charge(n.CM.InstrStoreOpt + n.CM.InstrStoreOpt/2)
+			n.db.NoteWrite(a, size)
+		}
+	case core.Twinning:
+		n.twins = wtrap.NewPageTwins(n.Im)
+		// All shared pages start write-protected so first writes twin.
+		for pg := 0; pg < al.Pages(); pg++ {
+			n.MMU.SetProt(pg, vm.ReadOnly)
+		}
+	}
+	n.MMU.SetHandler(n.onFault)
+	net.Attach(p, n.handle)
+	return n
+}
+
+// Impl returns the implementation configuration.
+func (n *Node) Impl() core.Impl { return n.impl }
+
+// NProcs implements core.DSM.
+func (n *Node) NProcs() int { return n.Base.NProcs }
+
+// Model implements core.DSM.
+func (n *Node) Model() core.Model { return core.LRC }
+
+// Bind implements core.DSM: LRC has no lock/data association; no-op.
+func (n *Node) Bind(l core.LockID, rs ...mem.Range) {}
+
+// Rebind implements core.DSM: no-op under LRC.
+func (n *Node) Rebind(l core.LockID, rs ...mem.Range) {}
+
+// Acquire implements core.DSM.
+func (n *Node) Acquire(l core.LockID) {
+	n.Flush()
+	// An acquire begins a new interval (Section 5.1).
+	n.Charge(n.closeInterval())
+	n.Flush()
+	n.locks.Acquire(l, syncmgr.Exclusive)
+}
+
+// AcquireRead implements core.DSM: LRC provides exclusive locks only; the
+// paper's LRC programs never need read-only locks (Section 3.2).
+func (n *Node) AcquireRead(l core.LockID) { n.Acquire(l) }
+
+// AcquireForRebind implements core.DSM: LRC has no lock/data association,
+// so this is an ordinary acquire.
+func (n *Node) AcquireForRebind(l core.LockID) { n.Acquire(l) }
+
+// Release implements core.DSM. Consistency actions are lazy: the interval is
+// closed when the next acquirer's request arrives.
+func (n *Node) Release(l core.LockID) {
+	n.Flush()
+	n.locks.Release(l)
+}
+
+// Barrier implements core.DSM.
+func (n *Node) Barrier(b core.BarrierID) {
+	n.Flush()
+	n.bars.Wait(b)
+}
+
+func (n *Node) handle(hc *fabric.HandlerCtx, m fabric.Msg) {
+	if n.locks.Handle(hc, m) || n.bars.Handle(hc, m) {
+		return
+	}
+	if m.Kind == kindFetchReq {
+		n.handleFetch(hc, m)
+		return
+	}
+	panic(fmt.Sprintf("lrc: unhandled message kind %d", m.Kind))
+}
+
+func (n *Node) pageMeta(pg int) *pageMeta {
+	pm := n.meta[pg]
+	if pm == nil {
+		pm = newPageMeta()
+		n.meta[pg] = pm
+	}
+	return pm
+}
+
+// --- interval management -------------------------------------------------
+
+// closeInterval ends the open interval if it modified anything: it records
+// the write notices and prepares the modified pages for collection. Returns
+// the CPU cost.
+func (n *Node) closeInterval() sim.Time {
+	var pages []int
+	var work sim.Time
+	self := n.P.ID()
+
+	switch n.impl.Trap {
+	case core.CompilerInstr:
+		pages = n.db.DirtyPages()
+		for _, pg := range pages {
+			// Hierarchical collection: scan word bits of dirty pages only,
+			// stamping the modified blocks now (ci implies timestamps).
+			runs, scanned := n.db.CollectPage(pg)
+			work += sim.Time(scanned) * n.CM.WordScan
+			n.stamps.Set(runs, wcollect.LRCStamp(self, int(n.cur)))
+			n.db.ResetPage(pg)
+		}
+	case core.Twinning:
+		for pg := range n.openPages {
+			pages = append(pages, pg)
+		}
+		sort.Ints(pages)
+		for _, pg := range pages {
+			pm := n.pageMeta(pg)
+			if pm.closedIval >= 0 {
+				panic("lrc: open and closed twin on one page")
+			}
+			pm.closedIval = n.cur
+			// Re-protect so the next write starts a fresh epoch; the twin
+			// stays for lazy diff creation.
+			n.MMU.SetProt(pg, vm.ReadOnly)
+			work += n.CM.MProtect
+		}
+		n.openPages = make(map[int]bool)
+	}
+
+	if len(pages) == 0 {
+		return work
+	}
+	vec := make([]int32, len(n.vec))
+	copy(vec, n.vec)
+	rec := &interval{proc: self, idx: n.cur, vec: vec, pages: pages}
+	n.records[self] = append(n.records[self], rec)
+	n.vec[self] = n.cur
+	n.cur++
+	return work
+}
+
+// harvestPage forces collection of this processor's closed-but-unharvested
+// modifications to page pg (lazy diffing's deferred work). Returns CPU cost.
+func (n *Node) harvestPage(pg int) sim.Time {
+	pm := n.pageMeta(pg)
+	if pm.closedIval < 0 {
+		return 0
+	}
+	ival := pm.closedIval
+	pm.closedIval = -1
+	if n.impl.Trap != core.Twinning {
+		return 0 // compiler instrumentation stamps at interval close
+	}
+	runs, cmp := n.twins.Compare(pg)
+	n.twins.Drop(pg)
+	work := sim.Time(cmp) * n.CM.WordCompare
+	switch n.impl.Collect {
+	case core.Timestamps:
+		n.stamps.Set(runs, wcollect.LRCStamp(n.P.ID(), int(ival)))
+	case core.Diffs:
+		d := wcollect.BuildDiff(n.Im, runs)
+		n.diffStore[pg] = append(n.diffStore[pg], ivalDiff{Ival: ival, Diff: d})
+		n.Extra.DiffsCreated++
+		work += sim.Time(d.Words()) * n.CM.WordCopy
+	}
+	return work
+}
+
+// --- write notice application --------------------------------------------
+
+// absorb installs a batch of interval records received with a grant or a
+// barrier departure: it saves them, invalidates the named pages, and merges
+// the sender's vector. Records for intervals already covered are skipped.
+func (n *Node) absorb(records []*interval, senderVec []int32) sim.Time {
+	var work sim.Time
+	self := n.P.ID()
+	// Apply in (proc, idx) order so per-processor record lists stay sorted.
+	sorted := make([]*interval, len(records))
+	copy(sorted, records)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].proc != sorted[j].proc {
+			return sorted[i].proc < sorted[j].proc
+		}
+		return sorted[i].idx < sorted[j].idx
+	})
+	for _, rec := range sorted {
+		if rec.proc == self || n.hasRecord(rec.proc, rec.idx) {
+			continue
+		}
+		n.records[rec.proc] = append(n.records[rec.proc], rec)
+		for _, pg := range rec.pages {
+			pm := n.pageMeta(pg)
+			if pm.noticed[rec.proc] < rec.idx {
+				pm.noticed[rec.proc] = rec.idx
+			}
+			// A write notice for a page we have pending modifications on
+			// forces the diff/stamps out of the twin first, so the twin
+			// comparison never sees the other writers' data.
+			work += n.harvestPage(pg)
+			if n.MMU.Prot(pg) != vm.NoAccess {
+				n.MMU.SetProt(pg, vm.NoAccess)
+				work += n.CM.MProtect
+			}
+		}
+	}
+	if senderVec != nil {
+		for q := range n.vec {
+			if q != self && senderVec[q] > n.vec[q] {
+				n.vec[q] = senderVec[q]
+			}
+		}
+	}
+	return work
+}
+
+func (n *Node) hasRecord(proc int, idx int32) bool {
+	recs := n.records[proc]
+	i := sort.Search(len(recs), func(i int) bool { return recs[i].idx >= idx })
+	return i < len(recs) && recs[i].idx == idx
+}
+
+func (n *Node) record(proc int, idx int32) *interval {
+	recs := n.records[proc]
+	i := sort.Search(len(recs), func(i int) bool { return recs[i].idx >= idx })
+	if i < len(recs) && recs[i].idx == idx {
+		return recs[i]
+	}
+	return nil
+}
+
+// recordsAfter returns the records of q with index beyond bound.
+func (n *Node) recordsAfter(q int, bound int32) []*interval {
+	recs := n.records[q]
+	i := sort.Search(len(recs), func(i int) bool { return recs[i].idx > bound })
+	return recs[i:]
+}
+
+// collectNotices gathers every record this node knows that the peer's
+// vector does not cover.
+func (n *Node) collectNotices(peerVec []int32) (out []*interval, size int) {
+	for q := 0; q < n.Base.NProcs; q++ {
+		for _, rec := range n.recordsAfter(q, peerVec[q]) {
+			out = append(out, rec)
+			size += rec.wireSize()
+		}
+	}
+	return out, size
+}
+
+// --- fault handling and data fetch ----------------------------------------
+
+func (n *Node) onFault(a mem.Addr, write bool) {
+	pg := mem.PageOf(a)
+	switch n.MMU.Prot(pg) {
+	case vm.NoAccess:
+		n.accessMiss(pg, write)
+	case vm.ReadOnly:
+		if !write {
+			panic("lrc: read fault on readable page")
+		}
+		n.writeTwinFault(pg)
+	default:
+		panic("lrc: fault on accessible page")
+	}
+}
+
+// writeTwinFault handles the first write to a clean page under twinning.
+func (n *Node) writeTwinFault(pg int) {
+	// If a closed interval's twin is still pending for this page, its diff
+	// must be extracted before re-twinning for the new interval.
+	n.Charge(n.harvestPage(pg))
+	n.Charge(n.CM.ProtFault + mem.PageWords*n.CM.WordCopy + n.CM.MProtect)
+	n.twins.Make(pg)
+	n.Extra.TwinsMade++
+	n.openPages[pg] = true
+	n.MMU.SetProt(pg, vm.ReadWrite)
+}
+
+// accessMiss resolves an invalid page: fetch the missing modifications from
+// every writer with outstanding write notices, apply them in happens-before
+// order, and re-validate the page.
+func (n *Node) accessMiss(pg int, write bool) {
+	n.Extra.AccessMisses++
+	n.Charge(n.CM.ProtFault)
+	n.Flush()
+	pm := n.pageMeta(pg)
+
+	type pendingWriter struct {
+		proc  int
+		since int32
+		upTo  int32
+	}
+	var writers []pendingWriter
+	for q, hi := range pm.noticed {
+		if hi > pm.applied[q] {
+			writers = append(writers, pendingWriter{proc: q, since: pm.applied[q], upTo: hi})
+		}
+	}
+	sort.Slice(writers, func(i, j int) bool { return writers[i].proc < writers[j].proc })
+	if len(writers) == 0 {
+		panic(fmt.Sprintf("lrc: proc %d: invalid page %d with no pending notices", n.P.ID(), pg))
+	}
+	if Trace {
+		fmt.Printf("    [lrc] t=%v p%d miss pg%d writers=%+v noticed=%v applied=%v\n",
+			n.P.Now(), n.P.ID(), pg, writers, pm.noticed, pm.applied)
+	}
+
+	// Parallel requests, as TreadMarks issues its diff requests.
+	waiters := make([]*sim.Waiter, len(writers))
+	for i, w := range writers {
+		waiters[i] = n.Net.CallAsync(n.P, w.proc, kindFetchReq, 12, fetchReq{Page: pg, Since: w.since, UpTo: w.upTo})
+	}
+	type applyUnit struct {
+		proc int
+		ival int32
+		dr   []wcollect.DataRun
+		sr   []wcollect.StampRun
+	}
+	var units []applyUnit
+	for i, w := range waiters {
+		reply := w.Wait("lrc-fetch").(fabric.Msg)
+		fr := reply.Payload.(fetchReply)
+		switch n.impl.Collect {
+		case core.Diffs:
+			for _, idf := range fr.Diffs {
+				units = append(units, applyUnit{proc: writers[i].proc, ival: idf.Ival, dr: idf.Diff.Runs})
+			}
+		case core.Timestamps:
+			// Split the stamped runs per interval for ordered application.
+			byIval := map[int32][]wcollect.StampRun{}
+			for _, sr := range fr.Stamped.Runs {
+				p, iv := sr.Stamp.ProcInterval()
+				if p != writers[i].proc {
+					panic("lrc: responder sent foreign stamps")
+				}
+				byIval[int32(iv)] = append(byIval[int32(iv)], sr)
+			}
+			dataAt := map[mem.Addr][]byte{}
+			for _, dr := range fr.Stamped.Data {
+				dataAt[dr.Base] = dr.Data
+			}
+			for iv, srs := range byIval {
+				u := applyUnit{proc: writers[i].proc, ival: iv, sr: srs}
+				for _, sr := range srs {
+					u.dr = append(u.dr, wcollect.DataRun{Base: sr.Base, Data: dataAt[sr.Base]})
+				}
+				units = append(units, u)
+			}
+		}
+	}
+
+	// Apply in happens-before order: unit a must precede b when b's
+	// interval vector covers a's interval. Happens-before plus an arbitrary
+	// tie-break is NOT a strict weak order (incomparability is not
+	// transitive), so a comparison sort would be unsound; use an explicit
+	// topological selection instead. Concurrent units touch disjoint words
+	// (they arise only from multi-writer false sharing), so their relative
+	// order matters only for determinism.
+	ordered := make([]applyUnit, 0, len(units))
+	remaining := units
+	for len(remaining) > 0 {
+		pick := -1
+		for i, cand := range remaining {
+			minimal := true
+			for j, other := range remaining {
+				if i != j && n.intervalBefore(other.proc, other.ival, cand.proc, cand.ival) {
+					minimal = false
+					break
+				}
+			}
+			if !minimal {
+				continue
+			}
+			if pick < 0 || remaining[i].proc < remaining[pick].proc ||
+				(remaining[i].proc == remaining[pick].proc && remaining[i].ival < remaining[pick].ival) {
+				pick = i
+			}
+			_ = cand
+		}
+		if pick < 0 {
+			panic("lrc: cycle in interval happens-before order")
+		}
+		ordered = append(ordered, remaining[pick])
+		remaining = append(remaining[:pick], remaining[pick+1:]...)
+	}
+	words := 0
+	for _, u := range ordered {
+		words += wcollect.ApplyRuns(n.Im, u.dr)
+		if n.stamps != nil {
+			n.stamps.ApplyStamps(u.sr)
+		}
+	}
+	n.Charge(sim.Time(words) * n.CM.WordApply)
+
+	for _, w := range writers {
+		// Record exactly what was fetched: notices that arrived after the
+		// requests went out remain pending.
+		if w.upTo > pm.applied[w.proc] {
+			pm.applied[w.proc] = w.upTo
+		}
+	}
+	// Re-validate. Under twinning the page stays write-protected so the
+	// next write twins it; a write miss twins immediately.
+	if n.impl.Trap == core.Twinning {
+		n.MMU.SetProt(pg, vm.ReadOnly)
+		n.Charge(n.CM.MProtect)
+		if write {
+			n.writeTwinFault(pg)
+		}
+	} else {
+		n.MMU.SetProt(pg, vm.ReadWrite)
+		n.Charge(n.CM.MProtect)
+	}
+}
+
+// intervalBefore reports whether (p,i) happened before (q,j): q had seen p's
+// interval i closed by the time it closed its own interval j.
+func (n *Node) intervalBefore(p int, i int32, q int, j int32) bool {
+	if p == q {
+		return i < j
+	}
+	rec := n.record(q, j)
+	return rec != nil && rec.vec[p] >= i
+}
+
+// handleFetch serves a data request for one page. With diffs, the diff is
+// created once (lazily, now if necessary) and returned immediately on later
+// requests; with timestamps, every request pays a fresh scan of the page's
+// timestamps (the computation-overhead asymmetry of Section 5.3).
+func (n *Node) handleFetch(hc *fabric.HandlerCtx, m fabric.Msg) {
+	req := m.Payload.(fetchReq)
+	pg := req.Page
+	hc.Work(n.harvestPage(pg)) // lazy collection happens at first request
+
+	var reply fetchReply
+	size := 0
+	switch n.impl.Collect {
+	case core.Diffs:
+		for _, idf := range n.diffStore[pg] {
+			if idf.Ival > req.Since && idf.Ival <= req.UpTo {
+				reply.Diffs = append(reply.Diffs, idf)
+				size += idf.Diff.WireSize()
+			}
+		}
+		if Trace {
+			fmt.Printf("    [lrc] p%d serves fetch(pg%d since %d) from p%d: %d diffs of %d stored\n",
+				n.P.ID(), pg, req.Since, m.From, len(reply.Diffs), len(n.diffStore[pg]))
+			for _, idf := range reply.Diffs {
+				fmt.Printf("      ival %d: %d runs\n", idf.Ival, len(idf.Diff.Runs))
+			}
+		}
+	case core.Timestamps:
+		self := n.P.ID()
+		pageRange := []mem.Range{{Base: mem.PageBase(pg), Len: mem.PageSize}}
+		runs, scanned := n.stamps.Select(pageRange, func(s wcollect.Stamp) bool {
+			p, iv := s.ProcInterval()
+			return p == self && int32(iv) > req.Since && int32(iv) <= req.UpTo
+		})
+		hc.Work(sim.Time(scanned) * n.CM.WordScan)
+		reply.Stamped = wcollect.ExtractStamped(n.Im, runs)
+		size = reply.Stamped.WireSize(wcollect.LRCStampBytes)
+		n.Extra.StampRunsSent += int64(len(runs))
+	}
+	hc.Reply(m, kindFetchReply, size, reply)
+}
+
+// --- syncmgr lock hooks ----------------------------------------------------
+
+type lockHooks Node
+
+func (h *lockHooks) node() *Node { return (*Node)(h) }
+
+// MakeLockRequest attaches the requester's interval vector.
+func (h *lockHooks) MakeLockRequest(l core.LockID, mode syncmgr.Mode) (any, int) {
+	n := h.node()
+	v := make([]int32, len(n.vec))
+	copy(v, n.vec)
+	return v, 4 * len(v)
+}
+
+type lockGrant struct {
+	Vec     []int32
+	Records []*interval
+}
+
+// MakeLockGrant closes the granter's interval and piggybacks the write
+// notices the requester's vector does not cover.
+func (h *lockHooks) MakeLockGrant(l core.LockID, mode syncmgr.Mode, reqPayload any, requester int) (any, int, sim.Time) {
+	n := h.node()
+	work := n.closeInterval()
+	reqVec := reqPayload.([]int32)
+	records, size := n.collectNotices(reqVec)
+	v := make([]int32, len(n.vec))
+	copy(v, n.vec)
+	return lockGrant{Vec: v, Records: records}, size + 4*len(v), work
+}
+
+// ApplyLockGrant installs the piggybacked write notices and invalidates.
+func (h *lockHooks) ApplyLockGrant(l core.LockID, mode syncmgr.Mode, payload any) sim.Time {
+	n := h.node()
+	g := payload.(lockGrant)
+	return n.absorb(g.Records, g.Vec)
+}
+
+// LocalReacquire begins a new interval even without communication, so local
+// write epochs remain distinguishable.
+func (h *lockHooks) LocalReacquire(l core.LockID, mode syncmgr.Mode) {
+	// The interval was already closed by Node.Acquire before the lock
+	// manager ran; nothing further is needed.
+}
+
+// OnRelease is lazy: consistency work happens when the next acquire arrives.
+func (h *lockHooks) OnRelease(l core.LockID) sim.Time { return 0 }
+
+// --- syncmgr barrier hooks --------------------------------------------------
+
+type barrierHooks Node
+
+func (h *barrierHooks) node() *Node { return (*Node)(h) }
+
+type barrierArrival struct {
+	Vec     []int32
+	Records []*interval // the arriver's own records since the last barrier
+}
+
+// MakeArrival closes the interval and sends the manager this processor's
+// vector plus its own interval records created since the last barrier.
+func (h *barrierHooks) MakeArrival(b core.BarrierID) (any, int, sim.Time) {
+	n := h.node()
+	work := n.closeInterval()
+	self := n.P.ID()
+	recs := n.recordsAfter(self, n.lastBarrierSent)
+	size := 4 * len(n.vec)
+	for _, r := range recs {
+		size += r.wireSize()
+	}
+	n.lastBarrierSent = n.cur - 1
+	v := make([]int32, len(n.vec))
+	copy(v, n.vec)
+	return barrierArrival{Vec: v, Records: recs}, size, work
+}
+
+// AbsorbArrival buffers one arrival at the manager. The records are merged
+// into the manager's consistency state only at PrepareDepartures: until then
+// the manager may still be computing, and applying write notices mid-
+// interval would invalidate pages under its feet.
+func (h *barrierHooks) AbsorbArrival(b core.BarrierID, from int, payload any) sim.Time {
+	n := h.node()
+	arr := payload.(barrierArrival)
+	n.arrivalVecs[from] = arr.Vec
+	if from != n.P.ID() {
+		n.arrivalRecs[from] = arr.Records
+	}
+	return 0
+}
+
+// PrepareDepartures runs at the manager once everyone (itself included) has
+// arrived: the buffered records are merged and the pages they name are
+// invalidated locally.
+func (h *barrierHooks) PrepareDepartures(b core.BarrierID) sim.Time {
+	n := h.node()
+	var work sim.Time
+	for from := 0; from < n.Base.NProcs; from++ {
+		recs, ok := n.arrivalRecs[from]
+		if !ok {
+			continue
+		}
+		work += n.absorb(recs, n.arrivalVecs[from])
+		delete(n.arrivalRecs, from)
+	}
+	return work
+}
+
+type barrierDeparture struct {
+	Vec     []int32
+	Records []*interval
+}
+
+// MakeDeparture sends processor q every record it lacks.
+func (h *barrierHooks) MakeDeparture(b core.BarrierID, to int) (any, int, sim.Time) {
+	n := h.node()
+	av := n.arrivalVecs[to]
+	records, size := n.collectNotices(av)
+	if Trace {
+		fmt.Printf("    [lrc] t=%v barrier %d mgr p%d departure to p%d: av=%v, %d records:",
+			n.P.Now(), b, n.P.ID(), to, av, len(records))
+		for _, r := range records {
+			fmt.Printf(" (p%d,%d,pgs%v)", r.proc, r.idx, r.pages)
+		}
+		fmt.Println()
+	}
+	v := make([]int32, len(n.vec))
+	copy(v, n.vec)
+	return barrierDeparture{Vec: v, Records: records}, size + 4*len(v), 0
+}
+
+// ApplyDeparture installs the departure's notices at a client.
+func (h *barrierHooks) ApplyDeparture(b core.BarrierID, payload any) sim.Time {
+	n := h.node()
+	g := payload.(barrierDeparture)
+	return n.absorb(g.Records, g.Vec)
+}
+
+var _ core.DSM = (*Node)(nil)
+var _ syncmgr.LockHooks = (*lockHooks)(nil)
+var _ syncmgr.BarrierHooks = (*barrierHooks)(nil)

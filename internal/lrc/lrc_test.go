@@ -1,0 +1,178 @@
+package lrc
+
+import (
+	"testing"
+
+	"ecvslrc/internal/core"
+	"ecvslrc/internal/fabric"
+	"ecvslrc/internal/mem"
+	"ecvslrc/internal/sim"
+	"ecvslrc/internal/vm"
+)
+
+func newTestNode(t *testing.T, impl core.Impl, body func(n *Node)) {
+	t.Helper()
+	s := sim.New()
+	net := fabric.New(s, fabric.DefaultCostModel(), 1)
+	al := mem.NewAllocator()
+	al.Alloc("data", 4*mem.PageSize, 4)
+	var n *Node
+	p := s.Spawn("p0", func(p *sim.Proc) { body(n) })
+	n = New(p, net, al, 1, impl)
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func diffImpl() core.Impl {
+	return core.Impl{Model: core.LRC, Trap: core.Twinning, Collect: core.Diffs}
+}
+
+func TestNewRejectsBadImpl(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic for EC impl passed to lrc.New")
+		}
+	}()
+	s := sim.New()
+	net := fabric.New(s, fabric.DefaultCostModel(), 1)
+	al := mem.NewAllocator()
+	al.Alloc("x", 64, 4)
+	p := s.Spawn("p", func(p *sim.Proc) {})
+	New(p, net, al, 1, core.Impl{Model: core.EC, Trap: core.Twinning, Collect: core.Diffs})
+}
+
+func TestTwinningStartsWriteProtected(t *testing.T) {
+	newTestNode(t, diffImpl(), func(n *Node) {
+		for pg := 0; pg < n.MMU.Pages(); pg++ {
+			if n.MMU.Prot(pg) != vm.ReadOnly {
+				t.Fatalf("page %d prot = %v, want ro", pg, n.MMU.Prot(pg))
+			}
+		}
+		n.WriteI32(0, 1) // first write must twin via a fault
+		if n.MMU.Faults() != 1 || !n.twins.Has(0) {
+			t.Errorf("faults=%d twinned=%v", n.MMU.Faults(), n.twins.Has(0))
+		}
+	})
+}
+
+func TestCompilerInstrNoProtection(t *testing.T) {
+	newTestNode(t, core.Impl{Model: core.LRC, Trap: core.CompilerInstr, Collect: core.Timestamps}, func(n *Node) {
+		n.WriteI32(0, 1)
+		if n.MMU.Faults() != 0 {
+			t.Errorf("faults = %d, want 0 under instrumentation", n.MMU.Faults())
+		}
+		if got := n.db.DirtyPages(); len(got) != 1 || got[0] != 0 {
+			t.Errorf("dirty pages = %v", got)
+		}
+	})
+}
+
+func TestCloseIntervalRecordsNotices(t *testing.T) {
+	newTestNode(t, diffImpl(), func(n *Node) {
+		n.WriteI32(0, 1)
+		n.WriteI32(2*mem.PageSize, 2)
+		work := n.closeInterval()
+		if work <= 0 {
+			t.Error("closing a dirty interval should cost time")
+		}
+		recs := n.records[0]
+		if len(recs) != 1 || recs[0].idx != 1 {
+			t.Fatalf("records = %+v", recs)
+		}
+		if len(recs[0].pages) != 2 {
+			t.Errorf("pages = %v, want 2 pages", recs[0].pages)
+		}
+		if n.vec[0] != 1 || n.cur != 2 {
+			t.Errorf("vec=%v cur=%d", n.vec, n.cur)
+		}
+		// Empty close: no new record.
+		n.closeInterval()
+		if len(n.records[0]) != 1 {
+			t.Error("empty interval must not produce a record")
+		}
+	})
+}
+
+func TestLazyDiffCreatedAtHarvest(t *testing.T) {
+	newTestNode(t, diffImpl(), func(n *Node) {
+		n.WriteI32(0, 42)
+		n.closeInterval()
+		if len(n.diffStore[0]) != 0 {
+			t.Error("diff must not exist before harvest (lazy diffing)")
+		}
+		n.harvestPage(0)
+		ds := n.diffStore[0]
+		if len(ds) != 1 || ds[0].Ival != 1 || ds[0].Diff.Words() != 1 {
+			t.Errorf("diffStore = %+v", ds)
+		}
+		if n.twins.Has(0) {
+			t.Error("twin must be dropped after harvest")
+		}
+	})
+}
+
+func TestRewriteForcesHarvestOfClosedInterval(t *testing.T) {
+	newTestNode(t, diffImpl(), func(n *Node) {
+		n.WriteI32(0, 1)
+		n.closeInterval()
+		n.WriteI32(4, 2) // fault: must harvest interval 1 first, then retwin
+		if len(n.diffStore[0]) != 1 {
+			t.Fatalf("diffStore = %+v", n.diffStore[0])
+		}
+		if d := n.diffStore[0][0].Diff; d.Words() != 1 || d.Runs[0].Base != 0 {
+			t.Errorf("interval-1 diff = %+v (must contain only the first write)", d)
+		}
+	})
+}
+
+func TestIntervalWireSize(t *testing.T) {
+	iv := &interval{proc: 1, idx: 3, vec: make([]int32, 8), pages: []int{1, 2, 3}}
+	if got := iv.wireSize(); got != 8+32+12 {
+		t.Errorf("wireSize = %d", got)
+	}
+}
+
+func TestIntervalBefore(t *testing.T) {
+	newTestNode(t, diffImpl(), func(n *Node) {
+		// Fake a two-processor history on a one-node test rig.
+		n.vec = make([]int32, 2)
+		n.records = make([][]*interval, 2)
+		n.records[1] = []*interval{
+			{proc: 1, idx: 1, vec: []int32{0, 0}, pages: []int{0}},
+			{proc: 1, idx: 2, vec: []int32{5, 1}, pages: []int{0}},
+		}
+		if !n.intervalBefore(1, 1, 1, 2) {
+			t.Error("same-processor intervals are ordered by index")
+		}
+		if !n.intervalBefore(0, 5, 1, 2) {
+			t.Error("(0,5) precedes (1,2): rec(1,2).vec[0]=5 covers it")
+		}
+		if n.intervalBefore(0, 6, 1, 2) {
+			t.Error("(0,6) is not covered by rec(1,2)")
+		}
+		if n.intervalBefore(0, 1, 1, 99) {
+			t.Error("unknown record: incomparable")
+		}
+	})
+}
+
+func TestCollectNoticesHonoursPeerVector(t *testing.T) {
+	newTestNode(t, diffImpl(), func(n *Node) {
+		n.WriteI32(0, 1)
+		n.closeInterval()
+		n.WriteI32(0, 2)
+		n.closeInterval()
+		recs, size := n.collectNotices([]int32{1})
+		if len(recs) != 1 || recs[0].idx != 2 {
+			t.Errorf("records = %+v", recs)
+		}
+		if size != recs[0].wireSize() {
+			t.Errorf("size = %d", size)
+		}
+		recs, _ = n.collectNotices([]int32{2})
+		if len(recs) != 0 {
+			t.Errorf("up-to-date peer got %+v", recs)
+		}
+	})
+}

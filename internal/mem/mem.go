@@ -1,0 +1,212 @@
+// Package mem models the shared virtual address space of the DSM systems: a
+// flat range of bytes with 4 KB pages and 4-byte words, of which every
+// simulated processor holds a private image. The consistency protocols keep
+// the images in sync; applications access them only through the DSM API.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Page and word geometry, matching the DECstation-5000/240 and the paper's
+// terminology (a "word" is 4 bytes; twinning always compares words).
+const (
+	PageShift = 12
+	PageSize  = 1 << PageShift
+	WordSize  = 4
+	PageWords = PageSize / WordSize
+)
+
+// Addr is a simulated shared-memory address (byte offset into the space).
+type Addr int
+
+// PageOf returns the page number containing a.
+func PageOf(a Addr) int { return int(a) >> PageShift }
+
+// PageBase returns the first address of page pg.
+func PageBase(pg int) Addr { return Addr(pg << PageShift) }
+
+// WordOf returns the global word index of a.
+func WordOf(a Addr) int { return int(a) / WordSize }
+
+// Range is a contiguous span of shared memory, used for binding data to
+// entry-consistency locks (Len in bytes).
+type Range struct {
+	Base Addr
+	Len  int
+}
+
+// End returns the first address past the range.
+func (r Range) End() Addr { return r.Base + Addr(r.Len) }
+
+// Contains reports whether a falls inside r.
+func (r Range) Contains(a Addr) bool { return a >= r.Base && a < r.End() }
+
+// Words returns the number of words spanned by r.
+func (r Range) Words() int { return (r.Len + WordSize - 1) / WordSize }
+
+// Pages returns the page numbers r touches.
+func (r Range) Pages() []int {
+	if r.Len <= 0 {
+		return nil
+	}
+	first, last := PageOf(r.Base), PageOf(r.End()-1)
+	out := make([]int, 0, last-first+1)
+	for pg := first; pg <= last; pg++ {
+		out = append(out, pg)
+	}
+	return out
+}
+
+// Region is a named allocation in the shared space. Block is the write
+// trapping granularity in bytes for compiler instrumentation (4 or 8): the
+// paper's Water and 3D-FFT programs use 8-byte (double-word) dirty bits.
+type Region struct {
+	Name  string
+	Base  Addr
+	Size  int
+	Block int
+}
+
+// Range returns the region's full extent.
+func (r Region) Range() Range { return Range{Base: r.Base, Len: r.Size} }
+
+// Allocator hands out page-aligned shared regions. All processors share one
+// allocator (allocation happens deterministically before the run starts).
+type Allocator struct {
+	next    Addr
+	regions []Region
+}
+
+// NewAllocator returns an empty allocator starting at address 0.
+func NewAllocator() *Allocator { return &Allocator{} }
+
+// Alloc reserves size bytes on a fresh page boundary with the given
+// instrumentation block granularity and returns the base address.
+func (al *Allocator) Alloc(name string, size, block int) Addr {
+	if size <= 0 {
+		panic(fmt.Sprintf("mem: alloc %q: bad size %d", name, size))
+	}
+	if block != 4 && block != 8 {
+		panic(fmt.Sprintf("mem: alloc %q: block must be 4 or 8, got %d", name, block))
+	}
+	base := al.next
+	al.regions = append(al.regions, Region{Name: name, Base: base, Size: size, Block: block})
+	pages := (size + PageSize - 1) / PageSize
+	al.next += Addr(pages * PageSize)
+	return base
+}
+
+// Size returns the total allocated extent in bytes (page-rounded).
+func (al *Allocator) Size() int { return int(al.next) }
+
+// Pages returns the number of allocated pages.
+func (al *Allocator) Pages() int { return int(al.next) / PageSize }
+
+// Regions returns the allocations in address order.
+func (al *Allocator) Regions() []Region { return al.regions }
+
+// RegionAt returns the region containing a, or false if a is unallocated.
+func (al *Allocator) RegionAt(a Addr) (Region, bool) {
+	i := sort.Search(len(al.regions), func(i int) bool { return al.regions[i].Base > a })
+	if i == 0 {
+		return Region{}, false
+	}
+	r := al.regions[i-1]
+	if a >= r.Base+Addr(r.Size) {
+		return Region{}, false
+	}
+	return r, true
+}
+
+// BlockAt returns the instrumentation block size covering a (4 if the
+// address is in page padding).
+func (al *Allocator) BlockAt(a Addr) int {
+	if r, ok := al.RegionAt(a); ok {
+		return r.Block
+	}
+	return WordSize
+}
+
+// Image is one processor's private copy of the shared space.
+type Image struct {
+	data []byte
+}
+
+// NewImage returns a zeroed image of size bytes (page-rounded up).
+func NewImage(size int) *Image {
+	pages := (size + PageSize - 1) / PageSize
+	return &Image{data: make([]byte, pages*PageSize)}
+}
+
+// Size returns the image size in bytes.
+func (im *Image) Size() int { return len(im.data) }
+
+// Bytes exposes the raw backing store (used by validation and twinning).
+func (im *Image) Bytes() []byte { return im.data }
+
+// Page returns the backing bytes of page pg.
+func (im *Image) Page(pg int) []byte {
+	return im.data[pg<<PageShift : (pg+1)<<PageShift]
+}
+
+// CopyFrom overwrites this image with the contents of src.
+func (im *Image) CopyFrom(src *Image) {
+	if len(src.data) != len(im.data) {
+		panic("mem: image size mismatch")
+	}
+	copy(im.data, src.data)
+}
+
+// ReadU32 loads the 32-bit word at a.
+func (im *Image) ReadU32(a Addr) uint32 {
+	return binary.LittleEndian.Uint32(im.data[a:])
+}
+
+// WriteU32 stores v at a.
+func (im *Image) WriteU32(a Addr, v uint32) {
+	binary.LittleEndian.PutUint32(im.data[a:], v)
+}
+
+// ReadU64 loads the 64-bit double-word at a.
+func (im *Image) ReadU64(a Addr) uint64 {
+	return binary.LittleEndian.Uint64(im.data[a:])
+}
+
+// WriteU64 stores v at a.
+func (im *Image) WriteU64(a Addr, v uint64) {
+	binary.LittleEndian.PutUint64(im.data[a:], v)
+}
+
+// ReadI32 loads a signed 32-bit integer.
+func (im *Image) ReadI32(a Addr) int32 { return int32(im.ReadU32(a)) }
+
+// WriteI32 stores a signed 32-bit integer.
+func (im *Image) WriteI32(a Addr, v int32) { im.WriteU32(a, uint32(v)) }
+
+// ReadF32 loads a 32-bit float.
+func (im *Image) ReadF32(a Addr) float32 { return math.Float32frombits(im.ReadU32(a)) }
+
+// WriteF32 stores a 32-bit float.
+func (im *Image) WriteF32(a Addr, v float32) { im.WriteU32(a, math.Float32bits(v)) }
+
+// ReadF64 loads a 64-bit float.
+func (im *Image) ReadF64(a Addr) float64 { return math.Float64frombits(im.ReadU64(a)) }
+
+// WriteF64 stores a 64-bit float.
+func (im *Image) WriteF64(a Addr, v float64) { im.WriteU64(a, math.Float64bits(v)) }
+
+// EqualRange reports whether two images agree over r.
+func EqualRange(a, b *Image, r Range) bool {
+	ab := a.data[r.Base:r.End()]
+	bb := b.data[r.Base:r.End()]
+	for i := range ab {
+		if ab[i] != bb[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,198 @@
+// Package nodebase carries the machinery common to the EC and LRC nodes:
+// the private memory image, the software MMU, typed shared-memory accessors
+// with write-trapping hooks, deferred CPU-cost accounting, and statistics
+// windows. Mirroring Section 6 of the paper, everything that is not a
+// consistency action is shared between the models.
+package nodebase
+
+import (
+	"ecvslrc/internal/core"
+	"ecvslrc/internal/fabric"
+	"ecvslrc/internal/mem"
+	"ecvslrc/internal/sim"
+	"ecvslrc/internal/syncmgr"
+	"ecvslrc/internal/vm"
+)
+
+// flushThreshold bounds how much deferred CPU cost may accumulate before it
+// is converted into simulated sleep. Charging every instrumented store
+// individually would create one event per store; batching below this
+// granularity preserves interleaving fidelity at simulation speed.
+const flushThreshold = 100 * sim.Microsecond
+
+// Base is embedded by both protocol nodes.
+type Base struct {
+	P      *sim.Proc
+	Net    *fabric.Network
+	CM     *fabric.CostModel
+	Al     *mem.Allocator
+	Im     *mem.Image
+	MMU    *vm.MMU
+	NProcs int
+	Model  core.Model
+
+	// OnWrite is the write-trapping hook invoked (after MMU checks) for
+	// every shared store; nil when twinning handles trapping via faults.
+	OnWrite func(a mem.Addr, size int)
+
+	Cnt syncmgr.Counters
+
+	pending sim.Time // deferred CPU cost not yet slept
+
+	statsOpen  bool
+	winStart   sim.Time
+	winEnd     sim.Time
+	hasWindow  bool
+	netBase    fabric.Stats
+	faultsBase int64
+	cntBase    syncmgr.Counters
+	extraBase  Extra
+	window     WindowStats
+	Extra      Extra
+}
+
+// Extra counts protocol-specific events for core.Stats.
+type Extra struct {
+	AccessMisses  int64
+	DiffsCreated  int64
+	TwinsMade     int64
+	StampRunsSent int64
+}
+
+// Init fills the common fields.
+func (b *Base) Init(p *sim.Proc, net *fabric.Network, al *mem.Allocator, model core.Model, nprocs int) {
+	b.P = p
+	b.Net = net
+	b.CM = net.Cost()
+	b.Al = al
+	b.Im = mem.NewImage(al.Size())
+	b.MMU = vm.New(al.Pages())
+	b.NProcs = nprocs
+	b.Model = model
+}
+
+// Charge defers d of CPU cost, flushing when the accumulation grows large.
+func (b *Base) Charge(d sim.Time) {
+	b.pending += d
+	if b.pending >= flushThreshold {
+		b.Flush()
+	}
+}
+
+// Flush converts deferred cost into simulated time. Must be called before
+// any blocking or communicating operation.
+func (b *Base) Flush() {
+	if b.pending > 0 {
+		d := b.pending
+		b.pending = 0
+		b.P.Sleep(d)
+	}
+}
+
+// Compute implements core.DSM: application CPU time.
+func (b *Base) Compute(d sim.Time) { b.Charge(d) }
+
+// Now implements core.DSM.
+func (b *Base) Now() sim.Time { return b.P.Now() + b.pending }
+
+// Proc implements core.DSM.
+func (b *Base) Proc() int { return b.P.ID() }
+
+// Typed accessors: every shared access consults the MMU (which models the
+// page protection hardware) and fires the trapping hook on stores.
+
+// ReadI32 implements core.DSM.
+func (b *Base) ReadI32(a mem.Addr) int32 {
+	b.MMU.CheckRead(a)
+	return b.Im.ReadI32(a)
+}
+
+// WriteI32 implements core.DSM.
+func (b *Base) WriteI32(a mem.Addr, v int32) {
+	b.MMU.CheckWrite(a)
+	if b.OnWrite != nil {
+		b.OnWrite(a, 4)
+	}
+	b.Im.WriteI32(a, v)
+}
+
+// ReadF32 implements core.DSM.
+func (b *Base) ReadF32(a mem.Addr) float32 {
+	b.MMU.CheckRead(a)
+	return b.Im.ReadF32(a)
+}
+
+// WriteF32 implements core.DSM.
+func (b *Base) WriteF32(a mem.Addr, v float32) {
+	b.MMU.CheckWrite(a)
+	if b.OnWrite != nil {
+		b.OnWrite(a, 4)
+	}
+	b.Im.WriteF32(a, v)
+}
+
+// ReadF64 implements core.DSM.
+func (b *Base) ReadF64(a mem.Addr) float64 {
+	b.MMU.CheckRead(a)
+	return b.Im.ReadF64(a)
+}
+
+// WriteF64 implements core.DSM.
+func (b *Base) WriteF64(a mem.Addr, v float64) {
+	b.MMU.CheckWrite(a)
+	if b.OnWrite != nil {
+		b.OnWrite(a, 8)
+	}
+	b.Im.WriteF64(a, v)
+}
+
+// WindowStats is the per-processor measurement extracted by the runner.
+type WindowStats struct {
+	Start, End sim.Time
+	Net        fabric.Stats
+	Faults     int64
+	Cnt        syncmgr.Counters
+	Extra      Extra
+}
+
+// StatsBegin implements core.DSM: opens this processor's window.
+func (b *Base) StatsBegin() {
+	b.Flush()
+	b.statsOpen = true
+	b.winStart = b.P.Now()
+	b.netBase = b.Net.ProcStats(b.P.ID())
+	b.faultsBase = b.MMU.Faults()
+	b.cntBase = b.Cnt
+	b.extraBase = b.Extra
+}
+
+// StatsEnd implements core.DSM: closes the window.
+func (b *Base) StatsEnd() {
+	if !b.statsOpen {
+		panic("nodebase: StatsEnd without StatsBegin")
+	}
+	b.Flush()
+	b.statsOpen = false
+	b.hasWindow = true
+	b.window = WindowStats{
+		Start:  b.winStart,
+		End:    b.P.Now(),
+		Net:    b.Net.ProcStats(b.P.ID()).Sub(b.netBase),
+		Faults: b.MMU.Faults() - b.faultsBase,
+		Cnt: syncmgr.Counters{
+			LockAcquires:     b.Cnt.LockAcquires - b.cntBase.LockAcquires,
+			ReadLockAcquires: b.Cnt.ReadLockAcquires - b.cntBase.ReadLockAcquires,
+			RemoteAcquires:   b.Cnt.RemoteAcquires - b.cntBase.RemoteAcquires,
+			Barriers:         b.Cnt.Barriers - b.cntBase.Barriers,
+		},
+		Extra: Extra{
+			AccessMisses:  b.Extra.AccessMisses - b.extraBase.AccessMisses,
+			DiffsCreated:  b.Extra.DiffsCreated - b.extraBase.DiffsCreated,
+			TwinsMade:     b.Extra.TwinsMade - b.extraBase.TwinsMade,
+			StampRunsSent: b.Extra.StampRunsSent - b.extraBase.StampRunsSent,
+		},
+	}
+}
+
+// Window returns the measurement window, valid after StatsEnd.
+func (b *Base) Window() (WindowStats, bool) { return b.window, b.hasWindow }

@@ -1,0 +1,107 @@
+package run
+
+import (
+	"fmt"
+	"testing"
+
+	"ecvslrc/internal/core"
+	"ecvslrc/internal/fabric"
+	"ecvslrc/internal/mem"
+	"ecvslrc/internal/sim"
+)
+
+// chainApp mimics Water's force pattern: K records on one page, each
+// updated (read-modify-write) by every processor in lock order within a
+// phase; after a barrier the owner reads and rewrites (no lock), repeated
+// for several steps. Any stale read corrupts the additive chain.
+type chainApp struct {
+	k, steps int
+	base     mem.Addr
+	procs    int
+}
+
+func (a *chainApp) Name() string             { return "chain" }
+func (a *chainApp) Layout(al *mem.Allocator) { a.base = al.Alloc("recs", a.k*64, 8) }
+func (a *chainApp) Init(im *mem.Image)       {}
+
+func (a *chainApp) rec(i int) mem.Addr     { return a.base + mem.Addr(64*i) }
+func (a *chainApp) lock(i int) core.LockID { return core.LockID(1 + i) }
+func (a *chainApp) owner(i int) int        { return i % a.procs }
+
+func (a *chainApp) Program(d core.DSM) {
+	ec := d.Model() == core.EC
+	me := d.Proc()
+	a.procs = d.NProcs()
+	for i := 0; i < a.k; i++ {
+		d.Bind(a.lock(i), mem.Range{Base: a.rec(i), Len: 48})
+	}
+	for s := 0; s < a.steps; s++ {
+		// Phase 1: every proc adds 1 to every record, under the lock.
+		for i := 0; i < a.k; i++ {
+			d.Acquire(a.lock(i))
+			v := d.ReadF64(a.rec(i))
+			d.Compute(5 * sim.Microsecond)
+			d.WriteF64(a.rec(i), v+1)
+			if chainTrace {
+				fmt.Printf("t=%v p%d s%d rec%d: %v -> %v\n", d.Now(), me, s, i, v, v+1)
+			}
+			d.Release(a.lock(i))
+		}
+		d.Barrier(0)
+		// Phase 2: owners double their records (no lock under LRC).
+		for i := 0; i < a.k; i++ {
+			if a.owner(i) != me {
+				continue
+			}
+			if ec {
+				d.Acquire(a.lock(i))
+			}
+			v := d.ReadF64(a.rec(i))
+			d.WriteF64(a.rec(i), v*2)
+			if chainTrace {
+				fmt.Printf("t=%v p%d s%d rec%d: double %v -> %v\n", d.Now(), me, s, i, v, v*2)
+			}
+			if ec {
+				d.Release(a.lock(i))
+			}
+		}
+		d.Barrier(1)
+	}
+	d.StatsEnd()
+	if me == 0 {
+		for i := 0; i < a.k; i++ {
+			if ec {
+				d.AcquireRead(a.lock(i))
+			}
+			_ = d.ReadF64(a.rec(i))
+			if ec {
+				d.Release(a.lock(i))
+			}
+		}
+	}
+}
+
+func (a *chainApp) Verify(im *mem.Image) error {
+	// v_{s+1} = (v_s + procs) * 2
+	want := 0.0
+	for s := 0; s < a.steps; s++ {
+		want = (want + float64(a.procs)) * 2
+	}
+	for i := 0; i < a.k; i++ {
+		if got := im.ReadF64(a.rec(i)); got != want {
+			return fmt.Errorf("rec[%d] = %v, want %v", i, got, want)
+		}
+	}
+	return nil
+}
+
+var chainTrace = false
+
+func TestChainAllImpls(t *testing.T) {
+	forAllImpls(t, func(t *testing.T, impl core.Impl) {
+		app := &chainApp{k: 4, steps: 2}
+		if _, err := Run(app, impl, 3, fabric.DefaultCostModel()); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

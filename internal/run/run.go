@@ -1,0 +1,146 @@
+// Package run executes applications on a simulated DSM cluster: it lays out
+// shared memory, spawns one protocol node per processor, runs the program,
+// aggregates the paper's statistics, and verifies the computed result.
+package run
+
+import (
+	"fmt"
+
+	"ecvslrc/internal/core"
+	"ecvslrc/internal/ec"
+	"ecvslrc/internal/fabric"
+	"ecvslrc/internal/lrc"
+	"ecvslrc/internal/mem"
+	"ecvslrc/internal/nodebase"
+	"ecvslrc/internal/sim"
+)
+
+// App is a DSM application. One App value describes one problem instance;
+// the same instance can be run sequentially and on any implementation, and
+// Verify checks the final shared memory against the app's own sequential
+// reference.
+type App interface {
+	// Name identifies the application (e.g. "SOR", "QS").
+	Name() string
+	// Layout allocates the shared regions.
+	Layout(al *mem.Allocator)
+	// Init populates the initial shared memory contents. It runs before the
+	// processors start; every processor begins with this image (process
+	// creation is not part of the timed region in the paper).
+	Init(im *mem.Image)
+	// Program is the per-processor program. It must call d.StatsEnd() after
+	// its final barrier; processor 0 must then gather the results through
+	// the DSM (read locks under EC, page faults under LRC) so Verify can
+	// inspect its image.
+	Program(d core.DSM)
+	// Verify checks processor 0's final image.
+	Verify(im *mem.Image) error
+}
+
+// node is the common view of ec.Node and lrc.Node the runner needs.
+type node interface {
+	core.DSM
+	Window() (nodebase.WindowStats, bool)
+}
+
+// Result is the outcome of one parallel run.
+type Result struct {
+	App     string
+	Impl    core.Impl
+	NProcs  int
+	Stats   core.Stats
+	PerProc []nodebase.WindowStats
+}
+
+// Run executes app on nprocs processors under the given implementation and
+// cost model, returning the aggregated statistics.
+func Run(app App, impl core.Impl, nprocs int, cm fabric.CostModel) (Result, error) {
+	if !impl.Valid() {
+		return Result{}, fmt.Errorf("run: invalid implementation %v", impl)
+	}
+	al := mem.NewAllocator()
+	app.Layout(al)
+	initIm := mem.NewImage(al.Size())
+	app.Init(initIm)
+
+	s := sim.New()
+	net := fabric.New(s, cm, nprocs)
+	nodes := make([]node, nprocs)
+	images := make([]*mem.Image, nprocs)
+	for i := 0; i < nprocs; i++ {
+		i := i
+		p := s.Spawn(fmt.Sprintf("%s/p%d", app.Name(), i), func(p *sim.Proc) {
+			d := nodes[i]
+			d.StatsBegin()
+			app.Program(d)
+		})
+		switch impl.Model {
+		case core.EC:
+			n := ec.New(p, net, al, nprocs, impl)
+			n.Im.CopyFrom(initIm)
+			nodes[i], images[i] = n, n.Im
+		case core.LRC:
+			n := lrc.New(p, net, al, nprocs, impl)
+			n.Im.CopyFrom(initIm)
+			nodes[i], images[i] = n, n.Im
+		}
+	}
+	if err := s.Run(); err != nil {
+		return Result{}, fmt.Errorf("run: %s on %v: %w", app.Name(), impl, err)
+	}
+
+	res := Result{App: app.Name(), Impl: impl, NProcs: nprocs}
+	for i, n := range nodes {
+		w, ok := n.Window()
+		if !ok {
+			return Result{}, fmt.Errorf("run: %s proc %d never called StatsEnd", app.Name(), i)
+		}
+		res.PerProc = append(res.PerProc, w)
+		st := &res.Stats
+		st.Msgs += w.Net.Msgs
+		st.Bytes += w.Net.Bytes
+		st.Faults += w.Faults
+		st.AccessMisses += w.Extra.AccessMisses
+		st.LockAcquires += w.Cnt.LockAcquires
+		st.ReadLockAcquires += w.Cnt.ReadLockAcquires
+		st.RemoteAcquires += w.Cnt.RemoteAcquires
+		st.DiffsCreated += w.Extra.DiffsCreated
+		st.TwinsMade += w.Extra.TwinsMade
+		st.StampRunsSent += w.Extra.StampRunsSent
+		st.Barriers += w.Cnt.Barriers
+	}
+	res.Stats.Barriers /= int64(nprocs)
+	var start, end sim.Time
+	for i, w := range res.PerProc {
+		if i == 0 || w.Start < start {
+			start = w.Start
+		}
+		if w.End > end {
+			end = w.End
+		}
+	}
+	res.Stats.Time = end - start
+
+	if err := app.Verify(images[0]); err != nil {
+		return Result{}, fmt.Errorf("run: %s on %v: verification: %w", app.Name(), impl, err)
+	}
+	return res, nil
+}
+
+// RunSeq executes app sequentially (one processor, no DSM machinery) and
+// returns the pure computation time — the paper's "1 proc." column.
+func RunSeq(app App) (sim.Time, error) {
+	al := mem.NewAllocator()
+	app.Layout(al)
+	im := mem.NewImage(al.Size())
+	app.Init(im)
+	d := &Local{im: im}
+	app.Program(d)
+	if !d.ended {
+		return 0, fmt.Errorf("run: %s sequential program never called StatsEnd", app.Name())
+	}
+	if err := app.Verify(im); err != nil {
+		return 0, fmt.Errorf("run: %s sequential: verification: %w", app.Name(), err)
+	}
+	return d.endTime, nil
+}

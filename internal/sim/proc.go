@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+type procState int
+
+const (
+	stateBlocked procState = iota
+	stateRunning
+	stateDone
+)
+
+func (st procState) String() string {
+	switch st {
+	case stateBlocked:
+		return "blocked"
+	case stateRunning:
+		return "running"
+	case stateDone:
+		return "done"
+	}
+	return "?"
+}
+
+// Proc is a simulated processor: a goroutine that runs application and
+// protocol code against the virtual clock. Exactly one Proc (or the
+// scheduler) executes at any instant; control moves by explicit handoff.
+type Proc struct {
+	sim    *Simulator
+	id     int
+	name   string
+	resume chan struct{}
+	state  procState
+
+	// busyUntil is the horizon before which this process may not resume:
+	// message handlers that ran on its behalf while it was blocked have
+	// consumed its CPU up to this point.
+	busyUntil Time
+
+	waitReason string
+	parked     bool
+	finishedAt Time
+	wakeGen    uint64 // invalidates stale sleep-wake events
+}
+
+// ID returns the process's spawn index, used as the processor identifier.
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the debug name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Sim returns the owning simulator.
+func (p *Proc) Sim() *Simulator { return p.sim }
+
+// Now returns the current simulated time. Valid only while p is running.
+func (p *Proc) Now() Time { return p.sim.now }
+
+// FinishedAt reports when the process body returned (valid after Run).
+func (p *Proc) FinishedAt() Time { return p.finishedAt }
+
+// top is the goroutine body wrapping the user function.
+func (p *Proc) top(body func(*Proc)) {
+	<-p.resume // wait for the first runProc
+	defer func() {
+		if r := recover(); r != nil {
+			p.sim.failure = &procPanic{proc: p.name, value: r, stack: debug.Stack()}
+		}
+		p.state = stateDone
+		p.finishedAt = p.sim.now
+		p.sim.yield <- struct{}{}
+	}()
+	body(p)
+}
+
+// block yields control to the scheduler and waits to be resumed. The caller
+// must have arranged a wake-up (an event or a Waiter delivery).
+func (p *Proc) block(reason string) {
+	if p.state != stateRunning {
+		panic(fmt.Sprintf("sim: block on non-running proc %s", p.name))
+	}
+	p.state = stateBlocked
+	p.waitReason = reason
+	p.sim.yield <- struct{}{}
+	<-p.resume
+	p.waitReason = ""
+}
+
+// Sleep advances the process by d: the processor is busy (computing) for d of
+// simulated time. Handler work injected while sleeping extends the sleep.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		panic("sim: negative sleep")
+	}
+	if d == 0 {
+		return
+	}
+	s := p.sim
+	p.busyUntil = s.now + d
+	p.wakeGen++
+	gen := p.wakeGen
+	s.Schedule(p.busyUntil, func() {
+		if p.wakeGen == gen {
+			s.runProc(p) // runProc re-checks busyUntil and reschedules if extended
+		}
+	})
+	p.block("sleep")
+}
+
+// InjectWork charges d of CPU time to this process on behalf of an
+// asynchronous message handler (the SIGIO handler in the paper's systems).
+// If the process is currently computing, its wake-up is pushed back; if it is
+// blocked waiting, the time is consumed before it can resume.
+func (p *Proc) InjectWork(d Time) {
+	if d <= 0 {
+		return
+	}
+	s := p.sim
+	if p.busyUntil < s.now {
+		p.busyUntil = s.now
+	}
+	p.busyUntil += d
+	// Any pending sleep-wake or unpark event will observe the moved horizon
+	// via runProc's busyUntil check and reschedule itself.
+}
+
+// Park blocks the process until some event unparks it via UnparkAt. Spurious
+// wake-ups are possible; callers must re-check their condition in a loop.
+func (p *Proc) Park(reason string) {
+	p.parked = true
+	p.block(reason)
+}
+
+// UnparkAt schedules the process to resume at time at (respecting any
+// busyUntil horizon). Must be called from scheduler context or from another
+// running process. Unparking a process that is not parked is a no-op.
+func (p *Proc) UnparkAt(at Time) {
+	s := p.sim
+	if at < s.now {
+		at = s.now
+	}
+	s.Schedule(at, func() {
+		if p.parked && p.state == stateBlocked {
+			p.parked = false
+			s.runProc(p)
+		}
+	})
+}
+
+// Waiter is a one-shot rendezvous: a process Waits until a value is
+// Delivered by a handler or another process.
+type Waiter struct {
+	p     *Proc
+	ready bool
+	val   any
+}
+
+// NewWaiter returns a Waiter owned by p.
+func NewWaiter(p *Proc) *Waiter { return &Waiter{p: p} }
+
+// Wait blocks the owner until Deliver has been called, then returns the
+// delivered value and resets the Waiter for reuse.
+func (w *Waiter) Wait(reason string) any {
+	for !w.ready {
+		w.p.Park(reason)
+	}
+	w.ready = false
+	v := w.val
+	w.val = nil
+	return v
+}
+
+// Ready reports whether a value has been delivered and not yet consumed.
+func (w *Waiter) Ready() bool { return w.ready }
+
+// Deliver stores the value and unparks the owner so it resumes at time at.
+func (w *Waiter) Deliver(val any, at Time) {
+	if w.ready {
+		panic("sim: Waiter.Deliver called twice without Wait")
+	}
+	w.ready = true
+	w.val = val
+	w.p.UnparkAt(at)
+}

@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a scheduled callback. Events at equal times fire in scheduling
+// order (seq), which is what makes the simulation deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator owns the virtual clock and the event queue, and coordinates the
+// coroutine handoff with processes. All simulation state (processes, protocol
+// structures, memory images) is mutated by exactly one goroutine at a time:
+// either the scheduler goroutine (inside event callbacks) or the single
+// currently-running process. No locking is needed anywhere in the simulation.
+type Simulator struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	procs   []*Proc
+	yield   chan struct{} // process -> scheduler: I blocked or finished
+	failure error         // first panic captured from a process
+	stopped bool
+}
+
+// New returns an empty simulator at time zero.
+func New() *Simulator {
+	return &Simulator{yield: make(chan struct{})}
+}
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Procs returns the processes spawned so far, in spawn order.
+func (s *Simulator) Procs() []*Proc { return s.procs }
+
+// Schedule registers fn to run at time at (>= Now) in scheduler context.
+// Callbacks scheduled for the same instant run in the order scheduled.
+func (s *Simulator) Schedule(at Time, fn func()) {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: schedule in the past: %v < %v", at, s.now))
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: at, seq: s.seq, fn: fn})
+}
+
+// After is shorthand for Schedule(Now()+d, fn).
+func (s *Simulator) After(d Time, fn func()) { s.Schedule(s.now+d, fn) }
+
+// Spawn creates a process that will execute body when Run starts. The process
+// begins at time 0 (or at the current time if spawned mid-run), and processes
+// spawned earlier get control first on ties.
+func (s *Simulator) Spawn(name string, body func(*Proc)) *Proc {
+	p := &Proc{
+		sim:    s,
+		id:     len(s.procs),
+		name:   name,
+		resume: make(chan struct{}),
+		state:  stateBlocked,
+	}
+	s.procs = append(s.procs, p)
+	go p.top(body)
+	s.Schedule(s.now, func() { s.runProc(p) })
+	return p
+}
+
+// runProc hands control to p until it blocks or finishes. Must be called from
+// scheduler context only.
+func (s *Simulator) runProc(p *Proc) {
+	if p.state == stateDone {
+		return
+	}
+	if p.state != stateBlocked {
+		panic(fmt.Sprintf("sim: resuming %s in state %v", p.name, p.state))
+	}
+	// A process may not run before its busyUntil horizon (time consumed on
+	// its behalf by message handlers while it was blocked).
+	if p.busyUntil > s.now {
+		s.Schedule(p.busyUntil, func() { s.runProc(p) })
+		return
+	}
+	p.state = stateRunning
+	p.resume <- struct{}{}
+	<-s.yield
+}
+
+// Deadlock is returned by Run when the event queue drains while processes are
+// still blocked.
+type Deadlock struct {
+	At      Time
+	Blocked []string // names of the blocked processes with their wait reasons
+}
+
+func (d *Deadlock) Error() string {
+	return fmt.Sprintf("sim: deadlock at %v: blocked: %v", d.At, d.Blocked)
+}
+
+// Run drives the simulation until the event queue is empty or a process
+// panics. It returns nil when every spawned process has finished, a *Deadlock
+// if some are still blocked, or the captured panic as an error.
+func (s *Simulator) Run() error {
+	for len(s.queue) > 0 && s.failure == nil && !s.stopped {
+		ev := heap.Pop(&s.queue).(*event)
+		s.now = ev.at
+		ev.fn()
+	}
+	if s.failure != nil {
+		return s.failure
+	}
+	var blocked []string
+	for _, p := range s.procs {
+		if p.state != stateDone {
+			blocked = append(blocked, fmt.Sprintf("%s(%s)", p.name, p.waitReason))
+		}
+	}
+	if len(blocked) > 0 && !s.stopped {
+		return &Deadlock{At: s.now, Blocked: blocked}
+	}
+	return nil
+}
+
+// Stop aborts the run at the end of the current event. Blocked process
+// goroutines are left parked; they are garbage once the Simulator is dropped
+// ... except goroutines don't get collected while blocked on channels, so
+// Stop also marks them done to let Run exit cleanly. Intended for tests.
+func (s *Simulator) Stop() { s.stopped = true }
+
+type procPanic struct {
+	proc  string
+	value any
+	stack []byte
+}
+
+func (e *procPanic) Error() string {
+	return fmt.Sprintf("sim: process %s panicked: %v\n%s", e.proc, e.value, e.stack)
+}

@@ -1,0 +1,161 @@
+package syncmgr
+
+import (
+	"fmt"
+
+	"ecvslrc/internal/core"
+	"ecvslrc/internal/fabric"
+	"ecvslrc/internal/sim"
+)
+
+// BarrierHooks supplies the model-specific consistency traffic attached to
+// barrier episodes. EC barriers move no data (shared data is associated with
+// locks, not barriers); LRC barriers exchange interval vectors and write
+// notices through the manager.
+type BarrierHooks interface {
+	// MakeArrival builds the client's arrival payload; work is charged to
+	// the arriving processor.
+	MakeArrival(b core.BarrierID) (payload any, size int, work sim.Time)
+	// AbsorbArrival records one arrival at the manager. Implementations
+	// must only buffer here: the manager may still be computing, and
+	// consistency actions belong at synchronization points.
+	AbsorbArrival(b core.BarrierID, from int, payload any) (work sim.Time)
+	// PrepareDepartures runs once at the manager when every processor has
+	// arrived, before any departure is built. This is the manager's safe
+	// point for merging the buffered consistency state.
+	PrepareDepartures(b core.BarrierID) (work sim.Time)
+	// MakeDeparture builds the departure payload for processor to.
+	MakeDeparture(b core.BarrierID, to int) (payload any, size int, work sim.Time)
+	// ApplyDeparture installs the departure payload at a client.
+	ApplyDeparture(b core.BarrierID, payload any) (work sim.Time)
+}
+
+type barrierState struct {
+	arrived int
+	reqs    []fabric.Msg // remote arrival requests awaiting departure
+	local   *sim.Waiter  // manager's own arrival, if waiting
+}
+
+// BarrierMgr implements centralized barriers for one processor (Section 6:
+// arrival messages to a statically assigned manager, who lowers the barrier
+// with departure messages once everyone has arrived).
+type BarrierMgr struct {
+	self     int
+	nprocs   int
+	p        *sim.Proc
+	net      *fabric.Network
+	hooks    BarrierHooks
+	barriers map[core.BarrierID]*barrierState
+	cnt      *Counters
+}
+
+// NewBarrierMgr returns the barrier manager endpoint for processor p.
+func NewBarrierMgr(p *sim.Proc, net *fabric.Network, nprocs int, hooks BarrierHooks, cnt *Counters) *BarrierMgr {
+	return &BarrierMgr{
+		self:     p.ID(),
+		nprocs:   nprocs,
+		p:        p,
+		net:      net,
+		hooks:    hooks,
+		barriers: make(map[core.BarrierID]*barrierState),
+		cnt:      cnt,
+	}
+}
+
+// ManagerOf returns the barrier's statically assigned manager.
+func (m *BarrierMgr) ManagerOf(b core.BarrierID) int { return int(b) % m.nprocs }
+
+func (m *BarrierMgr) state(b core.BarrierID) *barrierState {
+	st := m.barriers[b]
+	if st == nil {
+		st = &barrierState{}
+		m.barriers[b] = st
+	}
+	return st
+}
+
+// Wait blocks until all processors have arrived at barrier b.
+func (m *BarrierMgr) Wait(b core.BarrierID) {
+	m.cnt.Barriers++
+	payload, size, work := m.hooks.MakeArrival(b)
+	m.p.Sleep(work)
+
+	mgr := m.ManagerOf(b)
+	if mgr != m.self {
+		reply := m.net.Call(m.p, mgr, KindBarrierArrive, size, barrierMsg{Barrier: b, Data: payload})
+		m.p.Sleep(m.hooks.ApplyDeparture(b, reply.Payload.(barrierMsg).Data))
+		return
+	}
+
+	// Manager's own arrival.
+	st := m.state(b)
+	m.p.Sleep(m.hooks.AbsorbArrival(b, m.self, payload))
+	st.arrived++
+	if st.arrived < m.nprocs {
+		if st.local != nil {
+			panic(fmt.Sprintf("syncmgr: barrier %d manager arrived twice", b))
+		}
+		st.local = sim.NewWaiter(m.p)
+		st.local.Wait("barrier")
+		return
+	}
+	m.depart(b, st, nil)
+}
+
+type barrierMsg struct {
+	Barrier core.BarrierID
+	Data    any
+}
+
+// Handle processes a barrier-protocol message; returns false if the message
+// is not a barrier message.
+func (m *BarrierMgr) Handle(hc *fabric.HandlerCtx, msg fabric.Msg) bool {
+	if msg.Kind != KindBarrierArrive {
+		return false
+	}
+	bm := msg.Payload.(barrierMsg)
+	st := m.state(bm.Barrier)
+	hc.Work(m.hooks.AbsorbArrival(bm.Barrier, msg.From, bm.Data))
+	st.arrived++
+	st.reqs = append(st.reqs, msg)
+	if st.arrived == m.nprocs {
+		m.depart(bm.Barrier, st, hc)
+	}
+	return true
+}
+
+// depart lowers the barrier: departure messages to every queued remote
+// arrival, and a local wake-up if the manager itself is waiting. Called
+// either from the manager's process context (manager arrived last, hc nil)
+// or from handler context (a remote arrival completed the set).
+func (m *BarrierMgr) depart(b core.BarrierID, st *barrierState, hc *fabric.HandlerCtx) {
+	reqs := st.reqs
+	local := st.local
+	st.reqs = nil
+	st.local = nil
+	st.arrived = 0
+
+	if work := m.hooks.PrepareDepartures(b); work > 0 {
+		if hc != nil {
+			hc.Work(work)
+		} else {
+			m.p.Sleep(work)
+		}
+	}
+	for _, req := range reqs {
+		payload, size, work := m.hooks.MakeDeparture(b, req.From)
+		if hc != nil {
+			hc.Work(work)
+			hc.Reply(req, KindBarrierDepart, size, barrierMsg{Barrier: b, Data: payload})
+		} else {
+			m.p.Sleep(work)
+			m.net.ReplyFrom(m.p, req, KindBarrierDepart, size, barrierMsg{Barrier: b, Data: payload})
+		}
+	}
+	if local != nil {
+		if hc == nil {
+			panic("syncmgr: manager waiting on its own last arrival")
+		}
+		local.Deliver(nil, hc.Now())
+	}
+}

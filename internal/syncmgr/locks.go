@@ -1,0 +1,290 @@
+// Package syncmgr implements the location and synchronization machinery that
+// the paper's EC and LRC implementations share (Section 6): statically
+// managed distributed locks with manager forwarding, and centralized
+// barriers. The consistency actions differ per model and are supplied as
+// hooks, so "the various implementations share as much code as possible".
+package syncmgr
+
+import (
+	"fmt"
+
+	"ecvslrc/internal/core"
+	"ecvslrc/internal/fabric"
+	"ecvslrc/internal/sim"
+)
+
+// Message kinds used by the managers. Protocol-specific kinds must be >= 10.
+const (
+	KindLockReq = iota + 1
+	KindLockGrant
+	KindBarrierArrive
+	KindBarrierDepart
+)
+
+// Mode is the lock acquisition mode.
+type Mode int
+
+const (
+	// Exclusive grants write access and transfers ownership.
+	Exclusive Mode = iota
+	// ReadOnly grants read access; ownership stays with the last writer.
+	ReadOnly
+)
+
+func (m Mode) String() string {
+	if m == Exclusive {
+		return "excl"
+	}
+	return "ro"
+}
+
+// LockHooks supplies the model-specific consistency payloads attached to
+// lock traffic. All payload sizes are in bytes (headers are added by fabric).
+type LockHooks interface {
+	// MakeLockRequest builds the consistency portion of an acquire request
+	// (e.g. the requester's incarnation number or interval vector).
+	MakeLockRequest(l core.LockID, mode Mode) (payload any, size int)
+	// MakeLockGrant runs at the granting owner and builds the consistency
+	// payload (updated data, diffs, or write notices). The returned work is
+	// CPU time spent collecting it, charged to the granter.
+	MakeLockGrant(l core.LockID, mode Mode, reqPayload any, requester int) (payload any, size int, work sim.Time)
+	// ApplyLockGrant runs at the requester when the grant arrives and
+	// returns the CPU time spent installing the payload.
+	ApplyLockGrant(l core.LockID, mode Mode, payload any) sim.Time
+	// LocalReacquire runs when the owner reacquires its own lock without
+	// any communication.
+	LocalReacquire(l core.LockID, mode Mode)
+	// OnRelease runs at release time, before any queued grant is serviced.
+	OnRelease(l core.LockID) sim.Time
+}
+
+// Counters tallies synchronization events for core.Stats.
+type Counters struct {
+	LockAcquires     int64
+	ReadLockAcquires int64
+	RemoteAcquires   int64
+	Barriers         int64
+}
+
+type lockReq struct {
+	Lock core.LockID
+	Mode Mode
+	Data any
+	// viaManager is set once the manager has routed the request, so a
+	// second arrival at the manager (via successor forwarding) does not
+	// re-route it.
+	viaManager bool
+}
+
+type lockState struct {
+	owned     bool // this processor holds the lock token (is the data owner)
+	acquiring bool // an acquire is in flight from this processor
+	held      bool
+	heldMode  Mode
+	successor int // processor we last granted exclusive ownership to, or -1
+	// manager-only: the processor that most recently requested the lock
+	// exclusively (Section 6's "last requested" pointer).
+	lastReq int
+
+	pendingEx   []fabric.Msg
+	pendingRead []fabric.Msg
+}
+
+// LockMgr implements distributed locks for one processor.
+type LockMgr struct {
+	self   int
+	nprocs int
+	p      *sim.Proc
+	net    *fabric.Network
+	hooks  LockHooks
+	locks  map[core.LockID]*lockState
+	cnt    *Counters
+}
+
+// NewLockMgr returns the lock manager endpoint for processor p.
+func NewLockMgr(p *sim.Proc, net *fabric.Network, nprocs int, hooks LockHooks, cnt *Counters) *LockMgr {
+	return &LockMgr{
+		self:   p.ID(),
+		nprocs: nprocs,
+		p:      p,
+		net:    net,
+		hooks:  hooks,
+		locks:  make(map[core.LockID]*lockState),
+		cnt:    cnt,
+	}
+}
+
+// ManagerOf returns the statically assigned manager (round-robin by id).
+func (m *LockMgr) ManagerOf(l core.LockID) int { return int(l) % m.nprocs }
+
+func (m *LockMgr) lock(l core.LockID) *lockState {
+	st := m.locks[l]
+	if st == nil {
+		st = &lockState{successor: -1, lastReq: m.ManagerOf(l)}
+		st.owned = m.ManagerOf(l) == m.self
+		m.locks[l] = st
+	}
+	return st
+}
+
+// Holding reports whether the lock is currently held locally (and its mode).
+func (m *LockMgr) Holding(l core.LockID) (bool, Mode) {
+	st := m.locks[l]
+	if st == nil || !st.held {
+		return false, Exclusive
+	}
+	return true, st.heldMode
+}
+
+// Acquire obtains lock l in the given mode, blocking until granted.
+func (m *LockMgr) Acquire(l core.LockID, mode Mode) {
+	if mode == Exclusive {
+		m.cnt.LockAcquires++
+	} else {
+		m.cnt.ReadLockAcquires++
+	}
+	st := m.lock(l)
+	if st.held {
+		panic(fmt.Sprintf("syncmgr: proc %d reacquiring held lock %d", m.self, l))
+	}
+	if st.owned {
+		st.held, st.heldMode = true, mode
+		m.hooks.LocalReacquire(l, mode)
+		return
+	}
+	m.cnt.RemoteAcquires++
+	payload, size := m.hooks.MakeLockRequest(l, mode)
+	req := lockReq{Lock: l, Mode: mode, Data: payload}
+
+	target := m.ManagerOf(l)
+	if target == m.self {
+		// We are the manager: route locally to the last requester.
+		target = st.lastReq
+		if mode == Exclusive {
+			st.lastReq = m.self
+		}
+		req.viaManager = true
+		if target == m.self {
+			panic(fmt.Sprintf("syncmgr: manager %d believes it owns un-owned lock %d", m.self, l))
+		}
+	}
+	st.acquiring = true
+	reply := m.net.Call(m.p, target, KindLockReq, size, req)
+	// Commit the new state before the apply work sleeps: requests arriving
+	// during the apply must see us as the holder and queue here.
+	st.acquiring = false
+	st.held, st.heldMode = true, mode
+	if mode == Exclusive {
+		st.owned = true
+		st.successor = -1
+	}
+	work := m.hooks.ApplyLockGrant(l, mode, reply.Payload)
+	m.p.Sleep(work)
+}
+
+// Release releases lock l and grants any queued requests.
+func (m *LockMgr) Release(l core.LockID) {
+	st := m.lock(l)
+	if !st.held {
+		panic(fmt.Sprintf("syncmgr: proc %d releasing un-held lock %d", m.self, l))
+	}
+	m.p.Sleep(m.hooks.OnRelease(l))
+	st.held = false
+	if st.heldMode == ReadOnly {
+		// Read-only releases are local: ownership was never transferred.
+		// (Programs separate read and write epochs by barriers, as all the
+		// paper's applications do, so no revocation protocol is needed.)
+		return
+	}
+	// Serve queued readers first (they do not move ownership), then pass
+	// ownership to the queued exclusive requester, forwarding any leftovers
+	// down the chain.
+	for _, req := range st.pendingRead {
+		m.grantFromProc(st, req)
+	}
+	st.pendingRead = nil
+	if len(st.pendingEx) > 0 {
+		head := st.pendingEx[0]
+		rest := st.pendingEx[1:]
+		st.pendingEx = nil
+		m.grantFromProc(st, head)
+		for _, req := range rest {
+			m.net.ForwardFrom(m.p, req, st.successor, 0)
+		}
+	}
+}
+
+func (m *LockMgr) grantFromProc(st *lockState, req fabric.Msg) {
+	lr := req.Payload.(lockReq)
+	// Transfer ownership before the collection work sleeps: requests
+	// arriving mid-grant must chase the new owner, not be granted again.
+	if lr.Mode == Exclusive {
+		st.owned = false
+		st.successor = req.From
+	}
+	payload, size, work := m.hooks.MakeLockGrant(lr.Lock, lr.Mode, lr.Data, req.From)
+	m.p.Sleep(work)
+	m.net.ReplyFrom(m.p, req, KindLockGrant, size, payload)
+}
+
+func (m *LockMgr) grantFromHandler(hc *fabric.HandlerCtx, st *lockState, req fabric.Msg) {
+	lr := req.Payload.(lockReq)
+	if lr.Mode == Exclusive {
+		st.owned = false
+		st.successor = req.From
+	}
+	payload, size, work := m.hooks.MakeLockGrant(lr.Lock, lr.Mode, lr.Data, req.From)
+	hc.Work(work)
+	hc.Reply(req, KindLockGrant, size, payload)
+}
+
+// Handle processes a lock-protocol message; it returns false if the message
+// is not a lock message.
+func (m *LockMgr) Handle(hc *fabric.HandlerCtx, msg fabric.Msg) bool {
+	if msg.Kind != KindLockReq {
+		return false
+	}
+	lr := msg.Payload.(lockReq)
+	st := m.lock(lr.Lock)
+
+	if m.ManagerOf(lr.Lock) == m.self && !lr.viaManager {
+		// Manager role: forward to the last exclusive requester unless that
+		// is ourselves (then we are the owner and fall through).
+		lr.viaManager = true
+		msg.Payload = lr
+		if st.lastReq != m.self {
+			target := st.lastReq
+			if lr.Mode == Exclusive {
+				st.lastReq = msg.From
+			}
+			hc.Forward(msg, target, 0)
+			return true
+		}
+		if lr.Mode == Exclusive {
+			st.lastReq = msg.From
+		}
+	}
+
+	// A read request can be granted while the owner itself holds the lock
+	// read-only: read-only locks are shared (Midway semantics; IS phase 2
+	// has every processor read-locking the same array concurrently).
+	free := !st.held || (st.heldMode == ReadOnly && lr.Mode == ReadOnly)
+	switch {
+	case st.owned && free && len(st.pendingEx) == 0:
+		m.grantFromHandler(hc, st, msg)
+	case st.owned || st.acquiring:
+		// Busy (or about to own): queue until release.
+		if lr.Mode == Exclusive {
+			st.pendingEx = append(st.pendingEx, msg)
+		} else {
+			st.pendingRead = append(st.pendingRead, msg)
+		}
+	default:
+		// Ownership has moved on; chase it down the successor chain.
+		if st.successor < 0 {
+			panic(fmt.Sprintf("syncmgr: proc %d got request for lock %d it never owned", m.self, lr.Lock))
+		}
+		hc.Forward(msg, st.successor, 0)
+	}
+	return true
+}

@@ -1,0 +1,93 @@
+package vm
+
+import (
+	"testing"
+
+	"ecvslrc/internal/mem"
+)
+
+func TestDefaultReadWrite(t *testing.T) {
+	m := New(4)
+	m.CheckRead(0)
+	m.CheckWrite(mem.PageSize * 3)
+	if m.Faults() != 0 {
+		t.Errorf("faults = %d, want 0", m.Faults())
+	}
+}
+
+func TestReadOnlyFaultsOnWriteOnly(t *testing.T) {
+	m := New(2)
+	m.SetProt(0, ReadOnly)
+	fired := 0
+	m.SetHandler(func(a mem.Addr, write bool) {
+		fired++
+		if !write {
+			t.Error("handler called for a read")
+		}
+		m.SetProt(mem.PageOf(a), ReadWrite)
+	})
+	m.CheckRead(100) // no fault: reads allowed
+	m.CheckWrite(200)
+	m.CheckWrite(300) // unprotected now: no second fault
+	if fired != 1 || m.Faults() != 1 {
+		t.Errorf("fired=%d faults=%d, want 1,1", fired, m.Faults())
+	}
+}
+
+func TestNoAccessFaultsOnRead(t *testing.T) {
+	m := New(1)
+	m.SetProt(0, NoAccess)
+	var gotAddr mem.Addr
+	var gotWrite bool
+	m.SetHandler(func(a mem.Addr, write bool) {
+		gotAddr, gotWrite = a, write
+		m.SetProt(0, ReadWrite)
+	})
+	m.CheckRead(44)
+	if gotAddr != 44 || gotWrite {
+		t.Errorf("handler got (%d, %v)", gotAddr, gotWrite)
+	}
+}
+
+func TestHandlerMustFixProtection(t *testing.T) {
+	m := New(1)
+	m.SetProt(0, NoAccess)
+	m.SetHandler(func(a mem.Addr, write bool) {}) // does nothing
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic when handler leaves page inaccessible")
+		}
+	}()
+	m.CheckWrite(0)
+}
+
+func TestFaultWithoutHandlerPanics(t *testing.T) {
+	m := New(1)
+	m.SetProt(0, NoAccess)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on fault without handler")
+		}
+	}()
+	m.CheckRead(0)
+}
+
+func TestWriteFaultUpgradeToReadOnlyStillInsufficient(t *testing.T) {
+	// A handler that "fixes" a write fault by setting ReadOnly is a protocol
+	// bug and must be caught.
+	m := New(1)
+	m.SetProt(0, NoAccess)
+	m.SetHandler(func(a mem.Addr, write bool) { m.SetProt(0, ReadOnly) })
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	m.CheckWrite(8)
+}
+
+func TestProtString(t *testing.T) {
+	if NoAccess.String() != "none" || ReadOnly.String() != "ro" || ReadWrite.String() != "rw" {
+		t.Error("Prot.String mismatch")
+	}
+}

@@ -1,0 +1,153 @@
+// Package wtrap implements the paper's two write-trapping mechanisms:
+// compiler instrumentation (software dirty bits set on every shared store,
+// Section 4.1) and twinning (unmodified copies compared word-by-word,
+// Section 4.2). Trapping detects WHICH shared data changed during an
+// execution interval; write collection (package wcollect) decides WHAT to
+// send.
+package wtrap
+
+import (
+	"sort"
+
+	"ecvslrc/internal/mem"
+)
+
+// DirtyBits is the compiler-instrumentation tracker: one software dirty bit
+// per block (word or double-word, per region), plus optional page-level
+// dirty bits for the hierarchical scheme used with LRC (Section 4.1,
+// "Differences between EC and LRC").
+type DirtyBits struct {
+	al           *mem.Allocator
+	words        map[int]*pageBits
+	dirtyPages   map[int]struct{}
+	hierarchical bool
+	stores       int64
+}
+
+type pageBits [mem.PageWords / 64]uint64
+
+func (pb *pageBits) set(w int)      { pb[w>>6] |= 1 << (uint(w) & 63) }
+func (pb *pageBits) get(w int) bool { return pb[w>>6]&(1<<(uint(w)&63)) != 0 }
+
+// NewDirtyBits returns a tracker over the allocator's address space.
+// hierarchical additionally maintains page-level dirty bits so collection
+// can skip clean pages (required for LRC, where there is no lock/data
+// association to narrow the scan).
+func NewDirtyBits(al *mem.Allocator, hierarchical bool) *DirtyBits {
+	return &DirtyBits{
+		al:           al,
+		words:        make(map[int]*pageBits),
+		dirtyPages:   make(map[int]struct{}),
+		hierarchical: hierarchical,
+	}
+}
+
+// Hierarchical reports whether page-level bits are maintained.
+func (db *DirtyBits) Hierarchical() bool { return db.hierarchical }
+
+// Stores returns the number of instrumented stores recorded (each one paid
+// the instrumentation cost).
+func (db *DirtyBits) Stores() int64 { return db.stores }
+
+// NoteWrite records a store of size bytes at a: the compiler-emitted code
+// vectors to the region's template and sets the dirty bit(s) of the block(s)
+// covering the store.
+func (db *DirtyBits) NoteWrite(a mem.Addr, size int) {
+	db.stores++
+	block := db.al.BlockAt(a)
+	first := (int(a) / block) * block
+	for off := first; off < int(a)+size; off += block {
+		pg := mem.PageOf(mem.Addr(off))
+		pb := db.words[pg]
+		if pb == nil {
+			pb = new(pageBits)
+			db.words[pg] = pb
+		}
+		pb.set((off % mem.PageSize) / mem.WordSize)
+		if db.hierarchical {
+			db.dirtyPages[pg] = struct{}{}
+		}
+	}
+}
+
+// DirtyPages returns the pages with the page-level dirty bit set, sorted.
+// Only meaningful for hierarchical trackers.
+func (db *DirtyBits) DirtyPages() []int {
+	out := make([]int, 0, len(db.dirtyPages))
+	for pg := range db.dirtyPages {
+		out = append(out, pg)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Collect scans the dirty bits within ranges and returns the modified spans
+// as block-aligned runs, plus the number of blocks examined (the write-
+// collection scan cost). The bits are left set; call Reset to clear them.
+func (db *DirtyBits) Collect(ranges []mem.Range) (runs []mem.Range, scanned int) {
+	for _, r := range ranges {
+		if r.Len <= 0 {
+			continue
+		}
+		block := db.al.BlockAt(r.Base)
+		start := (int(r.Base) / block) * block
+		end := int(r.End())
+		var cur *mem.Range
+		for off := start; off < end; off += block {
+			scanned++
+			pg := mem.PageOf(mem.Addr(off))
+			pb := db.words[pg]
+			dirty := pb != nil && pb.get((off%mem.PageSize)/mem.WordSize)
+			if dirty {
+				if cur != nil && cur.End() == mem.Addr(off) {
+					cur.Len += block
+				} else {
+					runs = append(runs, mem.Range{Base: mem.Addr(off), Len: block})
+					cur = &runs[len(runs)-1]
+				}
+			} else {
+				cur = nil
+			}
+		}
+	}
+	return runs, scanned
+}
+
+// CollectPage scans one page's word-level bits (used with the hierarchical
+// scheme after the page-level bit identified the page).
+func (db *DirtyBits) CollectPage(pg int) (runs []mem.Range, scanned int) {
+	return db.Collect([]mem.Range{{Base: mem.PageBase(pg), Len: mem.PageSize}})
+}
+
+// Reset clears all dirty state within ranges.
+func (db *DirtyBits) Reset(ranges []mem.Range) {
+	for _, r := range ranges {
+		if r.Len <= 0 {
+			continue
+		}
+		for _, pg := range r.Pages() {
+			pb := db.words[pg]
+			if pb == nil {
+				continue
+			}
+			lo := max(int(r.Base), int(mem.PageBase(pg)))
+			hi := min(int(r.End()), int(mem.PageBase(pg+1)))
+			for off := lo &^ (mem.WordSize - 1); off < hi; off += mem.WordSize {
+				w := (off % mem.PageSize) / mem.WordSize
+				pb[w>>6] &^= 1 << (uint(w) & 63)
+			}
+		}
+	}
+}
+
+// ResetPage clears the word bits and the page bit of page pg.
+func (db *DirtyBits) ResetPage(pg int) {
+	delete(db.words, pg)
+	delete(db.dirtyPages, pg)
+}
+
+// ResetAll clears every dirty bit.
+func (db *DirtyBits) ResetAll() {
+	db.words = make(map[int]*pageBits)
+	db.dirtyPages = make(map[int]struct{})
+}

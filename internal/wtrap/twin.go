@@ -1,0 +1,152 @@
+package wtrap
+
+import (
+	"sort"
+
+	"ecvslrc/internal/mem"
+)
+
+// PageTwins implements copy-on-write page twinning, the mechanism used by
+// LRC and by EC for objects larger than a page: the page is write-protected;
+// the first write faults, a copy (the twin) is made, and the page is
+// unprotected. At collection time the page is compared word-by-word against
+// its twin.
+type PageTwins struct {
+	im    *mem.Image
+	twins map[int][]byte
+	made  int64
+}
+
+// NewPageTwins returns an empty twin store over image im.
+func NewPageTwins(im *mem.Image) *PageTwins {
+	return &PageTwins{im: im, twins: make(map[int][]byte)}
+}
+
+// Make copies page pg as its twin. Calling Make for an already-twinned page
+// panics: the protocol must not double-fault.
+func (t *PageTwins) Make(pg int) {
+	if _, ok := t.twins[pg]; ok {
+		panic("wtrap: page already twinned")
+	}
+	twin := make([]byte, mem.PageSize)
+	copy(twin, t.im.Page(pg))
+	t.twins[pg] = twin
+	t.made++
+}
+
+// Has reports whether page pg currently has a twin.
+func (t *PageTwins) Has(pg int) bool {
+	_, ok := t.twins[pg]
+	return ok
+}
+
+// Pages returns the twinned pages in ascending order.
+func (t *PageTwins) Pages() []int {
+	out := make([]int, 0, len(t.twins))
+	for pg := range t.twins {
+		out = append(out, pg)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Made returns the total number of twins created.
+func (t *PageTwins) Made() int64 { return t.made }
+
+// Compare diffs page pg against its twin and returns the modified words as
+// coalesced runs. The comparison examines every word of the page (the
+// twinning granularity is always a single word, Section 5.1).
+func (t *PageTwins) Compare(pg int) (runs []mem.Range, compared int) {
+	twin, ok := t.twins[pg]
+	if !ok {
+		panic("wtrap: compare of untwinned page")
+	}
+	cur := t.im.Page(pg)
+	return compareWords(cur, twin, mem.PageBase(pg))
+}
+
+// Drop discards the twin of page pg.
+func (t *PageTwins) Drop(pg int) { delete(t.twins, pg) }
+
+// Refresh overwrites the twin of page pg with the current image contents in
+// the byte span [lo, hi) (absolute addresses). EC uses this when two locks'
+// large objects share a page: after harvesting one lock's changes, its span
+// of the twin is brought up to date so the other lock's later harvest does
+// not re-collect them.
+func (t *PageTwins) Refresh(im *mem.Image, pg, lo, hi int) {
+	twin, ok := t.twins[pg]
+	if !ok {
+		panic("wtrap: refresh of untwinned page")
+	}
+	base := int(mem.PageBase(pg))
+	copy(twin[lo-base:hi-base], im.Bytes()[lo:hi])
+}
+
+// DropAll discards every twin.
+func (t *PageTwins) DropAll() { t.twins = make(map[int][]byte) }
+
+// ObjectTwin is the eager small-object twin used by our EC implementation:
+// when a write lock is acquired on an object smaller than a page, the object
+// is copied immediately instead of taking a protection fault (Section 4.2,
+// "Twinning for EC" — the improvement over the Midway VM implementation).
+type ObjectTwin struct {
+	ranges []mem.Range
+	data   [][]byte
+	im     *mem.Image
+}
+
+// MakeObjectTwin eagerly copies the bytes of ranges from im.
+func MakeObjectTwin(im *mem.Image, ranges []mem.Range) *ObjectTwin {
+	o := &ObjectTwin{ranges: ranges, im: im}
+	for _, r := range ranges {
+		b := make([]byte, r.Len)
+		copy(b, im.Bytes()[r.Base:r.End()])
+		o.data = append(o.data, b)
+	}
+	return o
+}
+
+// Words returns the total words twinned (the copy cost basis).
+func (o *ObjectTwin) Words() int {
+	n := 0
+	for _, r := range o.ranges {
+		n += r.Words()
+	}
+	return n
+}
+
+// Compare diffs the current object contents against the twin, returning
+// modified word runs and the number of words compared.
+func (o *ObjectTwin) Compare() (runs []mem.Range, compared int) {
+	for i, r := range o.ranges {
+		rs, c := compareWords(o.im.Bytes()[r.Base:r.End()], o.data[i], r.Base)
+		runs = append(runs, rs...)
+		compared += c
+	}
+	return runs, compared
+}
+
+// compareWords diffs cur against old word-by-word; base is the shared
+// address of cur[0]. Both slices must have equal, word-multiple length.
+func compareWords(cur, old []byte, base mem.Addr) (runs []mem.Range, compared int) {
+	words := len(cur) / mem.WordSize
+	compared = words
+	var run *mem.Range
+	for w := 0; w < words; w++ {
+		off := w * mem.WordSize
+		same := cur[off] == old[off] && cur[off+1] == old[off+1] &&
+			cur[off+2] == old[off+2] && cur[off+3] == old[off+3]
+		if !same {
+			a := base + mem.Addr(off)
+			if run != nil && run.End() == a {
+				run.Len += mem.WordSize
+			} else {
+				runs = append(runs, mem.Range{Base: a, Len: mem.WordSize})
+				run = &runs[len(runs)-1]
+			}
+		} else {
+			run = nil
+		}
+	}
+	return runs, compared
+}

@@ -7,7 +7,11 @@ import (
 	"ecvslrc/internal/core"
 	"ecvslrc/internal/fabric"
 	"ecvslrc/internal/harness"
+	"ecvslrc/internal/mem"
 	"ecvslrc/internal/run"
+	"ecvslrc/internal/sim"
+	"ecvslrc/internal/wcollect"
+	"ecvslrc/internal/wtrap"
 )
 
 // Benchmarks regenerate the paper's tables at Bench scale (Go benchmarks at
@@ -136,6 +140,105 @@ func BenchmarkHarnessTable3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := harness.Table3(cfg, []string{"IS"}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- allocation-counting kernels -------------------------------------------
+//
+// The benchmarks below isolate the simulator's real-time hot paths: event
+// scheduling/dispatch, twin diffing, dirty-bit collection and timestamp
+// selection. They report allocs/op so regressions in the allocation-free
+// design are caught by inspection of the benchmark output.
+
+// BenchmarkSimSchedule measures a schedule/dispatch cycle through both the
+// same-instant FIFO and the time-ordered heap. Steady state is zero allocs.
+func BenchmarkSimSchedule(b *testing.B) {
+	s := sim.New()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(s.Now(), fn)
+		s.Schedule(s.Now()+sim.Microsecond, fn)
+		s.Schedule(s.Now()+2*sim.Microsecond, fn)
+		s.Schedule(s.Now()+sim.Microsecond, fn)
+		if err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPageCompare measures the word-wide twin diff of one 4 KB page
+// with a sparse change pattern (the common protocol case).
+func BenchmarkPageCompare(b *testing.B) {
+	im := mem.NewImage(mem.PageSize)
+	pt := wtrap.NewPageTwins(im)
+	pt.Make(0)
+	im.WriteU32(128, 7)
+	im.WriteU32(132, 8)
+	im.WriteU32(3000, 9)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runs, _ := pt.Compare(0)
+		if len(runs) != 2 {
+			b.Fatalf("runs = %v", runs)
+		}
+	}
+}
+
+// BenchmarkPageCompareClean measures the fast-skip over an unmodified page
+// (twinned pages that a lock's epoch never wrote are compared in full).
+func BenchmarkPageCompareClean(b *testing.B) {
+	im := mem.NewImage(mem.PageSize)
+	pt := wtrap.NewPageTwins(im)
+	pt.Make(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if runs, _ := pt.Compare(0); len(runs) != 0 {
+			b.Fatalf("runs = %v", runs)
+		}
+	}
+}
+
+// BenchmarkDirtyCollect measures the compiler-instrumentation scan of a
+// 4-page region with scattered dirty blocks.
+func BenchmarkDirtyCollect(b *testing.B) {
+	al := mem.NewAllocator()
+	base := al.Alloc("r", 4*mem.PageSize, 4)
+	db := wtrap.NewDirtyBits(al, false)
+	for off := 0; off < 4*mem.PageSize; off += 256 {
+		db.NoteWrite(base+mem.Addr(off), 4)
+	}
+	ranges := []mem.Range{{Base: base, Len: 4 * mem.PageSize}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runs, scanned := db.Collect(ranges)
+		if len(runs) == 0 || scanned != 4*mem.PageWords {
+			b.Fatalf("runs=%d scanned=%d", len(runs), scanned)
+		}
+	}
+}
+
+// BenchmarkStampsSelect measures the responder-side timestamp scan charged
+// on every timestamp-collection request (Section 5.3's computation
+// overhead), over a 4-page binding with a few stamped runs.
+func BenchmarkStampsSelect(b *testing.B) {
+	al := mem.NewAllocator()
+	base := al.Alloc("r", 4*mem.PageSize, 4)
+	st := wcollect.NewStamps(al)
+	st.Set([]mem.Range{{Base: base + 64, Len: 128}, {Base: base + 9000, Len: 64}}, 5)
+	ranges := []mem.Range{{Base: base, Len: 4 * mem.PageSize}}
+	newer := func(s wcollect.Stamp) bool { return s > 3 }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runs, scanned := st.Select(ranges, newer)
+		if len(runs) != 2 || scanned != 4*mem.PageWords {
+			b.Fatalf("runs=%d scanned=%d", len(runs), scanned)
 		}
 	}
 }

@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
 
 	"ecvslrc/internal/apps"
 	"ecvslrc/internal/core"
@@ -27,11 +29,13 @@ func main() {
 	counters := flag.Bool("counters", false, "print the Section 7.2 message/data counters")
 	scale := flag.String("scale", "paper", "problem scale: test, bench or paper")
 	procs := flag.Int("procs", 8, "number of simulated processors")
-	appsFlag := flag.String("apps", "", "comma-free application subset, e.g. \"SOR\" (default: all)")
+	appsFlag := flag.String("apps", "", "comma-separated application subset, e.g. \"SOR,QS\" (default: all)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max table cells simulated concurrently (output is identical for any value)")
 	flag.Parse()
 
 	cfg := harness.Default()
 	cfg.NProcs = *procs
+	cfg.Parallel = *parallel
 	switch *scale {
 	case "test":
 		cfg.Scale = apps.Test
@@ -45,7 +49,26 @@ func main() {
 	}
 	names := apps.Names()
 	if *appsFlag != "" {
-		names = []string{*appsFlag}
+		known := make(map[string]bool, len(names))
+		for _, n := range names {
+			known[n] = true
+		}
+		names = nil
+		for _, n := range strings.Split(*appsFlag, ",") {
+			n = strings.TrimSpace(n)
+			if n == "" {
+				continue
+			}
+			if !known[n] {
+				fmt.Fprintf(os.Stderr, "dsmbench: unknown app %q (known: %s)\n", n, strings.Join(apps.Names(), ", "))
+				os.Exit(2)
+			}
+			names = append(names, n)
+		}
+		if len(names) == 0 {
+			fmt.Fprintf(os.Stderr, "dsmbench: -apps lists no applications\n")
+			os.Exit(2)
+		}
 	}
 
 	fail := func(err error) {

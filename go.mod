@@ -1,0 +1,3 @@
+module ecvslrc
+
+go 1.22

@@ -2,6 +2,7 @@ package apps
 
 import (
 	"fmt"
+	"slices"
 
 	"ecvslrc/internal/core"
 	"ecvslrc/internal/mem"
@@ -277,8 +278,45 @@ func partition(buf []int32) int {
 }
 
 // bubblesort sorts buf in place and returns the number of compare/swap
-// steps (the paper's local sort below the cutoff).
+// steps (the paper's local sort below the cutoff). The simulated DECstation
+// pays the quadratic cost, but the simulator does not: the step count of the
+// early-exit bubble sort is derived analytically. A pass moves an element at
+// most one position left, so the number of swapping passes equals the
+// largest leftward displacement L between initial and (stable) final
+// position; one clean terminating pass follows, and pass k scans len-1-k
+// pairs. bubblesortReference is the literal algorithm, kept as the oracle
+// for the equivalence test.
 func bubblesort(buf []int32) int {
+	n := len(buf)
+	if n == 0 {
+		return 0
+	}
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	// Stable order: by value, original index on ties.
+	slices.SortFunc(idx, func(i, j int32) int {
+		if buf[i] != buf[j] {
+			return int(buf[i]) - int(buf[j])
+		}
+		return int(i) - int(j)
+	})
+	maxDisp := 0
+	for final, orig := range idx {
+		if d := int(orig) - final; d > maxDisp {
+			maxDisp = d
+		}
+	}
+	passes := maxDisp + 1
+	steps := passes*(n-1) - passes*(passes-1)/2
+	slices.Sort(buf)
+	return steps
+}
+
+// bubblesortReference is the verbatim quadratic bubble sort whose step count
+// bubblesort reproduces.
+func bubblesortReference(buf []int32) int {
 	steps := 0
 	n := len(buf)
 	for {

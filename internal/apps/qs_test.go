@@ -103,6 +103,41 @@ func TestBubblesortSorts(t *testing.T) {
 	}
 }
 
+// The analytic step count must reproduce the literal bubble sort exactly:
+// the count feeds d.Compute, so any divergence would change simulated times.
+func TestBubblesortStepsMatchReference(t *testing.T) {
+	f := func(raw []int16) bool {
+		fast := make([]int32, len(raw))
+		ref := make([]int32, len(raw))
+		for i, v := range raw {
+			fast[i] = int32(v)
+			ref[i] = int32(v)
+		}
+		fastSteps := bubblesort(fast)
+		refSteps := bubblesortReference(ref)
+		if fastSteps != refSteps {
+			return false
+		}
+		for i := range fast {
+			if fast[i] != ref[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	// Directed cases: sorted, reverse, all-equal, single, empty.
+	for _, c := range [][]int32{{}, {1}, {1, 2, 3, 4}, {4, 3, 2, 1}, {7, 7, 7}, {2, 1, 2, 1}} {
+		fast := append([]int32(nil), c...)
+		ref := append([]int32(nil), c...)
+		if got, want := bubblesort(fast), bubblesortReference(ref); got != want {
+			t.Errorf("steps(%v) = %d, want %d", c, got, want)
+		}
+	}
+}
+
 // QS exhibits false sharing under LRC (task size is not a multiple of the
 // page size): EC should transfer less data (3.4MB vs 7.1MB in Section 7.2).
 func TestQSECMovesLessDataThanLRC(t *testing.T) {

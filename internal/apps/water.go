@@ -3,6 +3,7 @@ package apps
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"ecvslrc/internal/core"
 	"ecvslrc/internal/mem"
@@ -107,6 +108,12 @@ func (a *Water) Init(im *mem.Image) {
 			im.WriteF64(a.dispAddr(i, c), d[c])
 		}
 	}
+	key := [2]int{a.m, a.steps}
+	if ref, ok := waterRefCache.Load(key); ok {
+		r := ref.(*waterRef)
+		a.expDisp, a.expForce = r.disp, r.force
+		return
+	}
 	disp := make([][3]float64, a.m)
 	force := make([][3]float64, a.m)
 	for i := range disp {
@@ -132,7 +139,16 @@ func (a *Water) Init(im *mem.Image) {
 		}
 	}
 	a.expDisp, a.expForce = disp, force
+	waterRefCache.Store(key, &waterRef{disp: disp, force: force})
 }
+
+// waterRef memoizes the sequential reference trajectory per problem size:
+// it is a pure function of (molecules, steps).
+type waterRef struct {
+	disp, force [][3]float64
+}
+
+var waterRefCache sync.Map // [2]int{m, steps} -> *waterRef
 
 // pairForce is the simplified interaction: a clipped inverse-square pull.
 func pairForce(di, dj [3]float64) [3]float64 {
@@ -196,16 +212,14 @@ func (a *Water) Program(d core.DSM) {
 
 	for s := 0; s < a.steps; s++ {
 		// Force computation phase: accumulate locally, then apply under
-		// per-molecule locks (the SPLASH report's optimization).
-		acc := map[int]*[3]float64{}
+		// per-molecule locks (the SPLASH report's optimization). Flat
+		// accumulators: bump runs once per pairwise interaction.
+		acc := make([][3]float64, a.m)
+		touched := make([]bool, a.m)
 		bump := func(i int, f [3]float64, sign float64) {
-			v := acc[i]
-			if v == nil {
-				v = &[3]float64{}
-				acc[i] = v
-			}
+			touched[i] = true
 			for c := 0; c < 3; c++ {
-				v[c] += sign * f[c]
+				acc[i][c] += sign * f[c]
 			}
 		}
 		// EC: read-only locks on the displacements of molecules read in
@@ -245,10 +259,10 @@ func (a *Water) Program(d core.DSM) {
 		// Apply accumulated force updates under per-molecule locks (both
 		// models: the lock is part of the sequentially consistent program).
 		for i := 0; i < a.m; i++ {
-			v := acc[i]
-			if v == nil {
+			if !touched[i] {
 				continue
 			}
+			v := &acc[i]
 			d.Acquire(a.molLock(i))
 			for c := 0; c < 3; c++ {
 				d.WriteF64(a.forceAddr(i, c), d.ReadF64(a.forceAddr(i, c))+v[c])

@@ -76,6 +76,23 @@ type grantPayload struct {
 	Full     []wcollect.DataRun // conservative full transfer after rebind
 }
 
+// lockState is the per-lock protocol state, held in a dense LockID-indexed
+// slice: lock operations are the protocol's hottest control path and the
+// previous per-field maps dominated their cost.
+type lockState struct {
+	b       *binding
+	inc     int32
+	dirty   bool // write epoch open and not yet harvested
+	diffs   []taggedDiff
+	objTwin *wtrap.ObjectTwin
+	// knownInc tracks the last incarnation number each processor was seen to
+	// hold. It travels with exclusive grants and lets the owner prune diffs
+	// no live requester can still need, giving the steady-state "n-1 diffs
+	// per transfer" behaviour of Section 5.3 without losing correctness for
+	// processors that have never acquired the lock.
+	knownInc map[int]int32
+}
+
 // Node is one processor's EC engine. It implements core.DSM.
 type Node struct {
 	nodebase.Base
@@ -84,43 +101,54 @@ type Node struct {
 	locks *syncmgr.LockMgr
 	bars  *syncmgr.BarrierMgr
 
-	bindings map[core.LockID]*binding
-	inc      map[core.LockID]int32
-	dirty    map[core.LockID]bool // write epoch open and not yet harvested
+	lockSt []lockState // indexed by LockID, grown on demand
 
 	// write collection state
 	stamps *wcollect.Stamps
-	diffs  map[core.LockID][]taggedDiff
-	// knownInc tracks, per lock, the last incarnation number each processor
-	// was seen to hold. It travels with exclusive grants and lets the owner
-	// prune diffs no live requester can still need, giving the steady-state
-	// "n-1 diffs per transfer" behaviour of Section 5.3 without losing
-	// correctness for processors that have never acquired the lock.
-	knownInc map[core.LockID]map[int]int32
 
 	// write trapping state
 	db         *wtrap.DirtyBits
 	twins      *wtrap.PageTwins
-	objTwins   map[core.LockID]*wtrap.ObjectTwin
-	openEpochs map[int]map[core.LockID]bool // page -> locks with open large-object epochs
+	openEpochs []map[core.LockID]bool // page -> locks with open large-object epochs
 
 	nextNoData bool // the next acquire is an AcquireForRebind
+
+	cmpScratch []mem.Range // reused small-object compare buffer; the runs
+	// it backs are consumed (stamped or diffed) before the next harvest
 }
 
-// New builds the EC node for processor p. impl.Model must be core.EC.
+// ls returns the state slot of lock l, growing the table geometrically (ids
+// arrive in ascending order, so linear growth would copy quadratically).
+func (n *Node) ls(l core.LockID) *lockState {
+	if int(l) >= len(n.lockSt) {
+		newLen := int(l) + 1
+		if min := 2 * len(n.lockSt); newLen < min {
+			newLen = min
+		}
+		if newLen < 64 {
+			newLen = 64
+		}
+		grown := make([]lockState, newLen)
+		copy(grown, n.lockSt)
+		n.lockSt = grown
+	}
+	return &n.lockSt[l]
+}
+
+// New builds the EC node for processor p with a zeroed private image.
+// impl.Model must be core.EC.
 func New(p *sim.Proc, net *fabric.Network, al *mem.Allocator, nprocs int, impl core.Impl) *Node {
+	return NewWithImage(p, net, al, nprocs, impl, mem.NewImage(al.Size()))
+}
+
+// NewWithImage is New with a caller-provided (possibly recycled) image; the
+// caller must overwrite it in full before the simulation starts.
+func NewWithImage(p *sim.Proc, net *fabric.Network, al *mem.Allocator, nprocs int, impl core.Impl, im *mem.Image) *Node {
 	if impl.Model != core.EC || !impl.Valid() {
 		panic(fmt.Sprintf("ec: bad implementation %v", impl))
 	}
-	n := &Node{
-		impl:     impl,
-		bindings: make(map[core.LockID]*binding),
-		inc:      make(map[core.LockID]int32),
-		dirty:    make(map[core.LockID]bool),
-		diffs:    make(map[core.LockID][]taggedDiff),
-		knownInc: make(map[core.LockID]map[int]int32),
-	}
-	n.Init(p, net, al, core.EC, nprocs)
+	n := &Node{impl: impl}
+	n.InitWithImage(p, net, al, core.EC, nprocs, im)
 	n.locks = syncmgr.NewLockMgr(p, net, nprocs, (*lockHooks)(n), &n.Cnt)
 	n.bars = syncmgr.NewBarrierMgr(p, net, nprocs, nilBarrierHooks{}, &n.Cnt)
 
@@ -136,8 +164,7 @@ func New(p *sim.Proc, net *fabric.Network, al *mem.Allocator, nprocs int, impl c
 		}
 	case core.Twinning:
 		n.twins = wtrap.NewPageTwins(n.Im)
-		n.objTwins = make(map[core.LockID]*wtrap.ObjectTwin)
-		n.openEpochs = make(map[int]map[core.LockID]bool)
+		n.openEpochs = make([]map[core.LockID]bool, al.Pages())
 		n.MMU.SetHandler(n.onFault)
 	}
 	net.Attach(p, n.handle)
@@ -163,12 +190,13 @@ func (n *Node) handle(hc *fabric.HandlerCtx, m fabric.Msg) {
 // Bind implements core.DSM: associates ranges with l. Must be issued
 // identically on every processor before the lock is first transferred.
 func (n *Node) Bind(l core.LockID, rs ...mem.Range) {
-	if _, ok := n.bindings[l]; ok {
+	st := n.ls(l)
+	if st.b != nil {
 		panic(fmt.Sprintf("ec: lock %d already bound (use Rebind)", l))
 	}
 	b := &binding{ranges: rs, version: 1}
 	b.recompute()
-	n.bindings[l] = b
+	st.b = b
 }
 
 // Rebind implements core.DSM: rebinds l to new ranges. The caller must hold
@@ -184,7 +212,7 @@ func (n *Node) Rebind(l core.LockID, rs ...mem.Range) {
 	n.Charge(n.harvest(l))
 	// Every post-rebind transfer is a conservative full send, so diffs
 	// against the old binding can never be needed again.
-	n.diffs[l] = nil
+	n.ls(l).diffs = nil
 	b.ranges = rs
 	b.version++
 	b.recompute()
@@ -193,7 +221,7 @@ func (n *Node) Rebind(l core.LockID, rs ...mem.Range) {
 }
 
 func (n *Node) binding(l core.LockID) *binding {
-	b := n.bindings[l]
+	b := n.ls(l).b
 	if b == nil {
 		panic(fmt.Sprintf("ec: lock %d has no bound data", l))
 	}
@@ -250,14 +278,15 @@ func (n *Node) onFault(a mem.Addr, write bool) {
 // openEpoch prepares write trapping for a newly acquired exclusive lock and
 // advances the lock's incarnation number.
 func (n *Node) openEpoch(l core.LockID) {
+	st := n.ls(l)
 	b := n.binding(l)
-	n.dirty[l] = true
+	st.dirty = true
 	if n.impl.Trap != core.Twinning {
 		return
 	}
 	if b.small {
 		// Eager copy: no protection faults for small objects (Section 4.2).
-		n.objTwins[l] = wtrap.MakeObjectTwin(n.Im, b.ranges)
+		st.objTwin = wtrap.MakeObjectTwin(n.Im, b.ranges)
 		n.Charge(sim.Time(b.words) * n.CM.WordCopy)
 		return
 	}
@@ -293,10 +322,11 @@ func (n *Node) openEpoch(l core.LockID) {
 // via the trapping mechanism and records them for collection (stamping them
 // or building a diff). Returns the CPU cost.
 func (n *Node) harvest(l core.LockID) sim.Time {
-	if !n.dirty[l] {
+	st := n.ls(l)
+	if !st.dirty {
 		return 0
 	}
-	n.dirty[l] = false
+	st.dirty = false
 	b := n.binding(l)
 	var changed []mem.Range
 	var work sim.Time
@@ -308,9 +338,10 @@ func (n *Node) harvest(l core.LockID) sim.Time {
 		changed = runs
 		work += sim.Time(scanned) * n.CM.WordScan
 	case core.Twinning:
-		if ot := n.objTwins[l]; ot != nil {
-			runs, cmp := ot.Compare()
-			delete(n.objTwins, l)
+		if ot := st.objTwin; ot != nil {
+			runs, cmp := ot.CompareAppend(n.cmpScratch[:0])
+			n.cmpScratch = runs[:0]
+			st.objTwin = nil
 			changed = runs
 			work += sim.Time(cmp) * n.CM.WordCompare
 		} else {
@@ -320,11 +351,11 @@ func (n *Node) harvest(l core.LockID) sim.Time {
 
 	switch n.impl.Collect {
 	case core.Timestamps:
-		n.stamps.Set(changed, wcollect.Stamp(n.inc[l]))
+		n.stamps.Set(changed, wcollect.Stamp(st.inc))
 	case core.Diffs:
 		if len(changed) > 0 {
 			d := wcollect.BuildDiff(n.Im, changed)
-			n.diffs[l] = append(n.diffs[l], taggedDiff{Tag: n.inc[l], Diff: d})
+			st.diffs = append(st.diffs, taggedDiff{Tag: st.inc, Diff: d})
 			n.Extra.DiffsCreated++
 			work += sim.Time(d.Words()) * n.CM.WordCopy
 		}
@@ -334,18 +365,18 @@ func (n *Node) harvest(l core.LockID) sim.Time {
 
 // known returns the incarnation-gossip map for l.
 func (n *Node) known(l core.LockID) map[int]int32 {
-	ki := n.knownInc[l]
-	if ki == nil {
-		ki = make(map[int]int32)
-		n.knownInc[l] = ki
+	st := n.ls(l)
+	if st.knownInc == nil {
+		st.knownInc = make(map[int]int32)
 	}
-	return ki
+	return st.knownInc
 }
 
 // pruneDiffs discards diffs every processor has provably incorporated: those
 // tagged at or below the minimum incarnation seen across all processors.
 func (n *Node) pruneDiffs(l core.LockID) {
-	ki := n.knownInc[l]
+	st := n.ls(l)
+	ki := st.knownInc
 	if len(ki) < n.Base.NProcs {
 		return // some processor has never been heard from; assume inc 0
 	}
@@ -355,14 +386,14 @@ func (n *Node) pruneDiffs(l core.LockID) {
 			minInc = v
 		}
 	}
-	ds := n.diffs[l]
+	ds := st.diffs
 	keep := ds[:0]
 	for _, td := range ds {
 		if td.Tag > minInc {
 			keep = append(keep, td)
 		}
 	}
-	n.diffs[l] = keep
+	st.diffs = keep
 }
 
 // harvestLargeObject compares the twinned pages overlapping l's ranges,
@@ -399,7 +430,7 @@ func (n *Node) harvestLargeObject(l core.LockID, b *binding) (changed []mem.Rang
 		if eps := n.openEpochs[pg]; eps != nil {
 			delete(eps, l)
 			if len(eps) == 0 {
-				delete(n.openEpochs, pg)
+				n.openEpochs[pg] = nil
 			}
 		}
 		if len(n.openEpochs[pg]) == 0 {
@@ -447,7 +478,7 @@ func (h *lockHooks) node() *Node { return (*Node)(h) }
 // MakeLockRequest sends our incarnation number and binding version.
 func (h *lockHooks) MakeLockRequest(l core.LockID, mode syncmgr.Mode) (any, int) {
 	n := h.node()
-	return acqPayload{Inc: n.inc[l], Bind: n.binding(l).version, NoData: n.nextNoData}, acqPayloadBytes
+	return acqPayload{Inc: n.ls(l).inc, Bind: n.binding(l).version, NoData: n.nextNoData}, acqPayloadBytes
 }
 
 // MakeLockGrant runs at the owner: harvest pending changes, then collect
@@ -457,8 +488,9 @@ func (h *lockHooks) MakeLockGrant(l core.LockID, mode syncmgr.Mode, reqPayload a
 	req := reqPayload.(acqPayload)
 	b := n.binding(l)
 	work := n.harvest(l)
+	st := n.ls(l)
 
-	g := grantPayload{OwnerInc: n.inc[l], Bind: b.version}
+	g := grantPayload{OwnerInc: st.inc, Bind: b.version}
 	size := 8 // incarnation + binding version
 
 	if req.NoData {
@@ -470,7 +502,7 @@ func (h *lockHooks) MakeLockGrant(l core.LockID, mode syncmgr.Mode, reqPayload a
 		if n.impl.Collect == core.Diffs && mode == syncmgr.Exclusive {
 			// Old-binding diffs are useless to the rebinder and to everyone
 			// after it (post-rebind transfers are full sends).
-			n.diffs[l] = nil
+			st.diffs = nil
 		}
 		return g, size, work
 	}
@@ -488,7 +520,7 @@ func (h *lockHooks) MakeLockGrant(l core.LockID, mode syncmgr.Mode, reqPayload a
 	} else {
 		switch n.impl.Collect {
 		case core.Timestamps:
-			runs, scanned := n.stamps.Select(b.ranges, func(s wcollect.Stamp) bool { return s > wcollect.Stamp(req.Inc) })
+			runs, scanned := wcollect.SelectPred(n.stamps, b.ranges, wcollect.NewerThan{Min: wcollect.Stamp(req.Inc)})
 			work += sim.Time(scanned) * n.CM.WordScan
 			g.Stamped = wcollect.ExtractStamped(n.Im, runs)
 			size += g.Stamped.WireSize(wcollect.ECStampBytes)
@@ -496,9 +528,9 @@ func (h *lockHooks) MakeLockGrant(l core.LockID, mode syncmgr.Mode, reqPayload a
 		case core.Diffs:
 			ki := n.known(l)
 			ki[requester] = req.Inc
-			ki[n.P.ID()] = n.inc[l]
+			ki[n.P.ID()] = st.inc
 			n.pruneDiffs(l)
-			for _, td := range n.diffs[l] {
+			for _, td := range st.diffs {
 				if td.Tag > req.Inc {
 					g.Diffs = append(g.Diffs, td)
 					size += td.Diff.WireSize()
@@ -514,7 +546,7 @@ func (h *lockHooks) MakeLockGrant(l core.LockID, mode syncmgr.Mode, reqPayload a
 				for p, v := range ki {
 					g.KnownInc[p] = v
 				}
-				n.diffs[l] = nil
+				st.diffs = nil
 			}
 		}
 	}
@@ -526,6 +558,7 @@ func (h *lockHooks) ApplyLockGrant(l core.LockID, mode syncmgr.Mode, payload any
 	n := h.node()
 	g := payload.(grantPayload)
 	b := n.binding(l)
+	st := n.ls(l)
 	var work sim.Time
 
 	if g.Ranges != nil {
@@ -543,7 +576,7 @@ func (h *lockHooks) ApplyLockGrant(l core.LockID, mode syncmgr.Mode, payload any
 				n.stamps.Set([]mem.Range{{Base: r.Base, Len: len(r.Data)}}, wcollect.Stamp(g.OwnerInc))
 			}
 		} else {
-			n.diffs[l] = nil
+			st.diffs = nil
 		}
 	case n.impl.Collect == core.Timestamps:
 		words := g.Stamped.Apply(n.Im, n.stamps)
@@ -556,9 +589,9 @@ func (h *lockHooks) ApplyLockGrant(l core.LockID, mode syncmgr.Mode, payload any
 		}
 		if mode == syncmgr.Exclusive {
 			// Save everything (applied and carried) for future transmission.
-			n.diffs[l] = append(n.diffs[l], g.Carried...)
-			n.diffs[l] = append(n.diffs[l], g.Diffs...)
-			sort.Slice(n.diffs[l], func(i, j int) bool { return n.diffs[l][i].Tag < n.diffs[l][j].Tag })
+			st.diffs = append(st.diffs, g.Carried...)
+			st.diffs = append(st.diffs, g.Diffs...)
+			sort.Slice(st.diffs, func(i, j int) bool { return st.diffs[i].Tag < st.diffs[j].Tag })
 			ki := n.known(l)
 			for p, v := range g.KnownInc {
 				if v > ki[p] {
@@ -569,16 +602,16 @@ func (h *lockHooks) ApplyLockGrant(l core.LockID, mode syncmgr.Mode, payload any
 	}
 
 	if mode == syncmgr.Exclusive {
-		n.inc[l] = g.OwnerInc + 1
+		st.inc = g.OwnerInc + 1
 		if !n.nextNoData {
 			// An acquire-for-rebind skips the epoch on the old binding;
 			// Rebind opens one on the new ranges.
 			n.openEpoch(l)
 		} else {
-			n.dirty[l] = false
+			st.dirty = false
 		}
 	} else {
-		n.inc[l] = g.OwnerInc
+		st.inc = g.OwnerInc
 	}
 	return work
 }
@@ -592,7 +625,7 @@ func (h *lockHooks) LocalReacquire(l core.LockID, mode syncmgr.Mode) {
 		return
 	}
 	n.Charge(n.harvest(l)) // close any previous un-harvested epoch
-	n.inc[l]++
+	n.ls(l).inc++
 	if !n.nextNoData {
 		n.openEpoch(l)
 	}

@@ -83,8 +83,8 @@ func TestLocalEpochsAdvanceIncarnation(t *testing.T) {
 			n.WriteI32(0, int32(k))
 			n.Release(1)
 		}
-		if n.inc[1] != 3 {
-			t.Errorf("inc = %d, want 3 (one per local write epoch)", n.inc[1])
+		if n.ls(1).inc != 3 {
+			t.Errorf("inc = %d, want 3 (one per local write epoch)", n.ls(1).inc)
 		}
 	})
 }
@@ -92,16 +92,16 @@ func TestLocalEpochsAdvanceIncarnation(t *testing.T) {
 func TestPruneDiffs(t *testing.T) {
 	newTestNode(t, core.Impl{Model: core.EC, Trap: core.Twinning, Collect: core.Diffs}, func(n *Node) {
 		n.Bind(1, mem.Range{Base: 0, Len: 64})
-		n.diffs[1] = []taggedDiff{{Tag: 1}, {Tag: 2}, {Tag: 3}}
+		n.ls(1).diffs = []taggedDiff{{Tag: 1}, {Tag: 2}, {Tag: 3}}
 		// Incomplete gossip: no pruning.
 		n.pruneDiffs(1)
-		if len(n.diffs[1]) != 3 {
-			t.Fatalf("pruned without full gossip: %d", len(n.diffs[1]))
+		if len(n.ls(1).diffs) != 3 {
+			t.Fatalf("pruned without full gossip: %d", len(n.ls(1).diffs))
 		}
 		n.known(1)[0] = 2
 		n.pruneDiffs(1)
-		if len(n.diffs[1]) != 1 || n.diffs[1][0].Tag != 3 {
-			t.Errorf("diffs after prune = %+v", n.diffs[1])
+		if len(n.ls(1).diffs) != 1 || n.ls(1).diffs[0].Tag != 3 {
+			t.Errorf("diffs after prune = %+v", n.ls(1).diffs)
 		}
 	})
 }

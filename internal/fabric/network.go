@@ -108,8 +108,11 @@ func (n *Network) Send(p *sim.Proc, to, kind, size int, payload any) {
 // Call transmits a request from the running processor p and blocks until the
 // matching Reply arrives, returning the reply message. The remote handler may
 // reply immediately, forward the request, or queue it and reply much later.
+// The rendezvous reuses p's cached waiter: a processor has at most one
+// synchronous call outstanding.
 func (n *Network) Call(p *sim.Proc, to, kind, size int, payload any) Msg {
-	w := n.CallAsync(p, to, kind, size, payload)
+	w := p.CallWaiter()
+	n.post(p, Msg{From: p.ID(), To: to, Kind: kind, Size: size, Payload: payload, waiter: w})
 	return w.Wait("rpc-reply").(Msg)
 }
 

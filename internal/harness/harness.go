@@ -7,8 +7,10 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"ecvslrc/internal/apps"
 	"ecvslrc/internal/core"
@@ -22,12 +24,56 @@ type Config struct {
 	Scale  apps.Scale
 	NProcs int
 	Cost   fabric.CostModel
+	// Parallel bounds how many table cells run concurrently. Each cell is an
+	// isolated sim.Simulator, so cells are embarrassingly parallel; results
+	// are always assembled in table order, making the output independent of
+	// the worker count. <= 0 means GOMAXPROCS.
+	Parallel int
 }
 
 // Default returns the paper's configuration: 8 processors, paper-size data
 // sets, calibrated platform costs.
 func Default() Config {
 	return Config{Scale: apps.Paper, NProcs: 8, Cost: fabric.DefaultCostModel()}
+}
+
+func (cfg Config) parallelism() int {
+	if cfg.Parallel > 0 {
+		return cfg.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEach runs fn(i) for every i in [0, n) on a bounded worker pool. fn must
+// write its result to an index-addressed slot; iteration order is unspecified
+// but every index completes before forEach returns, so callers assemble
+// deterministic output regardless of par.
+func forEach(par, n int, fn func(int)) {
+	if par > n {
+		par = n
+	}
+	if par <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(par)
+	for w := 0; w < par; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
 }
 
 // Row is the outcome of one (application, implementation) cell.
@@ -108,21 +154,36 @@ type Table3Result struct {
 }
 
 // Table3 runs every implementation of every application and reports the
-// best EC against the best LRC, the paper's headline comparison.
+// best EC against the best LRC, the paper's headline comparison. Cells run
+// concurrently up to cfg.Parallel; the result is identical for any worker
+// count.
 func Table3(cfg Config, appNames []string) ([]Table3Result, error) {
-	var out []Table3Result
-	for _, name := range appNames {
-		seq, err := RunSeq(cfg, name)
-		if err != nil {
-			return nil, fmt.Errorf("harness: %s sequential: %w", name, err)
+	impls := core.Implementations()
+	stride := 1 + len(impls) // per app: the sequential reference plus each impl
+	seqTimes := make([]sim.Time, len(appNames))
+	seqErrs := make([]error, len(appNames))
+	rows := make([]Row, len(appNames)*len(impls))
+	forEach(cfg.parallelism(), len(appNames)*stride, func(k int) {
+		app := appNames[k/stride]
+		j := k % stride
+		if j == 0 {
+			seqTimes[k/stride], seqErrs[k/stride] = RunSeq(cfg, app)
+			return
 		}
-		r := Table3Result{App: name, SeqTime: seq}
-		for _, impl := range core.Implementations() {
-			row := RunCell(cfg, name, impl)
+		rows[(k/stride)*len(impls)+j-1] = RunCell(cfg, app, impls[j-1])
+	})
+	var out []Table3Result
+	for i, name := range appNames {
+		if seqErrs[i] != nil {
+			return nil, fmt.Errorf("harness: %s sequential: %w", name, seqErrs[i])
+		}
+		r := Table3Result{App: name, SeqTime: seqTimes[i]}
+		for j := range impls {
+			row := rows[i*len(impls)+j]
 			if row.Err != nil {
 				return nil, row.Err
 			}
-			if impl.Model == core.EC {
+			if impls[j].Model == core.EC {
 				r.ECImpls = append(r.ECImpls, row)
 			} else {
 				r.LRCImpls = append(r.LRCImpls, row)
@@ -164,17 +225,21 @@ func implSuffix(i core.Impl) string {
 }
 
 // TableModel runs the trapping x collection matrix for one model (Table 4
-// for EC, Table 5 for LRC).
+// for EC, Table 5 for LRC), with cells running concurrently up to
+// cfg.Parallel.
 func TableModel(cfg Config, model core.Model, appNames []string) (map[string][]Row, error) {
+	impls := core.ModelImpls(model)
+	rows := make([]Row, len(appNames)*len(impls))
+	forEach(cfg.parallelism(), len(rows), func(k int) {
+		rows[k] = RunCell(cfg, appNames[k/len(impls)], impls[k%len(impls)])
+	})
 	out := make(map[string][]Row)
-	for _, name := range appNames {
-		for _, impl := range core.ModelImpls(model) {
-			row := RunCell(cfg, name, impl)
-			if row.Err != nil {
-				return nil, row.Err
-			}
-			out[name] = append(out[name], row)
+	for k, row := range rows {
+		if row.Err != nil {
+			return nil, row.Err
 		}
+		name := appNames[k/len(impls)]
+		out[name] = append(out[name], row)
 	}
 	return out, nil
 }
@@ -224,17 +289,22 @@ func FormatCounters(rows []Table3Result) string {
 	return b.String()
 }
 
-// Micro runs the Section 7.1 factor kernels for every implementation.
+// Micro runs the Section 7.1 factor kernels for every implementation, with
+// cells running concurrently up to cfg.Parallel.
 func Micro(cfg Config) (map[string][]Row, error) {
+	names := apps.MicroNames()
+	impls := core.Implementations()
+	rows := make([]Row, len(names)*len(impls))
+	forEach(cfg.parallelism(), len(rows), func(k int) {
+		rows[k] = RunCell(cfg, names[k/len(impls)], impls[k%len(impls)])
+	})
 	out := make(map[string][]Row)
-	for _, name := range apps.MicroNames() {
-		for _, impl := range core.Implementations() {
-			row := RunCell(cfg, name, impl)
-			if row.Err != nil {
-				return nil, row.Err
-			}
-			out[name] = append(out[name], row)
+	for k, row := range rows {
+		if row.Err != nil {
+			return nil, row.Err
 		}
+		name := names[k/len(impls)]
+		out[name] = append(out[name], row)
 	}
 	return out, nil
 }

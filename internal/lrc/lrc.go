@@ -51,17 +51,19 @@ func (iv *interval) wireSize() int {
 type pageMeta struct {
 	// noticed[q] is the highest interval index of processor q for which a
 	// write notice names this page; applied[q] is the highest whose
-	// modifications have been installed locally.
-	noticed map[int]int32
-	applied map[int]int32
+	// modifications have been installed locally. Flat per-processor arrays:
+	// they are consulted on every access miss and write notice.
+	noticed []int32
+	applied []int32
 	// closedIval is this processor's own closed-but-unharvested interval
 	// that modified the page (-1 if none); the twin is kept for lazy diff
 	// creation until someone asks or a conflicting event forces it.
 	closedIval int32
 }
 
-func newPageMeta() *pageMeta {
-	return &pageMeta{noticed: make(map[int]int32), applied: make(map[int]int32), closedIval: -1}
+func newPageMeta(nprocs int) *pageMeta {
+	b := make([]int32, 2*nprocs) // one backing array for both vectors
+	return &pageMeta{noticed: b[:nprocs:nprocs], applied: b[nprocs:], closedIval: -1}
 }
 
 type ivalDiff struct {
@@ -83,6 +85,22 @@ type fetchReply struct {
 	Stamped wcollect.StampedData // Timestamps collection
 }
 
+// pendingWriter is one processor with unfetched write notices for a page.
+type pendingWriter struct {
+	proc  int
+	since int32
+	upTo  int32
+}
+
+// applyUnit is one writer interval's modifications, the happens-before
+// ordering unit of an access miss.
+type applyUnit struct {
+	proc int
+	ival int32
+	dr   []wcollect.DataRun
+	sr   []wcollect.StampRun
+}
+
 // Node is one processor's LRC engine. It implements core.DSM.
 type Node struct {
 	nodebase.Base
@@ -95,8 +113,8 @@ type Node struct {
 	vec     []int32
 	records [][]*interval // per processor, its known closed intervals in idx order
 
-	meta      map[int]*pageMeta
-	openPages map[int]bool // pages modified in the open interval (twinning)
+	meta      []*pageMeta // indexed by page, nil until first touched
+	openPages []int       // pages modified in the open interval (twinning), in fault order
 
 	// diffStore holds this processor's own harvested diffs: page -> diffs
 	// in interval order (Diffs collection).
@@ -111,10 +129,19 @@ type Node struct {
 	lastBarrierSent int32               // own interval records up to this index were pushed at a barrier
 	arrivalVecs     map[int][]int32     // manager: vector received from each arriver
 	arrivalRecs     map[int][]*interval // manager: buffered records, absorbed at departure
+
+	missWriters []pendingWriter // accessMiss scratch, reused across misses
 }
 
-// New builds the LRC node for processor p. impl.Model must be core.LRC.
+// New builds the LRC node for processor p with a zeroed private image.
+// impl.Model must be core.LRC.
 func New(p *sim.Proc, net *fabric.Network, al *mem.Allocator, nprocs int, impl core.Impl) *Node {
+	return NewWithImage(p, net, al, nprocs, impl, mem.NewImage(al.Size()))
+}
+
+// NewWithImage is New with a caller-provided (possibly recycled) image; the
+// caller must overwrite it in full before the simulation starts.
+func NewWithImage(p *sim.Proc, net *fabric.Network, al *mem.Allocator, nprocs int, impl core.Impl, im *mem.Image) *Node {
 	if impl.Model != core.LRC || !impl.Valid() {
 		panic(fmt.Sprintf("lrc: bad implementation %v", impl))
 	}
@@ -123,8 +150,7 @@ func New(p *sim.Proc, net *fabric.Network, al *mem.Allocator, nprocs int, impl c
 		cur:         1,
 		vec:         make([]int32, nprocs),
 		records:     make([][]*interval, nprocs),
-		meta:        make(map[int]*pageMeta),
-		openPages:   make(map[int]bool),
+		meta:        make([]*pageMeta, al.Pages()),
 		diffStore:   make(map[int][]ivalDiff),
 		arrivalVecs: make(map[int][]int32),
 		arrivalRecs: make(map[int][]*interval),
@@ -132,7 +158,7 @@ func New(p *sim.Proc, net *fabric.Network, al *mem.Allocator, nprocs int, impl c
 	// vec[q] is the highest CLOSED interval of q whose write notices this
 	// node holds; the open interval (index cur) is not covered until it
 	// closes. Initially nothing is closed anywhere.
-	n.Init(p, net, al, core.LRC, nprocs)
+	n.InitWithImage(p, net, al, core.LRC, nprocs, im)
 	n.locks = syncmgr.NewLockMgr(p, net, nprocs, (*lockHooks)(n), &n.Cnt)
 	n.bars = syncmgr.NewBarrierMgr(p, net, nprocs, (*barrierHooks)(n), &n.Cnt)
 
@@ -221,7 +247,7 @@ func (n *Node) handle(hc *fabric.HandlerCtx, m fabric.Msg) {
 func (n *Node) pageMeta(pg int) *pageMeta {
 	pm := n.meta[pg]
 	if pm == nil {
-		pm = newPageMeta()
+		pm = newPageMeta(n.Base.NProcs)
 		n.meta[pg] = pm
 	}
 	return pm
@@ -249,9 +275,10 @@ func (n *Node) closeInterval() sim.Time {
 			n.db.ResetPage(pg)
 		}
 	case core.Twinning:
-		for pg := range n.openPages {
-			pages = append(pages, pg)
-		}
+		// openPages holds each page once (a page write-faults at most once
+		// per interval); ownership of the slice moves to the interval record.
+		pages = n.openPages
+		n.openPages = nil
 		sort.Ints(pages)
 		for _, pg := range pages {
 			pm := n.pageMeta(pg)
@@ -264,7 +291,6 @@ func (n *Node) closeInterval() sim.Time {
 			n.MMU.SetProt(pg, vm.ReadOnly)
 			work += n.CM.MProtect
 		}
-		n.openPages = make(map[int]bool)
 	}
 
 	if len(pages) == 0 {
@@ -412,7 +438,7 @@ func (n *Node) writeTwinFault(pg int) {
 	n.Charge(n.CM.ProtFault + mem.PageWords*n.CM.WordCopy + n.CM.MProtect)
 	n.twins.Make(pg)
 	n.Extra.TwinsMade++
-	n.openPages[pg] = true
+	n.openPages = append(n.openPages, pg)
 	n.MMU.SetProt(pg, vm.ReadWrite)
 }
 
@@ -425,18 +451,13 @@ func (n *Node) accessMiss(pg int, write bool) {
 	n.Flush()
 	pm := n.pageMeta(pg)
 
-	type pendingWriter struct {
-		proc  int
-		since int32
-		upTo  int32
-	}
-	var writers []pendingWriter
-	for q, hi := range pm.noticed {
+	writers := n.missWriters[:0]
+	for q, hi := range pm.noticed { // ascending proc order by construction
 		if hi > pm.applied[q] {
 			writers = append(writers, pendingWriter{proc: q, since: pm.applied[q], upTo: hi})
 		}
 	}
-	sort.Slice(writers, func(i, j int) bool { return writers[i].proc < writers[j].proc })
+	n.missWriters = writers[:0]
 	if len(writers) == 0 {
 		panic(fmt.Sprintf("lrc: proc %d: invalid page %d with no pending notices", n.P.ID(), pg))
 	}
@@ -450,12 +471,6 @@ func (n *Node) accessMiss(pg int, write bool) {
 	for i, w := range writers {
 		waiters[i] = n.Net.CallAsync(n.P, w.proc, kindFetchReq, 12, fetchReq{Page: pg, Since: w.since, UpTo: w.upTo})
 	}
-	type applyUnit struct {
-		proc int
-		ival int32
-		dr   []wcollect.DataRun
-		sr   []wcollect.StampRun
-	}
 	var units []applyUnit
 	for i, w := range waiters {
 		reply := w.Wait("lrc-fetch").(fabric.Msg)
@@ -467,24 +482,27 @@ func (n *Node) accessMiss(pg int, write bool) {
 			}
 		case core.Timestamps:
 			// Split the stamped runs per interval for ordered application.
-			byIval := map[int32][]wcollect.StampRun{}
-			for _, sr := range fr.Stamped.Runs {
+			// Data[k] carries the bytes of Runs[k], so the split needs no
+			// by-address lookup; units appear in first-seen interval order
+			// and runs stay in address order within each unit.
+			for k, sr := range fr.Stamped.Runs {
 				p, iv := sr.Stamp.ProcInterval()
 				if p != writers[i].proc {
 					panic("lrc: responder sent foreign stamps")
 				}
-				byIval[int32(iv)] = append(byIval[int32(iv)], sr)
-			}
-			dataAt := map[mem.Addr][]byte{}
-			for _, dr := range fr.Stamped.Data {
-				dataAt[dr.Base] = dr.Data
-			}
-			for iv, srs := range byIval {
-				u := applyUnit{proc: writers[i].proc, ival: iv, sr: srs}
-				for _, sr := range srs {
-					u.dr = append(u.dr, wcollect.DataRun{Base: sr.Base, Data: dataAt[sr.Base]})
+				u := (*applyUnit)(nil)
+				for j := range units {
+					if units[j].proc == p && units[j].ival == int32(iv) {
+						u = &units[j]
+						break
+					}
 				}
-				units = append(units, u)
+				if u == nil {
+					units = append(units, applyUnit{proc: p, ival: int32(iv)})
+					u = &units[len(units)-1]
+				}
+				u.sr = append(u.sr, sr)
+				u.dr = append(u.dr, fr.Stamped.Data[k])
 			}
 		}
 	}
@@ -590,12 +608,9 @@ func (n *Node) handleFetch(hc *fabric.HandlerCtx, m fabric.Msg) {
 			}
 		}
 	case core.Timestamps:
-		self := n.P.ID()
 		pageRange := []mem.Range{{Base: mem.PageBase(pg), Len: mem.PageSize}}
-		runs, scanned := n.stamps.Select(pageRange, func(s wcollect.Stamp) bool {
-			p, iv := s.ProcInterval()
-			return p == self && int32(iv) > req.Since && int32(iv) <= req.UpTo
-		})
+		runs, scanned := wcollect.SelectPred(n.stamps, pageRange,
+			wcollect.ProcWindow{Proc: n.P.ID(), Since: req.Since, UpTo: req.UpTo})
 		hc.Work(sim.Time(scanned) * n.CM.WordScan)
 		reply.Stamped = wcollect.ExtractStamped(n.Im, runs)
 		size = reply.Stamped.WireSize(wcollect.LRCStampBytes)

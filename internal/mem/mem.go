@@ -5,10 +5,12 @@
 package mem
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // Page and word geometry, matching the DECstation-5000/240 and the paper's
@@ -79,6 +81,11 @@ func (r Region) Range() Range { return Range{Base: r.Base, Len: r.Size} }
 type Allocator struct {
 	next    Addr
 	regions []Region
+	// pageBlock caches each page's instrumentation block size: regions are
+	// page-aligned, so a page has exactly one block granularity and BlockAt
+	// becomes a single array load instead of a region binary search (it runs
+	// on every instrumented store and in every collection scan).
+	pageBlock []uint8
 }
 
 // NewAllocator returns an empty allocator starting at address 0.
@@ -96,6 +103,9 @@ func (al *Allocator) Alloc(name string, size, block int) Addr {
 	base := al.next
 	al.regions = append(al.regions, Region{Name: name, Base: base, Size: size, Block: block})
 	pages := (size + PageSize - 1) / PageSize
+	for i := 0; i < pages; i++ {
+		al.pageBlock = append(al.pageBlock, uint8(block))
+	}
 	al.next += Addr(pages * PageSize)
 	return base
 }
@@ -123,10 +133,13 @@ func (al *Allocator) RegionAt(a Addr) (Region, bool) {
 }
 
 // BlockAt returns the instrumentation block size covering a (4 if the
-// address is in page padding).
+// address is unallocated). Page padding inside an allocated region's final
+// page reports the region's block size: the region's granularity governs the
+// whole page.
 func (al *Allocator) BlockAt(a Addr) int {
-	if r, ok := al.RegionAt(a); ok {
-		return r.Block
+	pg := int(a) >> PageShift
+	if pg < len(al.pageBlock) {
+		return int(al.pageBlock[pg])
 	}
 	return WordSize
 }
@@ -140,6 +153,35 @@ type Image struct {
 func NewImage(size int) *Image {
 	pages := (size + PageSize - 1) / PageSize
 	return &Image{data: make([]byte, pages*PageSize)}
+}
+
+// imagePools recycles image backing stores across simulator runs, one pool
+// per buffer size: a processor image is multiple megabytes at paper scale
+// and allocating nine of them per table cell dominated the allocator's
+// zeroing cost. Per-size pools keep the hit rate high when a parallel sweep
+// interleaves cells of differently-sized applications.
+var imagePools sync.Map // buffer length -> *sync.Pool of *Image
+
+// RecycledImage returns an image of size bytes (page-rounded up) with
+// UNSPECIFIED contents, reusing a recycled buffer of the right size when one
+// is available. Only for callers that fully overwrite the image before any
+// read (a whole-image CopyFrom); everyone else wants NewImage.
+func RecycledImage(size int) *Image {
+	pages := (size + PageSize - 1) / PageSize
+	want := pages * PageSize
+	if p, ok := imagePools.Load(want); ok {
+		if v := p.(*sync.Pool).Get(); v != nil {
+			return v.(*Image)
+		}
+	}
+	return &Image{data: make([]byte, want)}
+}
+
+// RecycleImage surrenders im's buffer for reuse by RecycledImage. The caller
+// must drop every reference to im.
+func RecycleImage(im *Image) {
+	p, _ := imagePools.LoadOrStore(len(im.data), &sync.Pool{})
+	p.(*sync.Pool).Put(im)
 }
 
 // Size returns the image size in bytes.
@@ -201,12 +243,5 @@ func (im *Image) WriteF64(a Addr, v float64) { im.WriteU64(a, math.Float64bits(v
 
 // EqualRange reports whether two images agree over r.
 func EqualRange(a, b *Image, r Range) bool {
-	ab := a.data[r.Base:r.End()]
-	bb := b.data[r.Base:r.End()]
-	for i := range ab {
-		if ab[i] != bb[i] {
-			return false
-		}
-	}
-	return true
+	return bytes.Equal(a.data[r.Base:r.End()], b.data[r.Base:r.End()])
 }

@@ -59,13 +59,20 @@ type Extra struct {
 	StampRunsSent int64
 }
 
-// Init fills the common fields.
+// Init fills the common fields with a zeroed private image.
 func (b *Base) Init(p *sim.Proc, net *fabric.Network, al *mem.Allocator, model core.Model, nprocs int) {
+	b.InitWithImage(p, net, al, model, nprocs, mem.NewImage(al.Size()))
+}
+
+// InitWithImage is Init with a caller-provided image (typically recycled,
+// contents unspecified): the runner overwrites it in full before the
+// simulation starts.
+func (b *Base) InitWithImage(p *sim.Proc, net *fabric.Network, al *mem.Allocator, model core.Model, nprocs int, im *mem.Image) {
 	b.P = p
 	b.Net = net
 	b.CM = net.Cost()
 	b.Al = al
-	b.Im = mem.NewImage(al.Size())
+	b.Im = im
 	b.MMU = vm.New(al.Pages())
 	b.NProcs = nprocs
 	b.Model = model

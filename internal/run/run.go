@@ -74,17 +74,22 @@ func Run(app App, impl core.Impl, nprocs int, cm fabric.CostModel) (Result, erro
 			d.StatsBegin()
 			app.Program(d)
 		})
+		// Node images come from the recycle pool (contents unspecified) and
+		// are fully overwritten by CopyFrom before the simulation starts.
+		im := mem.RecycledImage(al.Size())
 		switch impl.Model {
 		case core.EC:
-			n := ec.New(p, net, al, nprocs, impl)
+			n := ec.NewWithImage(p, net, al, nprocs, impl, im)
 			n.Im.CopyFrom(initIm)
 			nodes[i], images[i] = n, n.Im
 		case core.LRC:
-			n := lrc.New(p, net, al, nprocs, impl)
+			n := lrc.NewWithImage(p, net, al, nprocs, impl, im)
 			n.Im.CopyFrom(initIm)
 			nodes[i], images[i] = n, n.Im
 		}
 	}
+	// Every node holds its own copy now; recycle the template's buffer.
+	mem.RecycleImage(initIm)
 	if err := s.Run(); err != nil {
 		return Result{}, fmt.Errorf("run: %s on %v: %w", app.Name(), impl, err)
 	}
@@ -123,6 +128,11 @@ func Run(app App, impl core.Impl, nprocs int, cm fabric.CostModel) (Result, erro
 
 	if err := app.Verify(images[0]); err != nil {
 		return Result{}, fmt.Errorf("run: %s on %v: verification: %w", app.Name(), impl, err)
+	}
+	// The nodes are dead past this point: recycle the private images (several
+	// MB each at paper scale) for the next cell.
+	for _, im := range images {
+		mem.RecycleImage(im)
 	}
 	return res, nil
 }

@@ -42,9 +42,16 @@ type Proc struct {
 
 	waitReason string
 	parked     bool
+	killed     bool // set by Simulator.killBlocked: unwind instead of resuming
 	finishedAt Time
-	wakeGen    uint64 // invalidates stale sleep-wake events
+	wakeGen    uint64  // invalidates stale sleep-wake events
+	callWaiter *Waiter // reused rendezvous for synchronous calls
 }
+
+// killSignal is the sentinel panic value used to unwind a blocked process
+// goroutine after Simulator.Stop; it is recovered in top and not treated as
+// a failure.
+type killSignal struct{}
 
 // ID returns the process's spawn index, used as the processor identifier.
 func (p *Proc) ID() int { return p.id }
@@ -63,28 +70,67 @@ func (p *Proc) FinishedAt() Time { return p.finishedAt }
 
 // top is the goroutine body wrapping the user function.
 func (p *Proc) top(body func(*Proc)) {
-	<-p.resume // wait for the first runProc
+	<-p.resume // wait for the first baton delivery
+	if !p.killed {
+		p.runBody(body)
+	}
+	p.state = stateDone
+	p.finishedAt = p.sim.now
+	if p.killed {
+		p.sim.yield <- struct{}{} // acknowledge to killBlocked and exit
+		return
+	}
+	// The body returned with the baton held: keep driving the event loop,
+	// then pass the baton on (this goroutine is done and never resumes).
+	s := p.sim
+	if next := s.step(); next != nil {
+		next.resume <- struct{}{}
+		return
+	}
+	s.done <- struct{}{}
+}
+
+// runBody executes the user function, capturing panics as the simulation's
+// failure. A killSignal unwind (Stop teardown) is not a failure.
+func (p *Proc) runBody(body func(*Proc)) {
 	defer func() {
 		if r := recover(); r != nil {
-			p.sim.failure = &procPanic{proc: p.name, value: r, stack: debug.Stack()}
+			if _, kill := r.(killSignal); !kill {
+				p.sim.failure = &procPanic{proc: p.name, value: r, stack: debug.Stack()}
+			}
 		}
-		p.state = stateDone
-		p.finishedAt = p.sim.now
-		p.sim.yield <- struct{}{}
 	}()
 	body(p)
 }
 
-// block yields control to the scheduler and waits to be resumed. The caller
-// must have arranged a wake-up (an event or a Waiter delivery).
+// block parks the process until it is resumed. The caller must have arranged
+// a wake-up (an event or a Waiter delivery). The blocking goroutine keeps
+// the baton and drives the event loop itself: when its own wake-up is the
+// next thing to run it simply continues — no channel operation, no context
+// switch — and otherwise it hands the baton straight to the next process.
 func (p *Proc) block(reason string) {
 	if p.state != stateRunning {
 		panic(fmt.Sprintf("sim: block on non-running proc %s", p.name))
 	}
 	p.state = stateBlocked
 	p.waitReason = reason
-	p.sim.yield <- struct{}{}
-	<-p.resume
+	s := p.sim
+	switch next := s.step(); {
+	case next == p:
+		// Direct self-resume.
+	case next != nil:
+		next.resume <- struct{}{}
+		<-p.resume
+	default:
+		// The run is over (drain, failure or stop) while we are blocked:
+		// give the baton back to Run and park. We are woken again only by
+		// killBlocked after a Stop.
+		s.done <- struct{}{}
+		<-p.resume
+	}
+	if p.killed {
+		panic(killSignal{})
+	}
 	p.waitReason = ""
 }
 
@@ -100,12 +146,7 @@ func (p *Proc) Sleep(d Time) {
 	s := p.sim
 	p.busyUntil = s.now + d
 	p.wakeGen++
-	gen := p.wakeGen
-	s.Schedule(p.busyUntil, func() {
-		if p.wakeGen == gen {
-			s.runProc(p) // runProc re-checks busyUntil and reschedules if extended
-		}
-	})
+	s.schedule(event{at: p.busyUntil, kind: kindSleepWake, p: p, gen: p.wakeGen})
 	p.block("sleep")
 }
 
@@ -141,12 +182,7 @@ func (p *Proc) UnparkAt(at Time) {
 	if at < s.now {
 		at = s.now
 	}
-	s.Schedule(at, func() {
-		if p.parked && p.state == stateBlocked {
-			p.parked = false
-			s.runProc(p)
-		}
-	})
+	s.schedule(event{at: at, kind: kindUnpark, p: p})
 }
 
 // Waiter is a one-shot rendezvous: a process Waits until a value is
@@ -159,6 +195,17 @@ type Waiter struct {
 
 // NewWaiter returns a Waiter owned by p.
 func NewWaiter(p *Proc) *Waiter { return &Waiter{p: p} }
+
+// CallWaiter returns p's cached waiter for fully synchronous request/reply
+// exchanges: the caller must Wait before issuing another synchronous call,
+// which a blocked process trivially guarantees. Concurrent outstanding
+// requests (parallel fetches) must use NewWaiter instead.
+func (p *Proc) CallWaiter() *Waiter {
+	if p.callWaiter == nil {
+		p.callWaiter = NewWaiter(p)
+	}
+	return p.callWaiter
+}
 
 // Wait blocks the owner until Deliver has been called, then returns the
 // delivered value and resets the Waiter for reuse.

@@ -1,56 +1,82 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"runtime/debug"
 )
 
 // event is a scheduled callback. Events at equal times fire in scheduling
 // order (seq), which is what makes the simulation deterministic.
+//
+// The scheduler's own wake-ups (sleep expiry, deferred resume, unpark) are
+// encoded as typed events targeting a Proc instead of closures: they are by
+// far the most frequent events, and storing them inline keeps the event loop
+// allocation-free.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at   Time
+	seq  uint64
+	kind uint8
+	gen  uint64 // kindSleepWake: wake-generation guard
+	p    *Proc  // target of the typed kinds
+	fn   func() // kindFn only
 }
 
-type eventHeap []*event
+const (
+	kindFn        = uint8(iota) // run fn
+	kindSleepWake               // resume p if its wake generation still matches
+	kindRunProc                 // resume p unconditionally (busyUntil deferral, spawn)
+	kindUnpark                  // resume p if still parked
+)
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// eventLess orders events by (at, seq): earlier time first, scheduling order
+// on ties. seq is unique, so this is a strict total order.
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Simulator owns the virtual clock and the event queue, and coordinates the
 // coroutine handoff with processes. All simulation state (processes, protocol
 // structures, memory images) is mutated by exactly one goroutine at a time:
-// either the scheduler goroutine (inside event callbacks) or the single
-// currently-running process. No locking is needed anywhere in the simulation.
+// the holder of the scheduling baton. The baton starts with Run's goroutine
+// and travels with control: a process that blocks keeps the baton and drives
+// the event loop itself until some process must resume — itself (no channel
+// operations at all, the common case for an undisturbed Sleep) or another
+// process (one direct channel handoff). Run's goroutine sleeps until the
+// event queue drains. Compared to a dedicated scheduler goroutine this
+// halves (often eliminates) the context switches per simulated block/resume,
+// without changing the event order. No locking is needed anywhere in the
+// simulation.
 type Simulator struct {
-	now     Time
-	seq     uint64
-	queue   eventHeap
+	now Time
+	seq uint64
+
+	// queue is a value-based 4-ary min-heap ordered by eventLess. Storing
+	// events by value (rather than *event through container/heap's interface
+	// boxing) keeps Schedule/pop allocation-free in steady state.
+	queue []event
+
+	// nowQ is the fast path for the very common same-instant case
+	// (After(0, ...), Schedule(Now(), ...)): events scheduled for the
+	// current instant carry a seq greater than any queued event at this
+	// instant, so they form a FIFO that needs no heap sifting. nowHead
+	// indexes the first unconsumed entry; the backing array is reused once
+	// the instant drains.
+	nowQ    []event
+	nowHead int
+
 	procs   []*Proc
-	yield   chan struct{} // process -> scheduler: I blocked or finished
+	done    chan struct{} // baton holder -> Run: the event queue drained
+	yield   chan struct{} // killed process -> killBlocked: unwound, baton back
 	failure error         // first panic captured from a process
 	stopped bool
 }
 
 // New returns an empty simulator at time zero.
 func New() *Simulator {
-	return &Simulator{yield: make(chan struct{})}
+	return &Simulator{done: make(chan struct{}), yield: make(chan struct{})}
 }
 
 // Now returns the current simulated time.
@@ -62,15 +88,151 @@ func (s *Simulator) Procs() []*Proc { return s.procs }
 // Schedule registers fn to run at time at (>= Now) in scheduler context.
 // Callbacks scheduled for the same instant run in the order scheduled.
 func (s *Simulator) Schedule(at Time, fn func()) {
-	if at < s.now {
-		panic(fmt.Sprintf("sim: schedule in the past: %v < %v", at, s.now))
+	s.schedule(event{at: at, fn: fn})
+}
+
+// schedule enqueues e (whose at must be >= Now), assigning its sequence
+// number.
+func (s *Simulator) schedule(e event) {
+	if e.at < s.now {
+		panic(fmt.Sprintf("sim: schedule in the past: %v < %v", e.at, s.now))
 	}
 	s.seq++
-	heap.Push(&s.queue, &event{at: at, seq: s.seq, fn: fn})
+	e.seq = s.seq
+	if e.at == s.now {
+		s.nowQ = append(s.nowQ, e)
+		return
+	}
+	s.heapPush(e)
+}
+
+// dispatch runs one event with the baton held, returning the process that
+// must now resume (marked running), or nil to keep looping.
+func (s *Simulator) dispatch(ev *event) *Proc {
+	switch ev.kind {
+	case kindFn:
+		ev.fn()
+		return nil
+	case kindSleepWake:
+		// wake re-checks busyUntil and reschedules if the sleep was
+		// extended by injected handler work.
+		if ev.p.wakeGen == ev.gen {
+			return s.wake(ev.p)
+		}
+		return nil
+	case kindRunProc:
+		return s.wake(ev.p)
+	case kindUnpark:
+		if ev.p.parked && ev.p.state == stateBlocked {
+			ev.p.parked = false
+			return s.wake(ev.p)
+		}
+		return nil
+	}
+	panic("sim: unknown event kind")
+}
+
+// step drains events until some process must resume (returned marked
+// running) or the run is over (nil). Called by the baton holder. A panic in
+// an event callback is recorded as the run's failure and ends the run: the
+// baton may be held by any process goroutine, where an escaping panic would
+// kill the whole program (or be misattributed to the parked process).
+func (s *Simulator) step() (next *Proc) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.failure = &procPanic{proc: "(event callback)", value: r, stack: debug.Stack()}
+			next = nil
+		}
+	}()
+	for s.pending() && s.failure == nil && !s.stopped {
+		ev := s.pop()
+		s.now = ev.at
+		if p := s.dispatch(&ev); p != nil {
+			return p
+		}
+	}
+	return nil
 }
 
 // After is shorthand for Schedule(Now()+d, fn).
 func (s *Simulator) After(d Time, fn func()) { s.Schedule(s.now+d, fn) }
+
+// heapPush inserts e into the 4-ary heap.
+func (s *Simulator) heapPush(e event) {
+	q := append(s.queue, e)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !eventLess(&q[i], &q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	s.queue = q
+}
+
+// heapPop removes and returns the minimum event of the 4-ary heap.
+func (s *Simulator) heapPop() event {
+	q := s.queue
+	top := q[0]
+	last := len(q) - 1
+	e := q[last]
+	q[last] = event{} // release the closure for GC
+	q = q[:last]
+	s.queue = q
+	if last > 0 {
+		i := 0
+		for {
+			first := i<<2 + 1
+			if first >= last {
+				break
+			}
+			min := first
+			end := first + 4
+			if end > last {
+				end = last
+			}
+			for c := first + 1; c < end; c++ {
+				if eventLess(&q[c], &q[min]) {
+					min = c
+				}
+			}
+			if !eventLess(&q[min], &e) {
+				break
+			}
+			q[i] = q[min]
+			i = min
+		}
+		q[i] = e
+	}
+	return top
+}
+
+// pending reports whether any event remains in either queue.
+func (s *Simulator) pending() bool {
+	return len(s.queue) > 0 || s.nowHead < len(s.nowQ)
+}
+
+// pop removes the globally minimum event across the heap and the
+// same-instant FIFO.
+func (s *Simulator) pop() event {
+	if s.nowHead < len(s.nowQ) {
+		front := &s.nowQ[s.nowHead]
+		if len(s.queue) == 0 || eventLess(front, &s.queue[0]) {
+			e := *front
+			*front = event{} // release the closure and proc for GC
+			s.nowHead++
+			if s.nowHead == len(s.nowQ) {
+				s.nowQ = s.nowQ[:0]
+				s.nowHead = 0
+			}
+			return e
+		}
+		return s.heapPop()
+	}
+	return s.heapPop()
+}
 
 // Spawn creates a process that will execute body when Run starts. The process
 // begins at time 0 (or at the current time if spawned mid-run), and processes
@@ -85,15 +247,15 @@ func (s *Simulator) Spawn(name string, body func(*Proc)) *Proc {
 	}
 	s.procs = append(s.procs, p)
 	go p.top(body)
-	s.Schedule(s.now, func() { s.runProc(p) })
+	s.schedule(event{at: s.now, kind: kindRunProc, p: p})
 	return p
 }
 
-// runProc hands control to p until it blocks or finishes. Must be called from
-// scheduler context only.
-func (s *Simulator) runProc(p *Proc) {
+// wake prepares p to resume, or returns nil if it must not run yet. Must be
+// called with the baton held.
+func (s *Simulator) wake(p *Proc) *Proc {
 	if p.state == stateDone {
-		return
+		return nil
 	}
 	if p.state != stateBlocked {
 		panic(fmt.Sprintf("sim: resuming %s in state %v", p.name, p.state))
@@ -101,12 +263,11 @@ func (s *Simulator) runProc(p *Proc) {
 	// A process may not run before its busyUntil horizon (time consumed on
 	// its behalf by message handlers while it was blocked).
 	if p.busyUntil > s.now {
-		s.Schedule(p.busyUntil, func() { s.runProc(p) })
-		return
+		s.schedule(event{at: p.busyUntil, kind: kindRunProc, p: p})
+		return nil
 	}
 	p.state = stateRunning
-	p.resume <- struct{}{}
-	<-s.yield
+	return p
 }
 
 // Deadlock is returned by Run when the event queue drains while processes are
@@ -124,19 +285,26 @@ func (d *Deadlock) Error() string {
 // panics. It returns nil when every spawned process has finished, a *Deadlock
 // if some are still blocked, or the captured panic as an error.
 func (s *Simulator) Run() error {
-	for len(s.queue) > 0 && s.failure == nil && !s.stopped {
-		ev := heap.Pop(&s.queue).(*event)
-		s.now = ev.at
-		ev.fn()
+	if p := s.step(); p != nil {
+		// Hand the baton into the process web; it returns on s.done when the
+		// queue drains (every handoff in between is proc-to-proc).
+		p.resume <- struct{}{}
+		<-s.done
 	}
-	if s.failure != nil {
-		return s.failure
-	}
+	// Gather the blocked set for the deadlock report before the teardown
+	// below releases those goroutines.
 	var blocked []string
 	for _, p := range s.procs {
 		if p.state != stateDone {
 			blocked = append(blocked, fmt.Sprintf("%s(%s)", p.name, p.waitReason))
 		}
+	}
+	// The run is over in every branch from here: release parked process
+	// goroutines so stopped, deadlocked and failed runs do not leak them
+	// (goroutines blocked on channels are never garbage collected).
+	s.killBlocked()
+	if s.failure != nil {
+		return s.failure
 	}
 	if len(blocked) > 0 && !s.stopped {
 		return &Deadlock{At: s.now, Blocked: blocked}
@@ -144,11 +312,26 @@ func (s *Simulator) Run() error {
 	return nil
 }
 
-// Stop aborts the run at the end of the current event. Blocked process
-// goroutines are left parked; they are garbage once the Simulator is dropped
-// ... except goroutines don't get collected while blocked on channels, so
-// Stop also marks them done to let Run exit cleanly. Intended for tests.
+// Stop aborts the run at the end of the current event. Goroutines blocked on
+// their resume channel are not garbage-collectable, so Run terminates them
+// explicitly (via killBlocked) before returning. Intended for tests.
 func (s *Simulator) Stop() { s.stopped = true }
+
+// killBlocked terminates every process goroutine still parked when a run
+// ends (stop, deadlock or failure): each one is resumed with the killed flag
+// set, unwinds via a sentinel panic recovered in Proc.top, and exits.
+// Without this, repeated terminated runs accumulate goroutines forever.
+func (s *Simulator) killBlocked() {
+	for _, p := range s.procs {
+		if p.state == stateDone {
+			continue
+		}
+		p.killed = true
+		p.state = stateRunning
+		p.resume <- struct{}{}
+		<-s.yield
+	}
+}
 
 type procPanic struct {
 	proc  string

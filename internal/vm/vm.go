@@ -75,12 +75,21 @@ func (m *MMU) SetProt(pg int, p Prot) { m.prot[pg] = p }
 func (m *MMU) Faults() int64 { return m.faults }
 
 // CheckRead validates a read access to addr, faulting if the page is
-// invalid.
-func (m *MMU) CheckRead(addr mem.Addr) { m.check(addr, false) }
+// invalid. The accessible case must stay small enough to inline: it runs on
+// every shared load the applications issue.
+func (m *MMU) CheckRead(addr mem.Addr) {
+	if m.prot[int(addr)>>mem.PageShift] == NoAccess {
+		m.check(addr, false)
+	}
+}
 
 // CheckWrite validates a write access to addr, faulting if the page is
-// invalid or write-protected.
-func (m *MMU) CheckWrite(addr mem.Addr) { m.check(addr, true) }
+// invalid or write-protected. Inlines in the accessible case like CheckRead.
+func (m *MMU) CheckWrite(addr mem.Addr) {
+	if m.prot[int(addr)>>mem.PageShift] != ReadWrite {
+		m.check(addr, true)
+	}
+}
 
 func (m *MMU) check(addr mem.Addr, write bool) {
 	pg := mem.PageOf(addr)

@@ -29,13 +29,27 @@ type DataRun struct {
 	Data []byte
 }
 
-// ExtractRuns copies the bytes of each changed range out of im.
+// ExtractRuns copies the bytes of each changed range out of im. All runs
+// share one backing array (a per-call arena): the extraction allocates twice
+// regardless of run count, instead of once per run. Run lifetimes are
+// unbounded (diffs are retained for later requesters), so the arena is owned
+// by the result and never recycled.
 func ExtractRuns(im *mem.Image, changed []mem.Range) []DataRun {
-	runs := make([]DataRun, 0, len(changed))
+	runs := make([]DataRun, len(changed))
+	if len(changed) == 0 {
+		return runs
+	}
+	total := 0
 	for _, r := range changed {
-		b := make([]byte, r.Len)
+		total += r.Len
+	}
+	backing := make([]byte, total)
+	off := 0
+	for i, r := range changed {
+		b := backing[off : off+r.Len : off+r.Len]
 		copy(b, im.Bytes()[r.Base:r.End()])
-		runs = append(runs, DataRun{Base: r.Base, Data: b})
+		runs[i] = DataRun{Base: r.Base, Data: b}
+		off += r.Len
 	}
 	return runs
 }
@@ -124,17 +138,18 @@ func StampRunsWireSize(runs []StampRun, stampBytes int) int {
 }
 
 // Stamps is the per-processor timestamp array: one Stamp per block of the
-// shared space, allocated lazily per page. Block granularity follows the
-// allocator's region configuration (word or double-word for compiler
-// instrumentation; always a word with twinning).
+// shared space, allocated lazily per page and indexed by a flat page-number
+// slice sized from the allocator. Block granularity follows the allocator's
+// region configuration (word or double-word for compiler instrumentation;
+// always a word with twinning).
 type Stamps struct {
 	al    *mem.Allocator
-	pages map[int][]Stamp
+	pages [][]Stamp // indexed by page; nil until first stamped
 }
 
 // NewStamps returns an empty timestamp array over al's address space.
 func NewStamps(al *mem.Allocator) *Stamps {
-	return &Stamps{al: al, pages: make(map[int][]Stamp)}
+	return &Stamps{al: al, pages: make([][]Stamp, al.Pages())}
 }
 
 func (st *Stamps) page(pg int) []Stamp {
@@ -148,24 +163,27 @@ func (st *Stamps) page(pg int) []Stamp {
 
 func (st *Stamps) blockAt(a mem.Addr) int { return st.al.BlockAt(a) }
 
-// slot returns the stamp slot index (word index within page of the block
-// start) for address a given block size.
-func slot(a mem.Addr, block int) (pg, idx int) {
-	off := (int(a) / block) * block
-	return mem.PageOf(mem.Addr(off)), (off % mem.PageSize) / mem.WordSize
-}
-
-// Set stamps every block overlapping the changed ranges with s.
+// Set stamps every block overlapping the changed ranges with s. The span is
+// walked page by page so the page lookup happens once per page, not once per
+// block.
 func (st *Stamps) Set(changed []mem.Range, s Stamp) {
 	for _, r := range changed {
 		if r.Len <= 0 {
 			continue
 		}
 		block := st.blockAt(r.Base)
-		start := (int(r.Base) / block) * block
-		for off := start; off < int(r.End()); off += block {
-			pg, idx := slot(mem.Addr(off), block)
-			st.page(pg)[idx] = s
+		start := int(r.Base) &^ (block - 1) // block is a power of two
+		end := int(r.End())
+		for off := start; off < end; {
+			pg := off >> mem.PageShift
+			stop := (pg + 1) << mem.PageShift
+			if stop > end {
+				stop = end
+			}
+			p := st.page(pg)
+			for ; off < stop; off += block {
+				p[(off&(mem.PageSize-1))/mem.WordSize] = s
+			}
 		}
 	}
 }
@@ -173,49 +191,116 @@ func (st *Stamps) Set(changed []mem.Range, s Stamp) {
 // Get returns the stamp of the block containing a.
 func (st *Stamps) Get(a mem.Addr) Stamp {
 	block := st.blockAt(a)
-	pg, idx := slot(a, block)
-	if p := st.pages[pg]; p != nil {
-		return p[idx]
+	off := int(a) &^ (block - 1) // block is a power of two
+	if p := st.pages[off>>mem.PageShift]; p != nil {
+		return p[(off&(mem.PageSize-1))/mem.WordSize]
 	}
 	return 0
 }
 
+// stampPred is a statically-dispatched stamp predicate: the scan loop is
+// instantiated per concrete predicate type, so the per-block test inlines
+// and the call sites allocate no closures.
+type stampPred interface {
+	newer(Stamp) bool
+}
+
+// NewerThan selects stamps strictly above Min (EC: blocks written since the
+// requester's incarnation).
+type NewerThan struct{ Min Stamp }
+
+func (p NewerThan) newer(s Stamp) bool { return s > p.Min }
+
+// ProcWindow selects stamps by processor Proc with interval in (Since, UpTo]
+// (LRC: one writer's unfetched intervals).
+type ProcWindow struct {
+	Proc        int
+	Since, UpTo int32
+}
+
+func (p ProcWindow) newer(s Stamp) bool {
+	q, iv := s.ProcInterval()
+	return q == p.Proc && int32(iv) > p.Since && int32(iv) <= p.UpTo
+}
+
+type funcPred struct{ f func(Stamp) bool }
+
+func (p funcPred) newer(s Stamp) bool { return p.f(s) }
+
 // Select scans the blocks of ranges and returns maximal runs of adjacent
 // blocks whose stamp satisfies newer, plus the number of blocks scanned (the
 // responder-side scan cost charged on every request — the computation
-// overhead Section 5.3 attributes to timestamping).
+// overhead Section 5.3 attributes to timestamping). Protocol hot paths use
+// SelectPred with a concrete predicate instead.
 func (st *Stamps) Select(ranges []mem.Range, newer func(Stamp) bool) (runs []StampRun, scanned int) {
+	return SelectPred(st, ranges, funcPred{newer})
+}
+
+// SelectPred is Select with a statically-typed predicate.
+func SelectPred[P stampPred](st *Stamps, ranges []mem.Range, pred P) (runs []StampRun, scanned int) {
+	zeroNewer := pred.newer(0) // the predicate is pure: hoist the never-stamped case
+	var cur *StampRun
+	emit := func(off, block int, s Stamp) {
+		if cur != nil && cur.Stamp == s && cur.Base+mem.Addr(cur.Len) == mem.Addr(off) {
+			cur.Len += block
+		} else {
+			runs = append(runs, StampRun{Base: mem.Addr(off), Len: block, Stamp: s})
+			cur = &runs[len(runs)-1]
+		}
+	}
 	for _, r := range ranges {
 		if r.Len <= 0 {
 			continue
 		}
 		block := st.blockAt(r.Base)
-		start := (int(r.Base) / block) * block
-		var cur *StampRun
-		for off := start; off < int(r.End()); off += block {
-			scanned++
-			pg, idx := slot(mem.Addr(off), block)
-			var s Stamp
-			if p := st.pages[pg]; p != nil {
-				s = p[idx]
+		start := int(r.Base) &^ (block - 1) // block is a power of two
+		end := int(r.End())
+		cur = nil
+		for off := start; off < end; {
+			pg := off >> mem.PageShift
+			stop := (pg + 1) << mem.PageShift
+			if stop > end {
+				stop = end
 			}
-			if newer(s) {
-				if cur != nil && cur.Stamp == s && cur.Base+mem.Addr(cur.Len) == mem.Addr(off) {
-					cur.Len += block
+			p := st.pages[pg]
+			if p == nil {
+				// Whole page unstamped: every block reads stamp 0.
+				blocks := (stop - off + block - 1) / block
+				scanned += blocks
+				if zeroNewer {
+					for ; off < stop; off += block {
+						emit(off, block, 0)
+					}
 				} else {
-					runs = append(runs, StampRun{Base: mem.Addr(off), Len: block, Stamp: s})
-					cur = &runs[len(runs)-1]
+					cur = nil
+					off = stop
 				}
-			} else {
-				cur = nil
+				continue
+			}
+			for ; off < stop; off += block {
+				scanned++
+				s := p[(off&(mem.PageSize-1))/mem.WordSize]
+				if pred.newer(s) {
+					emit(off, block, s)
+				} else {
+					cur = nil
+				}
 			}
 		}
 	}
 	return runs, scanned
 }
 
+// slot returns the stamp slot index (word index within page of the block
+// start) for address a given block size.
+func slot(a mem.Addr, block int) (pg, idx int) {
+	off := int(a) &^ (block - 1) // block is a power of two
+	return mem.PageOf(mem.Addr(off)), (off % mem.PageSize) / mem.WordSize
+}
+
 // ApplyStamps records the stamps of received runs locally, so this processor
-// can in turn serve later requests.
+// can in turn serve later requests. Run bases are aligned down per block (a
+// run base inside a block stamps that whole block).
 func (st *Stamps) ApplyStamps(runs []StampRun) {
 	for _, sr := range runs {
 		block := st.blockAt(sr.Base)

@@ -7,8 +7,6 @@
 package wtrap
 
 import (
-	"sort"
-
 	"ecvslrc/internal/mem"
 )
 
@@ -17,9 +15,13 @@ import (
 // dirty bits for the hierarchical scheme used with LRC (Section 4.1,
 // "Differences between EC and LRC").
 type DirtyBits struct {
-	al           *mem.Allocator
-	words        map[int]*pageBits
-	dirtyPages   map[int]struct{}
+	al *mem.Allocator
+	// words and pageDirty are indexed by page number (flat, sized from the
+	// allocator's extent): the per-page bit arrays allocate lazily and are
+	// zeroed in place on reset so steady-state runs reuse their memory.
+	words        []*pageBits
+	pageDirty    []bool
+	dirtyCount   int
 	hierarchical bool
 	stores       int64
 }
@@ -36,8 +38,8 @@ func (pb *pageBits) get(w int) bool { return pb[w>>6]&(1<<(uint(w)&63)) != 0 }
 func NewDirtyBits(al *mem.Allocator, hierarchical bool) *DirtyBits {
 	return &DirtyBits{
 		al:           al,
-		words:        make(map[int]*pageBits),
-		dirtyPages:   make(map[int]struct{}),
+		words:        make([]*pageBits, al.Pages()),
+		pageDirty:    make([]bool, al.Pages()),
 		hierarchical: hierarchical,
 	}
 }
@@ -49,23 +51,29 @@ func (db *DirtyBits) Hierarchical() bool { return db.hierarchical }
 // the instrumentation cost).
 func (db *DirtyBits) Stores() int64 { return db.stores }
 
+// pageBitsFor returns page pg's bit array, allocating it on first touch.
+func (db *DirtyBits) pageBitsFor(pg int) *pageBits {
+	pb := db.words[pg]
+	if pb == nil {
+		pb = new(pageBits)
+		db.words[pg] = pb
+	}
+	return pb
+}
+
 // NoteWrite records a store of size bytes at a: the compiler-emitted code
 // vectors to the region's template and sets the dirty bit(s) of the block(s)
 // covering the store.
 func (db *DirtyBits) NoteWrite(a mem.Addr, size int) {
 	db.stores++
 	block := db.al.BlockAt(a)
-	first := (int(a) / block) * block
+	first := int(a) &^ (block - 1) // block is a power of two
 	for off := first; off < int(a)+size; off += block {
-		pg := mem.PageOf(mem.Addr(off))
-		pb := db.words[pg]
-		if pb == nil {
-			pb = new(pageBits)
-			db.words[pg] = pb
-		}
-		pb.set((off % mem.PageSize) / mem.WordSize)
-		if db.hierarchical {
-			db.dirtyPages[pg] = struct{}{}
+		pg := off >> mem.PageShift
+		db.pageBitsFor(pg).set((off & (mem.PageSize - 1)) / mem.WordSize)
+		if db.hierarchical && !db.pageDirty[pg] {
+			db.pageDirty[pg] = true
+			db.dirtyCount++
 		}
 	}
 }
@@ -73,11 +81,12 @@ func (db *DirtyBits) NoteWrite(a mem.Addr, size int) {
 // DirtyPages returns the pages with the page-level dirty bit set, sorted.
 // Only meaningful for hierarchical trackers.
 func (db *DirtyBits) DirtyPages() []int {
-	out := make([]int, 0, len(db.dirtyPages))
-	for pg := range db.dirtyPages {
-		out = append(out, pg)
+	out := make([]int, 0, db.dirtyCount)
+	for pg, d := range db.pageDirty {
+		if d {
+			out = append(out, pg)
+		}
 	}
-	sort.Ints(out)
 	return out
 }
 
@@ -90,23 +99,36 @@ func (db *DirtyBits) Collect(ranges []mem.Range) (runs []mem.Range, scanned int)
 			continue
 		}
 		block := db.al.BlockAt(r.Base)
-		start := (int(r.Base) / block) * block
+		start := int(r.Base) &^ (block - 1) // block is a power of two
 		end := int(r.End())
 		var cur *mem.Range
-		for off := start; off < end; off += block {
-			scanned++
-			pg := mem.PageOf(mem.Addr(off))
+		// Walk the span page by page so the bit-array lookup happens once
+		// per page instead of once per block.
+		for off := start; off < end; {
+			pg := off >> mem.PageShift
+			stop := (pg + 1) << mem.PageShift
+			if stop > end {
+				stop = end
+			}
 			pb := db.words[pg]
-			dirty := pb != nil && pb.get((off%mem.PageSize)/mem.WordSize)
-			if dirty {
-				if cur != nil && cur.End() == mem.Addr(off) {
-					cur.Len += block
-				} else {
-					runs = append(runs, mem.Range{Base: mem.Addr(off), Len: block})
-					cur = &runs[len(runs)-1]
-				}
-			} else {
+			if pb == nil {
+				scanned += (stop - off + block - 1) / block
 				cur = nil
+				off = stop
+				continue
+			}
+			for ; off < stop; off += block {
+				scanned++
+				if pb.get((off & (mem.PageSize - 1)) / mem.WordSize) {
+					if cur != nil && cur.End() == mem.Addr(off) {
+						cur.Len += block
+					} else {
+						runs = append(runs, mem.Range{Base: mem.Addr(off), Len: block})
+						cur = &runs[len(runs)-1]
+					}
+				} else {
+					cur = nil
+				}
 			}
 		}
 	}
@@ -125,7 +147,8 @@ func (db *DirtyBits) Reset(ranges []mem.Range) {
 		if r.Len <= 0 {
 			continue
 		}
-		for _, pg := range r.Pages() {
+		first, last := mem.PageOf(r.Base), mem.PageOf(r.End()-1)
+		for pg := first; pg <= last; pg++ {
 			pb := db.words[pg]
 			if pb == nil {
 				continue
@@ -133,7 +156,7 @@ func (db *DirtyBits) Reset(ranges []mem.Range) {
 			lo := max(int(r.Base), int(mem.PageBase(pg)))
 			hi := min(int(r.End()), int(mem.PageBase(pg+1)))
 			for off := lo &^ (mem.WordSize - 1); off < hi; off += mem.WordSize {
-				w := (off % mem.PageSize) / mem.WordSize
+				w := (off & (mem.PageSize - 1)) / mem.WordSize
 				pb[w>>6] &^= 1 << (uint(w) & 63)
 			}
 		}
@@ -142,12 +165,22 @@ func (db *DirtyBits) Reset(ranges []mem.Range) {
 
 // ResetPage clears the word bits and the page bit of page pg.
 func (db *DirtyBits) ResetPage(pg int) {
-	delete(db.words, pg)
-	delete(db.dirtyPages, pg)
+	if pb := db.words[pg]; pb != nil {
+		*pb = pageBits{} // zero in place: the array is reused on the next write
+	}
+	if db.pageDirty[pg] {
+		db.pageDirty[pg] = false
+		db.dirtyCount--
+	}
 }
 
 // ResetAll clears every dirty bit.
 func (db *DirtyBits) ResetAll() {
-	db.words = make(map[int]*pageBits)
-	db.dirtyPages = make(map[int]struct{})
+	for pg := range db.words {
+		if pb := db.words[pg]; pb != nil {
+			*pb = pageBits{}
+		}
+		db.pageDirty[pg] = false
+	}
+	db.dirtyCount = 0
 }

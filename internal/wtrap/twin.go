@@ -1,7 +1,8 @@
 package wtrap
 
 import (
-	"sort"
+	"bytes"
+	"encoding/binary"
 
 	"ecvslrc/internal/mem"
 )
@@ -12,41 +13,50 @@ import (
 // unprotected. At collection time the page is compared word-by-word against
 // its twin.
 type PageTwins struct {
-	im    *mem.Image
-	twins map[int][]byte
-	made  int64
+	im      *mem.Image
+	twins   [][]byte // indexed by page; nil = no twin
+	pool    [][]byte // free-list of dropped twin buffers, reused by Make
+	scratch []mem.Range
+	count   int
+	made    int64
 }
 
 // NewPageTwins returns an empty twin store over image im.
 func NewPageTwins(im *mem.Image) *PageTwins {
-	return &PageTwins{im: im, twins: make(map[int][]byte)}
+	return &PageTwins{im: im, twins: make([][]byte, im.Size()/mem.PageSize)}
 }
 
 // Make copies page pg as its twin. Calling Make for an already-twinned page
 // panics: the protocol must not double-fault.
 func (t *PageTwins) Make(pg int) {
-	if _, ok := t.twins[pg]; ok {
+	if t.twins[pg] != nil {
 		panic("wtrap: page already twinned")
 	}
-	twin := make([]byte, mem.PageSize)
+	var twin []byte
+	if n := len(t.pool); n > 0 {
+		twin = t.pool[n-1]
+		t.pool[n-1] = nil
+		t.pool = t.pool[:n-1]
+	} else {
+		twin = make([]byte, mem.PageSize)
+	}
 	copy(twin, t.im.Page(pg))
 	t.twins[pg] = twin
+	t.count++
 	t.made++
 }
 
 // Has reports whether page pg currently has a twin.
-func (t *PageTwins) Has(pg int) bool {
-	_, ok := t.twins[pg]
-	return ok
-}
+func (t *PageTwins) Has(pg int) bool { return t.twins[pg] != nil }
 
 // Pages returns the twinned pages in ascending order.
 func (t *PageTwins) Pages() []int {
-	out := make([]int, 0, len(t.twins))
-	for pg := range t.twins {
-		out = append(out, pg)
+	out := make([]int, 0, t.count)
+	for pg, twin := range t.twins {
+		if twin != nil {
+			out = append(out, pg)
+		}
 	}
-	sort.Ints(out)
 	return out
 }
 
@@ -55,18 +65,28 @@ func (t *PageTwins) Made() int64 { return t.made }
 
 // Compare diffs page pg against its twin and returns the modified words as
 // coalesced runs. The comparison examines every word of the page (the
-// twinning granularity is always a single word, Section 5.1).
+// twinning granularity is always a single word, Section 5.1). The returned
+// slice aliases an internal scratch buffer valid until the next Compare:
+// callers consume or copy the runs before comparing another page.
 func (t *PageTwins) Compare(pg int) (runs []mem.Range, compared int) {
-	twin, ok := t.twins[pg]
-	if !ok {
+	twin := t.twins[pg]
+	if twin == nil {
 		panic("wtrap: compare of untwinned page")
 	}
 	cur := t.im.Page(pg)
-	return compareWords(cur, twin, mem.PageBase(pg))
+	runs, compared = compareWords(t.scratch[:0], cur, twin, mem.PageBase(pg))
+	t.scratch = runs[:0]
+	return runs, compared
 }
 
-// Drop discards the twin of page pg.
-func (t *PageTwins) Drop(pg int) { delete(t.twins, pg) }
+// Drop discards the twin of page pg, returning its buffer to the free-list.
+func (t *PageTwins) Drop(pg int) {
+	if twin := t.twins[pg]; twin != nil {
+		t.pool = append(t.pool, twin)
+		t.twins[pg] = nil
+		t.count--
+	}
+}
 
 // Refresh overwrites the twin of page pg with the current image contents in
 // the byte span [lo, hi) (absolute addresses). EC uses this when two locks'
@@ -74,8 +94,8 @@ func (t *PageTwins) Drop(pg int) { delete(t.twins, pg) }
 // of the twin is brought up to date so the other lock's later harvest does
 // not re-collect them.
 func (t *PageTwins) Refresh(im *mem.Image, pg, lo, hi int) {
-	twin, ok := t.twins[pg]
-	if !ok {
+	twin := t.twins[pg]
+	if twin == nil {
 		panic("wtrap: refresh of untwinned page")
 	}
 	base := int(mem.PageBase(pg))
@@ -83,7 +103,15 @@ func (t *PageTwins) Refresh(im *mem.Image, pg, lo, hi int) {
 }
 
 // DropAll discards every twin.
-func (t *PageTwins) DropAll() { t.twins = make(map[int][]byte) }
+func (t *PageTwins) DropAll() {
+	for pg, twin := range t.twins {
+		if twin != nil {
+			t.pool = append(t.pool, twin)
+			t.twins[pg] = nil
+		}
+	}
+	t.count = 0
+}
 
 // ObjectTwin is the eager small-object twin used by our EC implementation:
 // when a write lock is acquired on an object smaller than a page, the object
@@ -95,13 +123,22 @@ type ObjectTwin struct {
 	im     *mem.Image
 }
 
-// MakeObjectTwin eagerly copies the bytes of ranges from im.
+// MakeObjectTwin eagerly copies the bytes of ranges from im. All range
+// copies share one backing array, so the twin costs a fixed three
+// allocations however many ranges the lock binds.
 func MakeObjectTwin(im *mem.Image, ranges []mem.Range) *ObjectTwin {
-	o := &ObjectTwin{ranges: ranges, im: im}
+	o := &ObjectTwin{ranges: ranges, im: im, data: make([][]byte, len(ranges))}
+	total := 0
 	for _, r := range ranges {
-		b := make([]byte, r.Len)
+		total += r.Len
+	}
+	backing := make([]byte, total)
+	off := 0
+	for i, r := range ranges {
+		b := backing[off : off+r.Len : off+r.Len]
 		copy(b, im.Bytes()[r.Base:r.End()])
-		o.data = append(o.data, b)
+		o.data[i] = b
+		off += r.Len
 	}
 	return o
 }
@@ -118,35 +155,80 @@ func (o *ObjectTwin) Words() int {
 // Compare diffs the current object contents against the twin, returning
 // modified word runs and the number of words compared.
 func (o *ObjectTwin) Compare() (runs []mem.Range, compared int) {
+	return o.CompareAppend(nil)
+}
+
+// CompareAppend is Compare appending to dst, letting callers reuse a scratch
+// buffer across harvests.
+func (o *ObjectTwin) CompareAppend(dst []mem.Range) (runs []mem.Range, compared int) {
+	runs = dst
 	for i, r := range o.ranges {
-		rs, c := compareWords(o.im.Bytes()[r.Base:r.End()], o.data[i], r.Base)
-		runs = append(runs, rs...)
+		var c int
+		runs, c = compareWords(runs, o.im.Bytes()[r.Base:r.End()], o.data[i], r.Base)
 		compared += c
 	}
 	return runs, compared
 }
 
-// compareWords diffs cur against old word-by-word; base is the shared
-// address of cur[0]. Both slices must have equal, word-multiple length.
-func compareWords(cur, old []byte, base mem.Addr) (runs []mem.Range, compared int) {
-	words := len(cur) / mem.WordSize
-	compared = words
-	var run *mem.Range
-	for w := 0; w < words; w++ {
-		off := w * mem.WordSize
-		same := cur[off] == old[off] && cur[off+1] == old[off+1] &&
-			cur[off+2] == old[off+2] && cur[off+3] == old[off+3]
-		if !same {
-			a := base + mem.Addr(off)
-			if run != nil && run.End() == a {
-				run.Len += mem.WordSize
-			} else {
-				runs = append(runs, mem.Range{Base: a, Len: mem.WordSize})
-				run = &runs[len(runs)-1]
-			}
-		} else {
-			run = nil
+// compareChunk is the granularity of the bytes.Equal fast-skip inside
+// compareWords: identical stretches are skipped a cache line at a time using
+// the runtime's vectorized memequal before any per-word work happens.
+const compareChunk = 64
+
+// compareWords diffs cur against old word-by-word, appending coalesced runs
+// to dst; base is the shared address of cur[0]. Both slices must have equal,
+// word-multiple length. Comparison proceeds 8 bytes at a time, narrowing to
+// the two 4-byte words only when a double-word differs, so the reported runs
+// are identical to a word-by-word scan. Passing a reused dst keeps the
+// steady-state compare allocation-free.
+func compareWords(dst []mem.Range, cur, old []byte, base mem.Addr) (runs []mem.Range, compared int) {
+	n := len(cur)
+	compared = n / mem.WordSize
+	runs = dst
+	if bytes.Equal(cur, old) {
+		return runs, compared
+	}
+	off := 0
+	for ; off+compareChunk <= n; off += compareChunk {
+		if bytes.Equal(cur[off:off+compareChunk], old[off:off+compareChunk]) {
+			continue
+		}
+		for o := off; o < off+compareChunk; o += 8 {
+			runs = diff8(runs, cur, old, base, o)
+		}
+	}
+	for ; off+8 <= n; off += 8 {
+		runs = diff8(runs, cur, old, base, off)
+	}
+	if off < n { // 4-byte tail of an odd-word-length object range
+		if binary.LittleEndian.Uint32(cur[off:]) != binary.LittleEndian.Uint32(old[off:]) {
+			runs = addRun(runs, base+mem.Addr(off))
 		}
 	}
 	return runs, compared
+}
+
+// diff8 compares the double-word at off and appends the differing words.
+func diff8(runs []mem.Range, cur, old []byte, base mem.Addr, off int) []mem.Range {
+	a := binary.LittleEndian.Uint64(cur[off:])
+	b := binary.LittleEndian.Uint64(old[off:])
+	if a == b {
+		return runs
+	}
+	if uint32(a) != uint32(b) {
+		runs = addRun(runs, base+mem.Addr(off))
+	}
+	if uint32(a>>32) != uint32(b>>32) {
+		runs = addRun(runs, base+mem.Addr(off)+4)
+	}
+	return runs
+}
+
+// addRun appends the changed word at a, coalescing with an adjacent last run.
+func addRun(runs []mem.Range, a mem.Addr) []mem.Range {
+	if len(runs) > 0 && runs[len(runs)-1].End() == a {
+		runs[len(runs)-1].Len += mem.WordSize
+		return runs
+	}
+	return append(runs, mem.Range{Base: a, Len: mem.WordSize})
 }

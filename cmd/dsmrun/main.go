@@ -25,6 +25,8 @@ func main() {
 	procs := flag.Int("procs", 8, "number of simulated processors")
 	scale := flag.String("scale", "paper", "problem scale: test, bench or paper")
 	seq := flag.Bool("seq", false, "also run the sequential reference")
+	preset := flag.String("preset", "paper", "cost-model preset: "+strings.Join(fabric.PresetNames(), ", "))
+	contention := flag.Bool("contention", false, "model shared-link contention (concurrent bulk transfers queue)")
 	flag.Parse()
 
 	var sc apps.Scale
@@ -40,6 +42,11 @@ func main() {
 		os.Exit(2)
 	}
 	impl, err := core.ParseImpl(*implName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsmrun:", err)
+		os.Exit(2)
+	}
+	cost, err := fabric.PresetByName(*preset)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dsmrun:", err)
 		os.Exit(2)
@@ -62,10 +69,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dsmrun:", err)
 		os.Exit(1)
 	}
-	res, err := run.Run(a, impl, *procs, fabric.DefaultCostModel())
+	res, err := run.RunWith(a, impl, *procs, cost, run.Options{Contention: *contention})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dsmrun:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("%s on %v, %d procs (%s scale):\n  %v\n", *appName, impl, *procs, *scale, res.Stats)
+	variant := *preset
+	if *contention {
+		variant += "+contention"
+	}
+	fmt.Printf("%s on %v, %d procs (%s scale, %s cost):\n  %v\n", *appName, impl, *procs, *scale, variant, res.Stats)
 }

@@ -1,0 +1,162 @@
+// Command dsmsweep runs a sensitivity sweep: the (application x
+// implementation x processor count) evaluation matrix under a set of
+// cost-model variants, with structured CSV/JSON-lines/markdown artifacts and
+// a baseline-comparison report.
+//
+// Usage:
+//
+//	dsmsweep -scale bench -variants "net=x2,x4 detect=sw,hw" -out sweep-out
+//	dsmsweep -scale test -apps SOR,IS -procs 4,8 -variants "contention=off,on"
+//	dsmsweep -preset modern -scale bench
+//
+// Variant axes: net=xK, cpu=xK, detect=sw|hw, diff=sw|free,
+// contention=off|on; the calibrated paper platform ("paper") is always
+// included as the comparison baseline. With -out unset, the markdown report
+// goes to stdout; with it set, sweep.csv, sweep.jsonl, sweep.md and
+// report.md are written to the directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"ecvslrc/internal/apps"
+	"ecvslrc/internal/core"
+	"ecvslrc/internal/fabric"
+	"ecvslrc/internal/sweep"
+)
+
+func main() {
+	scale := flag.String("scale", "bench", "problem scale: test, bench or paper")
+	procsFlag := flag.String("procs", "8", "comma-separated processor counts, e.g. \"4,8\"")
+	appsFlag := flag.String("apps", "", "comma-separated application subset (default: all)")
+	implsFlag := flag.String("impls", "", "comma-separated implementation subset, e.g. \"EC-time,LRC-diff\" (default: all six)")
+	variants := flag.String("variants", "", "variant spec, e.g. \"net=x2,x4 detect=sw,hw\" (default: baseline only)")
+	preset := flag.String("preset", "", "add one named cost preset as a variant: "+strings.Join(fabric.PresetNames(), ", "))
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max cells simulated concurrently (records are identical for any value)")
+	out := flag.String("out", "", "artifact directory (csv, jsonl, markdown, report); empty prints markdown to stdout")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "dsmsweep: %v\n", err)
+		os.Exit(1)
+	}
+	usageFail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "dsmsweep: "+format+"\n", args...)
+		os.Exit(2)
+	}
+
+	g := sweep.Grid{Parallel: *parallel}
+	switch *scale {
+	case "test":
+		g.Scale = apps.Test
+	case "bench":
+		g.Scale = apps.Bench
+	case "paper":
+		g.Scale = apps.Paper
+	default:
+		usageFail("unknown scale %q", *scale)
+	}
+	for _, s := range splitList(*procsFlag) {
+		np, err := strconv.Atoi(s)
+		if err != nil {
+			usageFail("bad -procs entry %q", s)
+		}
+		g.NProcs = append(g.NProcs, np)
+	}
+	if *appsFlag != "" {
+		known := make(map[string]bool)
+		for _, n := range apps.Names() {
+			known[n] = true
+		}
+		for _, n := range splitList(*appsFlag) {
+			if !known[n] {
+				usageFail("unknown app %q (known: %s)", n, strings.Join(apps.Names(), ", "))
+			}
+			g.Apps = append(g.Apps, n)
+		}
+	}
+	if *implsFlag != "" {
+		for _, s := range splitList(*implsFlag) {
+			impl, err := core.ParseImpl(s)
+			if err != nil {
+				usageFail("%v", err)
+			}
+			g.Impls = append(g.Impls, impl)
+		}
+	}
+	vs, err := sweep.ParseVariantSpec(*variants)
+	if err != nil {
+		usageFail("%v", err)
+	}
+	if *preset != "" {
+		cm, err := fabric.PresetByName(*preset)
+		if err != nil {
+			usageFail("%v", err)
+		}
+		have := false
+		for _, v := range vs {
+			if v.Name == *preset {
+				have = true
+			}
+		}
+		if !have {
+			vs = append(vs, sweep.Variant{Name: *preset, Cost: cm})
+		}
+	}
+	g.Variants = vs
+
+	recs, err := sweep.Run(g)
+	if err != nil {
+		fail(err)
+	}
+
+	if *out == "" {
+		if err := sweep.WriteMarkdown(os.Stdout, recs); err != nil {
+			fail(err)
+		}
+		fmt.Println()
+		if err := sweep.WriteBaselineReport(os.Stdout, recs, sweep.BaselineName); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fail(err)
+	}
+	emit := func(name string, write func(f *os.File) error) {
+		path := filepath.Join(*out, name)
+		f, err := os.Create(path)
+		if err != nil {
+			fail(err)
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+	}
+	emit("sweep.csv", func(f *os.File) error { return sweep.WriteCSV(f, recs) })
+	emit("sweep.jsonl", func(f *os.File) error { return sweep.WriteJSONL(f, recs) })
+	emit("sweep.md", func(f *os.File) error { return sweep.WriteMarkdown(f, recs) })
+	emit("report.md", func(f *os.File) error { return sweep.WriteBaselineReport(f, recs, sweep.BaselineName) })
+	fmt.Printf("dsmsweep: %d records (%d variants) -> %s\n", len(recs), len(g.Variants), *out)
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

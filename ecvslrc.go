@@ -19,6 +19,7 @@ import (
 	"ecvslrc/internal/harness"
 	"ecvslrc/internal/run"
 	"ecvslrc/internal/sim"
+	"ecvslrc/internal/sweep"
 )
 
 // Scale names a problem-size preset.
@@ -34,6 +35,25 @@ const (
 // Stats is the per-run measurement set (execution time, messages, data
 // moved, faults, lock and barrier counts).
 type Stats = core.Stats
+
+// CostModel collects the platform constants of a run; see
+// fabric.DefaultCostModel for the calibrated paper platform and the
+// ScaleNetwork/ScaleCPU/HardwareWriteDetection/ZeroCostDiff knobs for
+// sensitivity variants.
+type CostModel = fabric.CostModel
+
+// CostPreset is a named, documented cost-model variant.
+type CostPreset = fabric.Preset
+
+// SweepRecord is one cell of a sensitivity sweep: full run statistics plus
+// variant metadata and speedup against the sequential reference.
+type SweepRecord = sweep.Record
+
+// DefaultCost returns the calibrated paper-platform cost model.
+func DefaultCost() CostModel { return fabric.DefaultCostModel() }
+
+// CostPresets lists the named cost models, the calibrated platform first.
+func CostPresets() []CostPreset { return fabric.Presets() }
 
 // Apps lists the application suite in the paper's table order.
 func Apps() []string { return apps.Names() }
@@ -65,6 +85,42 @@ func Run(app, impl string, nprocs int, scale Scale) (Stats, error) {
 		return Stats{}, err
 	}
 	return res.Stats, nil
+}
+
+// RunCost is Run under an explicit cost model, optionally with shared-link
+// contention — the single-cell form of a sensitivity sweep.
+func RunCost(app, impl string, nprocs int, scale Scale, cost CostModel, contention bool) (Stats, error) {
+	i, err := core.ParseImpl(impl)
+	if err != nil {
+		return Stats{}, err
+	}
+	a, err := apps.New(app, scale)
+	if err != nil {
+		return Stats{}, err
+	}
+	res, err := run.RunWith(a, i, nprocs, cost, run.Options{Contention: contention})
+	if err != nil {
+		return Stats{}, err
+	}
+	return res.Stats, nil
+}
+
+// Sweep runs the full implementation matrix of the named applications (all
+// of them when none are given) under the cost variants of spec — e.g.
+// "net=x2,x4 detect=sw,hw"; see sweep.ParseVariantSpec for the axes — and
+// returns one record per cell in deterministic grid order, baseline variant
+// first.
+func Sweep(spec string, scale Scale, nprocs int, appNames ...string) ([]SweepRecord, error) {
+	vs, err := sweep.ParseVariantSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return sweep.Run(sweep.Grid{
+		Scale:    scale,
+		Apps:     appNames,
+		NProcs:   []int{nprocs},
+		Variants: vs,
+	})
 }
 
 // RunSeq executes the sequential reference of an application and returns

@@ -152,8 +152,12 @@ func (a *Barnes) Init(im *mem.Image) {
 		}
 		im.WriteF64(a.massAddr(i), m)
 	}
-	a.computeReference()
+	a.InitRef()
 }
+
+// InitRef implements run.RefInit: adopt the memoized sequential reference
+// without re-seeding an image.
+func (a *Barnes) InitRef() { a.computeReference() }
 
 // --- plain-Go reference implementation (also defines the physics) ---------
 

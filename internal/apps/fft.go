@@ -104,9 +104,13 @@ func (f *FFT) Init(im *mem.Image) {
 			}
 		}
 	}
-	// Sequential reference (plain Go, identical operation order), memoized
-	// per problem size: every cell of a table sweep re-solves the same
-	// instance otherwise.
+	f.InitRef()
+}
+
+// InitRef implements run.RefInit: adopt the sequential reference (plain Go,
+// identical operation order), memoized per problem size — every cell of a
+// table sweep re-solves the same instance otherwise.
+func (f *FFT) InitRef() {
 	key := [4]int{f.n1, f.n2, f.n3, f.iters}
 	if ref, ok := fftRefCache.Load(key); ok {
 		f.expected = ref.([]complex128)

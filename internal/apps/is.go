@@ -56,6 +56,9 @@ func (a *IS) Layout(al *mem.Allocator) {
 // Init implements run.App.
 func (a *IS) Init(im *mem.Image) {}
 
+// InitRef implements run.RefInit (Init is stateless).
+func (a *IS) InitRef() {}
+
 // keys regenerates processor p's deterministic key set.
 func (a *IS) keys(p, nprocs int) []int {
 	lo, hi := band(a.n, nprocs, p)

@@ -91,6 +91,9 @@ func (m *Micro) Layout(al *mem.Allocator) {
 // Init implements run.App.
 func (m *Micro) Init(im *mem.Image) {}
 
+// InitRef implements run.RefInit (Init is stateless).
+func (m *Micro) InitRef() {}
+
 // Program implements run.App.
 func (m *Micro) Program(d core.DSM) {
 	switch m.kind {

@@ -169,6 +169,12 @@ func (a *SOR) Init(im *mem.Image) {
 			im.WriteF32(a.elemAddr(base, i, j), a.initValue(i, j))
 		}
 	}
+	a.InitRef()
+}
+
+// InitRef implements run.RefInit: adopt the memoized sequential solution
+// without re-seeding an image.
+func (a *SOR) InitRef() {
 	key := [3]int{a.rows, a.cols, a.iters}
 	if ref, ok := sorRefCache.Load(key); ok {
 		a.expected = ref.([][]float32)

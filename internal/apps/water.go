@@ -108,6 +108,12 @@ func (a *Water) Init(im *mem.Image) {
 			im.WriteF64(a.dispAddr(i, c), d[c])
 		}
 	}
+	a.InitRef()
+}
+
+// InitRef implements run.RefInit: adopt the memoized sequential reference
+// trajectory without re-seeding an image.
+func (a *Water) InitRef() {
 	key := [2]int{a.m, a.steps}
 	if ref, ok := waterRefCache.Load(key); ok {
 		r := ref.(*waterRef)

@@ -51,6 +51,13 @@ type CostModel struct {
 	// WordApply is the per-word cost of applying received data (diff or
 	// timestamp runs) to local memory.
 	WordApply sim.Time
+
+	// LinkPerByte is the occupancy per byte of the shared ATM link/switch
+	// path. It is consulted only when contention mode is enabled on the
+	// Network (see Network.EnableContention): a message then holds the link
+	// for Size*LinkPerByte before its WireLatency starts, and concurrent
+	// bulk transfers queue instead of overlapping for free.
+	LinkPerByte sim.Time
 }
 
 // DefaultCostModel returns the calibrated cost model for the paper's
@@ -79,6 +86,10 @@ func DefaultCostModel() CostModel {
 		WordCompare:   75 * sim.Nanosecond,
 		WordScan:      50 * sim.Nanosecond,
 		WordApply:     50 * sim.Nanosecond,
+		// 100 Mbps raw ATM is 12.5 MB/s on the shared path; only contention
+		// mode charges this (the uncontended wire share is already folded
+		// into SendPerByte).
+		LinkPerByte: 80 * sim.Nanosecond,
 	}
 }
 

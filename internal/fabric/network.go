@@ -51,6 +51,13 @@ type Network struct {
 	procs    []*sim.Proc
 	handlers []Handler
 	stats    []Stats
+
+	// Shared-link contention (opt-in; see EnableContention). linkFree is the
+	// virtual time at which the shared ATM path next becomes idle; linkWait
+	// accumulates the queueing delay messages suffered behind it.
+	contention bool
+	linkFree   sim.Time
+	linkWait   sim.Time
 }
 
 // New returns a network over s for nprocs processors using cost model cm.
@@ -66,6 +73,46 @@ func New(s *sim.Simulator, cm CostModel, nprocs int) *Network {
 
 // Cost returns the network's cost model.
 func (n *Network) Cost() *CostModel { return &n.cm }
+
+// EnableContention switches on shared-link contention: every message must
+// additionally occupy the shared ATM link/switch path for
+// (size+header)*LinkPerByte after the sender's programmed I/O completes, and
+// the link serves one message at a time in send order. With contention off
+// (the default) transfers overlap for free and all outputs are byte-identical
+// to the calibrated model. Must be called before the simulation starts.
+func (n *Network) EnableContention() { n.contention = true }
+
+// ContentionEnabled reports whether shared-link contention is modeled.
+func (n *Network) ContentionEnabled() bool { return n.contention }
+
+// LinkWait returns the total queueing delay messages spent waiting for the
+// shared link (always zero with contention off).
+func (n *Network) LinkWait() sim.Time { return n.linkWait }
+
+// transmit moves a message of total bytes whose sender-side processing ends
+// at sendEnd to its receiver, invoking deliver with the arrival time. Without
+// contention the message arrives WireLatency after sendEnd, scheduled
+// directly (the pre-contention event pattern, kept bit-identical). With
+// contention the message first claims the shared link at sendEnd — claims are
+// processed in virtual-time order because they are themselves events — holds
+// it for total*LinkPerByte, and only then starts its WireLatency.
+func (n *Network) transmit(sendEnd sim.Time, total int, deliver func(arrive sim.Time)) {
+	if !n.contention {
+		arrive := sendEnd + n.cm.WireLatency
+		n.sim.Schedule(arrive, func() { deliver(arrive) })
+		return
+	}
+	n.sim.Schedule(sendEnd, func() {
+		start := sendEnd
+		if n.linkFree > start {
+			n.linkWait += n.linkFree - start
+			start = n.linkFree
+		}
+		n.linkFree = start + sim.Time(total)*n.cm.LinkPerByte
+		arrive := n.linkFree + n.cm.WireLatency
+		n.sim.Schedule(arrive, func() { deliver(arrive) })
+	})
+}
 
 // Attach registers proc (with request handler h) as processor proc.ID().
 func (n *Network) Attach(p *sim.Proc, h Handler) {
@@ -135,8 +182,7 @@ func (n *Network) post(p *sim.Proc, m Msg) {
 	}
 	total := n.account(p.ID(), m.Size)
 	p.Sleep(n.cm.MsgCost(total))
-	arrive := p.Now() + n.cm.WireLatency
-	n.sim.Schedule(arrive, func() { n.deliver(m, arrive) })
+	n.transmit(p.Now(), total, func(arrive sim.Time) { n.deliver(m, arrive) })
 }
 
 // ForwardFrom re-addresses request req to another processor from process
@@ -150,8 +196,7 @@ func (n *Network) ForwardFrom(p *sim.Proc, req Msg, to int, extraSize int) {
 	fwd.Size += extraSize
 	total := n.account(p.ID(), fwd.Size)
 	p.Sleep(n.cm.MsgCost(total))
-	arrive := p.Now() + n.cm.WireLatency
-	n.sim.Schedule(arrive, func() { n.deliver(fwd, arrive) })
+	n.transmit(p.Now(), total, func(arrive sim.Time) { n.deliver(fwd, arrive) })
 }
 
 // ReplyFrom sends the reply to request req from the running processor p.
@@ -166,16 +211,16 @@ func (n *Network) ReplyFrom(p *sim.Proc, req Msg, kind, size int, payload any) {
 	}
 	total := n.account(p.ID(), size)
 	p.Sleep(n.cm.MsgCost(total))
-	arrive := p.Now() + n.cm.WireLatency
-	n.deliverReply(req, Msg{From: p.ID(), To: req.From, Kind: kind, Size: size, Payload: payload}, arrive)
+	reply := Msg{From: p.ID(), To: req.From, Kind: kind, Size: size, Payload: payload}
+	n.transmit(p.Now(), total, func(arrive sim.Time) { n.deliverReply(req, reply, arrive) })
 }
 
+// deliverReply hands the reply to the waiting caller at arrival time; it runs
+// in scheduler context at arrive. Reply handling interrupts the receiver like
+// any message.
 func (n *Network) deliverReply(req Msg, reply Msg, arrive sim.Time) {
-	n.sim.Schedule(arrive, func() {
-		// Reply handling interrupts the receiver like any message.
-		n.procs[reply.To].InjectWork(n.cm.HandlerFixed)
-		req.waiter.Deliver(reply, arrive+n.cm.HandlerFixed)
-	})
+	n.procs[reply.To].InjectWork(n.cm.HandlerFixed)
+	req.waiter.Deliver(reply, arrive+n.cm.HandlerFixed)
 }
 
 // deliver runs the destination's request handler at arrival time, charging
@@ -220,8 +265,8 @@ func (hc *HandlerCtx) Send(to, kind, size int, payload any) {
 	}
 	total := hc.n.account(hc.self, size)
 	hc.busy += hc.n.cm.MsgCost(total)
-	arrive := hc.at + hc.busy + hc.n.cm.WireLatency
-	hc.n.sim.Schedule(arrive, func() { hc.n.deliver(Msg{From: hc.self, To: to, Kind: kind, Size: size, Payload: payload}, arrive) })
+	m := Msg{From: hc.self, To: to, Kind: kind, Size: size, Payload: payload}
+	hc.n.transmit(hc.at+hc.busy, total, func(arrive sim.Time) { hc.n.deliver(m, arrive) })
 }
 
 // Reply answers request req from within the handler.
@@ -231,8 +276,8 @@ func (hc *HandlerCtx) Reply(req Msg, kind, size int, payload any) {
 	}
 	total := hc.n.account(hc.self, size)
 	hc.busy += hc.n.cm.MsgCost(total)
-	arrive := hc.at + hc.busy + hc.n.cm.WireLatency
-	hc.n.deliverReply(req, Msg{From: hc.self, To: req.From, Kind: kind, Size: size, Payload: payload}, arrive)
+	reply := Msg{From: hc.self, To: req.From, Kind: kind, Size: size, Payload: payload}
+	hc.n.transmit(hc.at+hc.busy, total, func(arrive sim.Time) { hc.n.deliverReply(req, reply, arrive) })
 }
 
 // Forward re-addresses request req to another processor, preserving the
@@ -247,8 +292,7 @@ func (hc *HandlerCtx) Forward(req Msg, to int, extraSize int) {
 	fwd.Size += extraSize
 	total := hc.n.account(hc.self, fwd.Size)
 	hc.busy += hc.n.cm.MsgCost(total)
-	arrive := hc.at + hc.busy + hc.n.cm.WireLatency
-	hc.n.sim.Schedule(arrive, func() { hc.n.deliver(fwd, arrive) })
+	hc.n.transmit(hc.at+hc.busy, total, func(arrive sim.Time) { hc.n.deliver(fwd, arrive) })
 }
 
 // LocalReply delivers a reply to a request that was queued earlier by this

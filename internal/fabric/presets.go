@@ -1,0 +1,117 @@
+package fabric
+
+import (
+	"fmt"
+	"math"
+
+	"ecvslrc/internal/sim"
+)
+
+// The knobs below are the sensitivity axes of the EC-vs-LRC comparison: the
+// paper's verdict depends on platform constants (messaging software, wire
+// bandwidth, write-detection cost, diff hardware), and each knob moves one
+// group of constants while leaving the rest calibrated. They compose: each
+// returns a modified copy, so cm.ScaleNetwork(4).HardwareWriteDetection() is
+// a valid variant. See EXPERIMENTS.md for the calibration and the axes.
+
+// scaled divides t by k, rounding to the nearest simulated nanosecond.
+func scaled(t sim.Time, k float64) sim.Time {
+	return sim.Time(math.Round(float64(t) / k))
+}
+
+// ScaleNetwork returns a copy with the whole messaging path k times faster:
+// fixed send/handler software, per-byte programmed I/O and wire share,
+// switch+interrupt latency, and the shared-link occupancy. k=1 is identity;
+// k>1 models a faster interconnect (e.g. k=10 approximates gigabit-class
+// networking relative to the paper's 100 Mbps ATM).
+func (cm CostModel) ScaleNetwork(k float64) CostModel {
+	cm.SendFixed = scaled(cm.SendFixed, k)
+	cm.SendPerByte = scaled(cm.SendPerByte, k)
+	cm.WireLatency = scaled(cm.WireLatency, k)
+	cm.HandlerFixed = scaled(cm.HandlerFixed, k)
+	cm.LinkPerByte = scaled(cm.LinkPerByte, k)
+	return cm
+}
+
+// ScaleCPU returns a copy with the memory-management software k times
+// faster: protection faults, mprotect, store instrumentation, and the
+// per-word twin/compare/scan/apply costs. The messaging path is untouched
+// (use ScaleNetwork for it), so CPU and network speed are independent axes.
+func (cm CostModel) ScaleCPU(k float64) CostModel {
+	cm.ProtFault = scaled(cm.ProtFault, k)
+	cm.MProtect = scaled(cm.MProtect, k)
+	cm.InstrStore = scaled(cm.InstrStore, k)
+	cm.InstrStoreOpt = scaled(cm.InstrStoreOpt, k)
+	cm.WordCopy = scaled(cm.WordCopy, k)
+	cm.WordCompare = scaled(cm.WordCompare, k)
+	cm.WordScan = scaled(cm.WordScan, k)
+	cm.WordApply = scaled(cm.WordApply, k)
+	return cm
+}
+
+// HardwareWriteDetection returns a copy in which write trapping is free, as
+// if the memory system maintained per-block dirty bits in hardware: no store
+// instrumentation, no protection faults, no mprotect transitions. Collection
+// costs (twinning, comparing, scanning) are untouched; combine with
+// ZeroCostDiff to model a full hardware diff engine.
+func (cm CostModel) HardwareWriteDetection() CostModel {
+	cm.InstrStore = 0
+	cm.InstrStoreOpt = 0
+	cm.ProtFault = 0
+	cm.MProtect = 0
+	return cm
+}
+
+// ZeroCostDiff returns a copy in which write collection is free, as if twin
+// creation, word comparison, timestamp scanning and data application were
+// performed by hardware (or hidden behind the memory system): the protocols
+// still move the same messages and bytes, but pay no per-word CPU time.
+func (cm CostModel) ZeroCostDiff() CostModel {
+	cm.WordCopy = 0
+	cm.WordCompare = 0
+	cm.WordScan = 0
+	cm.WordApply = 0
+	return cm
+}
+
+// Preset is a named, documented cost-model variant.
+type Preset struct {
+	Name string
+	Desc string
+	Cost CostModel
+}
+
+// Presets lists the named cost models, the calibrated paper platform first.
+// These are the starting points of a sensitivity sweep; arbitrary variants
+// compose from the knobs above (see sweep.ParseVariantSpec).
+func Presets() []Preset {
+	base := DefaultCostModel()
+	return []Preset{
+		{"paper", "calibrated DECstation-5000/240 + 100 Mbps ATM platform", base},
+		{"net-x2", "messaging path 2x faster", base.ScaleNetwork(2)},
+		{"net-x4", "messaging path 4x faster", base.ScaleNetwork(4)},
+		{"cpu-x4", "memory-management software 4x faster", base.ScaleCPU(4)},
+		{"hw-detect", "free write trapping (hardware dirty bits)", base.HardwareWriteDetection()},
+		{"hw-diff", "free write collection (hardware diff engine)", base.ZeroCostDiff()},
+		{"modern", "10x network and 25x CPU, a late-90s cluster", base.ScaleNetwork(10).ScaleCPU(25)},
+	}
+}
+
+// PresetByName resolves a named preset.
+func PresetByName(name string) (CostModel, error) {
+	for _, p := range Presets() {
+		if p.Name == name {
+			return p.Cost, nil
+		}
+	}
+	return CostModel{}, fmt.Errorf("fabric: unknown cost preset %q", name)
+}
+
+// PresetNames lists the preset names in Presets order.
+func PresetNames() []string {
+	var out []string
+	for _, p := range Presets() {
+		out = append(out, p.Name)
+	}
+	return out
+}

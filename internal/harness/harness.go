@@ -6,6 +6,7 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -15,6 +16,7 @@ import (
 	"ecvslrc/internal/apps"
 	"ecvslrc/internal/core"
 	"ecvslrc/internal/fabric"
+	"ecvslrc/internal/mem"
 	"ecvslrc/internal/run"
 	"ecvslrc/internal/sim"
 )
@@ -29,6 +31,27 @@ type Config struct {
 	// are always assembled in table order, making the output independent of
 	// the worker count. <= 0 means GOMAXPROCS.
 	Parallel int
+	// Contention enables shared-link contention in the fabric (see
+	// fabric.Network.EnableContention). Off reproduces the calibrated
+	// free-overlap model bit-exactly.
+	Contention bool
+}
+
+// ErrConfig is wrapped by every Config validation failure.
+var ErrConfig = errors.New("invalid harness config")
+
+// Validate reports whether the configuration can run at all. Errors wrap
+// ErrConfig so callers can classify them with errors.Is.
+func (cfg Config) Validate() error {
+	if cfg.NProcs < 1 {
+		return fmt.Errorf("harness: %w: nprocs %d < 1", ErrConfig, cfg.NProcs)
+	}
+	switch cfg.Scale {
+	case apps.Test, apps.Bench, apps.Paper:
+	default:
+		return fmt.Errorf("harness: %w: unknown scale %d", ErrConfig, int(cfg.Scale))
+	}
+	return nil
 }
 
 // Default returns the paper's configuration: 8 processors, paper-size data
@@ -44,11 +67,12 @@ func (cfg Config) parallelism() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// forEach runs fn(i) for every i in [0, n) on a bounded worker pool. fn must
+// ForEach runs fn(i) for every i in [0, n) on a bounded worker pool. fn must
 // write its result to an index-addressed slot; iteration order is unspecified
-// but every index completes before forEach returns, so callers assemble
-// deterministic output regardless of par.
-func forEach(par, n int, fn func(int)) {
+// but every index completes before ForEach returns, so callers assemble
+// deterministic output regardless of par. The sweep engine reuses this pool
+// for its grid cells.
+func ForEach(par, n int, fn func(int)) {
 	if par > n {
 		par = n
 	}
@@ -84,13 +108,58 @@ type Row struct {
 	Err error
 }
 
+// imageCache memoizes pre-seeded initial images per (application, scale):
+// seeding is a pure function of the problem instance, and a sweep re-runs the
+// same instance for every implementation, processor count and cost variant.
+// Seeding runs under a per-key once — not a global lock — so a parallel
+// sweep's first touches of distinct apps seed concurrently. The footprint is
+// bounded by #apps x #scales (a few MB per paper-scale image); cells share
+// images read-only.
+var imageCache sync.Map // imageKey -> *imageEntry
+
+type imageKey struct {
+	app   string
+	scale apps.Scale
+}
+
+type imageEntry struct {
+	once sync.Once
+	im   *mem.Image
+	err  error
+}
+
+// InitImage returns the cached pre-seeded initial image for (app, scale),
+// seeding it on first use. The returned image must be treated as read-only.
+func InitImage(app string, scale apps.Scale) (*mem.Image, error) {
+	e, _ := imageCache.LoadOrStore(imageKey{app, scale}, &imageEntry{})
+	ent := e.(*imageEntry)
+	ent.once.Do(func() {
+		a, err := apps.New(app, scale)
+		if err != nil {
+			ent.err = err
+			return
+		}
+		al := mem.NewAllocator()
+		a.Layout(al)
+		im := mem.NewImage(al.Size())
+		a.Init(im)
+		ent.im = im
+	})
+	return ent.im, ent.err
+}
+
 // RunCell executes one cell of the evaluation matrix.
 func RunCell(cfg Config, app string, impl core.Impl) Row {
 	a, err := apps.New(app, cfg.Scale)
 	if err != nil {
 		return Row{App: app, Impl: impl, Err: err}
 	}
-	res, err := run.Run(a, impl, cfg.NProcs, cfg.Cost)
+	im, err := InitImage(app, cfg.Scale)
+	if err != nil {
+		return Row{App: app, Impl: impl, Err: err}
+	}
+	opts := run.Options{Contention: cfg.Contention, InitImage: im}
+	res, err := run.RunWith(a, impl, cfg.NProcs, cfg.Cost, opts)
 	return Row{App: app, Impl: impl, Result: res, Err: err}
 }
 
@@ -100,7 +169,11 @@ func RunSeq(cfg Config, app string) (sim.Time, error) {
 	if err != nil {
 		return 0, err
 	}
-	return run.RunSeq(a)
+	im, err := InitImage(app, cfg.Scale)
+	if err != nil {
+		return 0, err
+	}
+	return run.RunSeqWith(a, run.Options{InitImage: im})
 }
 
 // Table2 renders the application-parameter table for the configured scale.
@@ -163,7 +236,7 @@ func Table3(cfg Config, appNames []string) ([]Table3Result, error) {
 	seqTimes := make([]sim.Time, len(appNames))
 	seqErrs := make([]error, len(appNames))
 	rows := make([]Row, len(appNames)*len(impls))
-	forEach(cfg.parallelism(), len(appNames)*stride, func(k int) {
+	ForEach(cfg.parallelism(), len(appNames)*stride, func(k int) {
 		app := appNames[k/stride]
 		j := k % stride
 		if j == 0 {
@@ -230,7 +303,7 @@ func implSuffix(i core.Impl) string {
 func TableModel(cfg Config, model core.Model, appNames []string) (map[string][]Row, error) {
 	impls := core.ModelImpls(model)
 	rows := make([]Row, len(appNames)*len(impls))
-	forEach(cfg.parallelism(), len(rows), func(k int) {
+	ForEach(cfg.parallelism(), len(rows), func(k int) {
 		rows[k] = RunCell(cfg, appNames[k/len(impls)], impls[k%len(impls)])
 	})
 	out := make(map[string][]Row)
@@ -295,7 +368,7 @@ func Micro(cfg Config) (map[string][]Row, error) {
 	names := apps.MicroNames()
 	impls := core.Implementations()
 	rows := make([]Row, len(names)*len(impls))
-	forEach(cfg.parallelism(), len(rows), func(k int) {
+	ForEach(cfg.parallelism(), len(rows), func(k int) {
 		rows[k] = RunCell(cfg, names[k/len(impls)], impls[k%len(impls)])
 	})
 	out := make(map[string][]Row)
@@ -321,4 +394,46 @@ func FormatMicro(rows map[string][]Row) string {
 		}
 	}
 	return b.String()
+}
+
+// BenchReport renders the complete `dsmbench -all` output — Tables 2-5, the
+// Section 7.2 counters and the Section 7.1 factor kernels — as one string.
+// cmd/dsmbench prints exactly this for -all, and the byte-identity regression
+// test pins it against the seed's golden output with contention off.
+func BenchReport(cfg Config, appNames []string) (string, error) {
+	if err := cfg.Validate(); err != nil {
+		return "", err
+	}
+	if len(appNames) == 0 {
+		appNames = apps.Names()
+	}
+	var b strings.Builder
+	b.WriteString(Table2(cfg))
+	b.WriteString("\n")
+	t3, err := Table3(cfg, appNames)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(FormatTable3(t3))
+	b.WriteString("\n")
+	t4, err := TableModel(cfg, core.EC, appNames)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(FormatTableModel(core.EC, t4, appNames))
+	b.WriteString("\n")
+	t5, err := TableModel(cfg, core.LRC, appNames)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(FormatTableModel(core.LRC, t5, appNames))
+	b.WriteString("\n")
+	b.WriteString(FormatCounters(t3))
+	b.WriteString("\n")
+	m, err := Micro(cfg)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(FormatMicro(m))
+	return b.String(), nil
 }

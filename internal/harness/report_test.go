@@ -1,0 +1,96 @@
+package harness
+
+import (
+	"errors"
+	"os"
+	"testing"
+
+	"ecvslrc/internal/apps"
+	"ecvslrc/internal/core"
+	"ecvslrc/internal/fabric"
+	"ecvslrc/internal/run"
+)
+
+// TestBenchReportMatchesSeedGolden pins the complete `dsmbench -all -micro
+// -scale bench` output against the seed's byte-identical golden: with
+// contention off and the default cost model, no refactor (sweep engine,
+// image cache, fabric transmit path) may move a single byte.
+func TestBenchReportMatchesSeedGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench-scale full sweep")
+	}
+	want, err := os.ReadFile("testdata/bench_all_micro.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Scale: apps.Bench, NProcs: 8, Cost: fabric.DefaultCostModel()}
+	got, err := BenchReport(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("BenchReport drifted from the seed golden (%d vs %d bytes); regenerate deliberately with `go run ./cmd/dsmbench -all -micro -scale bench > internal/harness/testdata/bench_all_micro.golden` only if the simulated statistics were meant to change", len(got), len(want))
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{Scale: apps.Test, NProcs: 2, Cost: fabric.DefaultCostModel()}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{Scale: apps.Test, NProcs: 0},
+		{Scale: apps.Scale(99), NProcs: 4},
+	}
+	for _, cfg := range bad {
+		err := cfg.Validate()
+		if err == nil {
+			t.Errorf("config %+v accepted", cfg)
+			continue
+		}
+		if !errors.Is(err, ErrConfig) {
+			t.Errorf("error does not wrap ErrConfig: %v", err)
+		}
+	}
+	if _, err := BenchReport(Config{Scale: apps.Test, NProcs: 0}, nil); !errors.Is(err, ErrConfig) {
+		t.Errorf("BenchReport did not propagate config error: %v", err)
+	}
+}
+
+// TestInitImageCached checks the per-(app, scale) cache returns the same
+// seeded image on every call and that cells using it still verify.
+func TestInitImageCached(t *testing.T) {
+	a, err := InitImage("SOR", apps.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := InitImage("SOR", apps.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("second InitImage call did not hit the cache")
+	}
+	if _, err := InitImage("no-such-app", apps.Test); err == nil {
+		t.Error("want error for unknown app")
+	}
+	// A cell run off the cached image must produce the exact stats of a
+	// cold run (run.Run seeds its own image, bypassing the cache).
+	cfg := Config{Scale: apps.Test, NProcs: 4, Cost: fabric.DefaultCostModel()}
+	impl := core.Impl{Model: core.LRC, Trap: core.Twinning, Collect: core.Diffs}
+	row := RunCell(cfg, "SOR", impl)
+	if row.Err != nil {
+		t.Fatal(row.Err)
+	}
+	app, err := apps.New("SOR", apps.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := run.Run(app, impl, cfg.NProcs, cfg.Cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Stats != cold.Stats {
+		t.Errorf("cached-image stats differ from cold run:\n  cached: %+v\n  cold:   %+v", row.Stats, cold.Stats)
+	}
+}

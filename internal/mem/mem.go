@@ -149,10 +149,15 @@ type Image struct {
 	data []byte
 }
 
+// ImageBytes returns the page-rounded byte size an image of size bytes
+// occupies.
+func ImageBytes(size int) int {
+	return (size + PageSize - 1) / PageSize * PageSize
+}
+
 // NewImage returns a zeroed image of size bytes (page-rounded up).
 func NewImage(size int) *Image {
-	pages := (size + PageSize - 1) / PageSize
-	return &Image{data: make([]byte, pages*PageSize)}
+	return &Image{data: make([]byte, ImageBytes(size))}
 }
 
 // imagePools recycles image backing stores across simulator runs, one pool

@@ -37,6 +37,30 @@ type App interface {
 	Verify(im *mem.Image) error
 }
 
+// RefInit is implemented by applications whose Init separates into image
+// seeding (a pure, deterministic function of the problem instance) and
+// adoption of the verification reference (memoized per problem size).
+// RunWith calls InitRef instead of Init when handed a cached initial image,
+// skipping the seeding writes. Apps whose Init keeps no instance state
+// implement it as a no-op.
+type RefInit interface {
+	InitRef()
+}
+
+// Options tunes one run beyond the cost model.
+type Options struct {
+	// Contention enables shared-link contention in the fabric: concurrent
+	// bulk transfers queue on the ATM path instead of overlapping for free.
+	// Off reproduces the calibrated model bit-exactly.
+	Contention bool
+	// InitImage, when non-nil, is a pre-seeded initial image for this exact
+	// application instance (same name, same scale), typically from the
+	// harness's per-(app, scale) cache. It is only honored for apps
+	// implementing RefInit; ownership stays with the caller (the image is
+	// read, never recycled).
+	InitImage *mem.Image
+}
+
 // node is the common view of ec.Node and lrc.Node the runner needs.
 type node interface {
 	core.DSM
@@ -55,16 +79,26 @@ type Result struct {
 // Run executes app on nprocs processors under the given implementation and
 // cost model, returning the aggregated statistics.
 func Run(app App, impl core.Impl, nprocs int, cm fabric.CostModel) (Result, error) {
+	return RunWith(app, impl, nprocs, cm, Options{})
+}
+
+// RunWith is Run with per-run Options (fabric contention, cached images).
+func RunWith(app App, impl core.Impl, nprocs int, cm fabric.CostModel, opts Options) (Result, error) {
 	if !impl.Valid() {
 		return Result{}, fmt.Errorf("run: invalid implementation %v", impl)
 	}
 	al := mem.NewAllocator()
 	app.Layout(al)
-	initIm := mem.NewImage(al.Size())
-	app.Init(initIm)
+	initIm, cached, err := initialImage(app, al, opts)
+	if err != nil {
+		return Result{}, err
+	}
 
 	s := sim.New()
 	net := fabric.New(s, cm, nprocs)
+	if opts.Contention {
+		net.EnableContention()
+	}
 	nodes := make([]node, nprocs)
 	images := make([]*mem.Image, nprocs)
 	for i := 0; i < nprocs; i++ {
@@ -88,8 +122,11 @@ func Run(app App, impl core.Impl, nprocs int, cm fabric.CostModel) (Result, erro
 			nodes[i], images[i] = n, n.Im
 		}
 	}
-	// Every node holds its own copy now; recycle the template's buffer.
-	mem.RecycleImage(initIm)
+	// Every node holds its own copy now; recycle the template's buffer
+	// (cached templates stay with their owner).
+	if !cached {
+		mem.RecycleImage(initIm)
+	}
 	if err := s.Run(); err != nil {
 		return Result{}, fmt.Errorf("run: %s on %v: %w", app.Name(), impl, err)
 	}
@@ -137,13 +174,49 @@ func Run(app App, impl core.Impl, nprocs int, cm fabric.CostModel) (Result, erro
 	return res, nil
 }
 
+// initialImage produces the seeded initial image for app (already laid out
+// on al), honoring a cached image from opts when the app supports reference
+// adoption. cached reports whether the returned image is caller-owned.
+func initialImage(app App, al *mem.Allocator, opts Options) (im *mem.Image, cached bool, err error) {
+	if opts.InitImage != nil {
+		if r, ok := app.(RefInit); ok {
+			want := mem.ImageBytes(al.Size())
+			if opts.InitImage.Size() != want {
+				return nil, false, fmt.Errorf("run: %s: cached image is %d bytes, layout needs %d",
+					app.Name(), opts.InitImage.Size(), want)
+			}
+			r.InitRef()
+			return opts.InitImage, true, nil
+		}
+	}
+	im = mem.NewImage(al.Size())
+	app.Init(im)
+	return im, false, nil
+}
+
 // RunSeq executes app sequentially (one processor, no DSM machinery) and
 // returns the pure computation time — the paper's "1 proc." column.
 func RunSeq(app App) (sim.Time, error) {
+	return RunSeqWith(app, Options{})
+}
+
+// RunSeqWith is RunSeq with Options. A cached initial image is copied, not
+// mutated: the sequential program runs on its own scratch image.
+func RunSeqWith(app App, opts Options) (sim.Time, error) {
 	al := mem.NewAllocator()
 	app.Layout(al)
-	im := mem.NewImage(al.Size())
-	app.Init(im)
+	var im *mem.Image
+	initIm, cached, err := initialImage(app, al, opts)
+	if err != nil {
+		return 0, err
+	}
+	if cached {
+		im = mem.RecycledImage(al.Size())
+		im.CopyFrom(initIm)
+		defer mem.RecycleImage(im)
+	} else {
+		im = initIm
+	}
 	d := &Local{im: im}
 	app.Program(d)
 	if !d.ended {

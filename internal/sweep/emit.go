@@ -1,0 +1,228 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// csvHeader names the flat CSV columns, one per Record field with the full
+// core.Stats expanded.
+var csvHeader = []string{
+	"variant", "contention", "app", "impl", "nprocs",
+	"seq_sec", "time_sec", "speedup",
+	"msgs", "bytes", "faults", "access_misses",
+	"lock_acquires", "read_lock_acquires", "remote_acquires", "barriers",
+	"diffs_created", "twins_made", "stamp_runs_sent",
+}
+
+// WriteCSV emits one flat row per record, in record order.
+func WriteCSV(w io.Writer, recs []Record) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("sweep: csv: %w", err)
+	}
+	for _, r := range recs {
+		row := []string{
+			r.Variant,
+			strconv.FormatBool(r.Contention),
+			r.App,
+			r.Impl,
+			strconv.Itoa(r.NProcs),
+			fmt.Sprintf("%.6f", r.Seq.Seconds()),
+			fmt.Sprintf("%.6f", r.Stats.Time.Seconds()),
+			fmt.Sprintf("%.3f", r.Speedup),
+			strconv.FormatInt(r.Stats.Msgs, 10),
+			strconv.FormatInt(r.Stats.Bytes, 10),
+			strconv.FormatInt(r.Stats.Faults, 10),
+			strconv.FormatInt(r.Stats.AccessMisses, 10),
+			strconv.FormatInt(r.Stats.LockAcquires, 10),
+			strconv.FormatInt(r.Stats.ReadLockAcquires, 10),
+			strconv.FormatInt(r.Stats.RemoteAcquires, 10),
+			strconv.FormatInt(r.Stats.Barriers, 10),
+			strconv.FormatInt(r.Stats.DiffsCreated, 10),
+			strconv.FormatInt(r.Stats.TwinsMade, 10),
+			strconv.FormatInt(r.Stats.StampRunsSent, 10),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("sweep: csv: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("sweep: csv: %w", err)
+	}
+	return nil
+}
+
+// WriteJSONL emits one JSON object per line per record, in record order.
+// Times are nanoseconds of simulated time.
+func WriteJSONL(w io.Writer, recs []Record) error {
+	enc := json.NewEncoder(w)
+	for _, r := range recs {
+		if err := enc.Encode(r); err != nil {
+			return fmt.Errorf("sweep: jsonl: %w", err)
+		}
+	}
+	return nil
+}
+
+// WriteMarkdown renders the sweep as one table per variant, in record order.
+func WriteMarkdown(w io.Writer, recs []Record) error {
+	bw := &errWriter{w: w}
+	bw.printf("# Sensitivity sweep\n")
+	current := ""
+	for _, r := range recs {
+		if r.Variant != current {
+			current = r.Variant
+			contention := "off"
+			if r.Contention {
+				contention = "on"
+			}
+			bw.printf("\n## Variant `%s` (contention %s)\n\n", r.Variant, contention)
+			bw.printf("| App | Impl | Procs | Time (s) | Speedup | Msgs | MB |\n")
+			bw.printf("|---|---|---:|---:|---:|---:|---:|\n")
+		}
+		bw.printf("| %s | %s | %d | %.3f | %.2f | %d | %.2f |\n",
+			r.App, r.Impl, r.NProcs, r.Stats.Time.Seconds(), r.Speedup, r.Stats.Msgs, r.Stats.MB())
+	}
+	return bw.err
+}
+
+// WriteBaselineReport renders the sensitivity verdict: per variant, each
+// cell's execution time against the same cell under the baseline variant,
+// plus the EC-vs-LRC winner flips the variant causes — the question the
+// paper's Section 8 asks about faster platforms. Cells with no baseline
+// counterpart are skipped.
+func WriteBaselineReport(w io.Writer, recs []Record, baseline string) error {
+	type cellKey struct {
+		app    string
+		impl   string
+		nprocs int
+	}
+	base := make(map[cellKey]Record)
+	for _, r := range recs {
+		if r.Variant == baseline {
+			base[cellKey{r.App, r.Impl, r.NProcs}] = r
+		}
+	}
+	bw := &errWriter{w: w}
+	bw.printf("# Sensitivity vs `%s`\n", baseline)
+	if len(base) == 0 {
+		bw.printf("\nNo `%s` cells in this sweep; nothing to compare.\n", baseline)
+		return bw.err
+	}
+	current := ""
+	for _, r := range recs {
+		if r.Variant == baseline {
+			continue
+		}
+		b, ok := base[cellKey{r.App, r.Impl, r.NProcs}]
+		if !ok {
+			continue
+		}
+		if r.Variant != current {
+			current = r.Variant
+			bw.printf("\n## `%s` vs `%s`\n\n", r.Variant, baseline)
+			bw.printf("| App | Impl | Procs | %s (s) | %s (s) | Δ time | Speedup %s → %s |\n",
+				baseline, r.Variant, baseline, r.Variant)
+			bw.printf("|---|---|---:|---:|---:|---:|---:|\n")
+		}
+		delta := 100 * (float64(r.Stats.Time) - float64(b.Stats.Time)) / float64(b.Stats.Time)
+		bw.printf("| %s | %s | %d | %.3f | %.3f | %+.1f%% | %.2f → %.2f |\n",
+			r.App, r.Impl, r.NProcs, b.Stats.Time.Seconds(), r.Stats.Time.Seconds(),
+			delta, b.Speedup, r.Speedup)
+	}
+	writeVerdictFlips(bw, recs, baseline)
+	return bw.err
+}
+
+// writeVerdictFlips reports where a variant changes the paper's headline
+// verdict: for each (app, nprocs), the better model (best EC vs best LRC
+// time) under the baseline against the better model under each variant.
+func writeVerdictFlips(bw *errWriter, recs []Record, baseline string) {
+	type vKey struct {
+		variant string
+		app     string
+		nprocs  int
+	}
+	bestEC := make(map[vKey]Record)
+	bestLRC := make(map[vKey]Record)
+	var variantOrder []string
+	seenVariant := make(map[string]bool)
+	type appKey struct {
+		app    string
+		nprocs int
+	}
+	var cellOrder []appKey
+	seenCell := make(map[appKey]bool)
+	for _, r := range recs {
+		if !seenVariant[r.Variant] {
+			seenVariant[r.Variant] = true
+			variantOrder = append(variantOrder, r.Variant)
+		}
+		ck := appKey{r.App, r.NProcs}
+		if !seenCell[ck] {
+			seenCell[ck] = true
+			cellOrder = append(cellOrder, ck)
+		}
+		k := vKey{r.Variant, r.App, r.NProcs}
+		table := bestLRC
+		if len(r.Impl) >= 2 && r.Impl[:2] == "EC" {
+			table = bestEC
+		}
+		if cur, ok := table[k]; !ok || r.Stats.Time < cur.Stats.Time {
+			table[k] = r
+		}
+	}
+	winner := func(variant, app string, nprocs int) (string, bool) {
+		k := vKey{variant, app, nprocs}
+		ec, okEC := bestEC[k]
+		lrc, okLRC := bestLRC[k]
+		if !okEC || !okLRC {
+			return "", false
+		}
+		if ec.Stats.Time < lrc.Stats.Time {
+			return "EC", true
+		}
+		return "LRC", true
+	}
+	var flips []string
+	for _, v := range variantOrder {
+		if v == baseline {
+			continue
+		}
+		for _, ck := range cellOrder {
+			b, okB := winner(baseline, ck.app, ck.nprocs)
+			n, okN := winner(v, ck.app, ck.nprocs)
+			if okB && okN && b != n {
+				flips = append(flips, fmt.Sprintf("| %s | %s | %d | %s | %s |", v, ck.app, ck.nprocs, b, n))
+			}
+		}
+	}
+	bw.printf("\n## Verdict flips\n\n")
+	if len(flips) == 0 {
+		bw.printf("No variant changes the best-EC vs best-LRC winner for any cell.\n")
+		return
+	}
+	bw.printf("| Variant | App | Procs | %s winner | Variant winner |\n", baseline)
+	bw.printf("|---|---|---:|---|---|\n")
+	for _, f := range flips {
+		bw.printf("%s\n", f)
+	}
+}
+
+// errWriter latches the first write error so format chains stay readable.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

@@ -1,0 +1,102 @@
+package sweep
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ecvslrc/internal/core"
+	"ecvslrc/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite the emitter golden files")
+
+// sampleRecords is a fixed two-variant, two-app, two-impl sweep crafted so
+// the net=x4 variant flips the Water verdict from LRC to EC.
+func sampleRecords() []Record {
+	mk := func(variant string, cont bool, app, impl string, np int, seq, tm sim.Time, msgs, bytes int64) Record {
+		return Record{
+			Variant: variant, Contention: cont, App: app, Impl: impl, NProcs: np,
+			Seq: seq, Speedup: float64(seq) / float64(tm),
+			Stats: core.Stats{
+				Time: tm, Msgs: msgs, Bytes: bytes,
+				Faults: 7, AccessMisses: 3, LockAcquires: 100, ReadLockAcquires: 10,
+				RemoteAcquires: 40, Barriers: 6, DiffsCreated: 12, TwinsMade: 5, StampRunsSent: 9,
+			},
+		}
+	}
+	const s = sim.Second
+	return []Record{
+		mk("paper", false, "SOR", "EC-time", 8, 4*s, 2*s, 1200, 3_000_000),
+		mk("paper", false, "SOR", "LRC-ci", 8, 4*s, 1*s, 800, 2_000_000),
+		mk("paper", false, "Water", "EC-time", 8, 5*s, 2*s+s/2, 3000, 9_000_000),
+		mk("paper", false, "Water", "LRC-ci", 8, 5*s, 2*s, 2500, 8_000_000),
+		mk("net=x4", true, "SOR", "EC-time", 8, 4*s, 1*s, 1200, 3_000_000),
+		mk("net=x4", true, "SOR", "LRC-ci", 8, 4*s, s/2, 800, 2_000_000),
+		mk("net=x4", true, "Water", "EC-time", 8, 5*s, 1*s, 3000, 9_000_000),
+		mk("net=x4", true, "Water", "LRC-ci", 8, 5*s, s+s/4, 2500, 8_000_000),
+	}
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with `go test ./internal/sweep -run TestEmit -update`)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestEmitCSVGolden(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteCSV(&b, sampleRecords()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "sample.csv", b.Bytes())
+}
+
+func TestEmitJSONLGolden(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteJSONL(&b, sampleRecords()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "sample.jsonl", b.Bytes())
+}
+
+func TestEmitMarkdownGolden(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteMarkdown(&b, sampleRecords()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "sample.md", b.Bytes())
+}
+
+func TestEmitBaselineReportGolden(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteBaselineReport(&b, sampleRecords(), BaselineName); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "sample_report.md", b.Bytes())
+}
+
+func TestBaselineReportWithoutBaseline(t *testing.T) {
+	recs := sampleRecords()[4:] // only the net=x4 cells
+	var b bytes.Buffer
+	if err := WriteBaselineReport(&b, recs, BaselineName); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(b.Bytes(), []byte("nothing to compare")) {
+		t.Errorf("report:\n%s", b.String())
+	}
+}

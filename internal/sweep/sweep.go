@@ -1,0 +1,181 @@
+// Package sweep is the sensitivity-sweep subsystem: it runs a grid of
+// (application x implementation x processor count x cost variant) cells on
+// the bounded-worker harness and emits structured, deterministic results.
+// The paper's verdict — entry consistency vs lazy release consistency —
+// depends on platform constants (messaging software, wire bandwidth,
+// write-detection cost, diff hardware); a sweep quantifies that dependence by
+// re-running the evaluation matrix under named cost-model variants (see
+// fabric's presets and knobs, and ParseVariantSpec for the spec syntax) and
+// comparing every variant against the calibrated paper platform.
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+
+	"ecvslrc/internal/apps"
+	"ecvslrc/internal/core"
+	"ecvslrc/internal/fabric"
+	"ecvslrc/internal/harness"
+	"ecvslrc/internal/sim"
+)
+
+// Variant is one cost-model point of a sweep: a name for reports, the
+// platform constants, and whether shared-link contention is modeled.
+type Variant struct {
+	Name       string
+	Cost       fabric.CostModel
+	Contention bool
+}
+
+// BaselineName is the canonical name of the calibrated paper platform.
+const BaselineName = "paper"
+
+// Baseline returns the paper-default variant every report compares against.
+func Baseline() Variant {
+	return Variant{Name: BaselineName, Cost: fabric.DefaultCostModel()}
+}
+
+// Grid describes a sweep: the cross product of Apps x NProcs x Impls is run
+// under every Variant. Zero-valued fields get defaults from normalized.
+type Grid struct {
+	Scale    apps.Scale
+	Apps     []string    // default: the paper's application suite
+	Impls    []core.Impl // default: all six implementations
+	NProcs   []int       // default: {8}
+	Variants []Variant   // default: {Baseline()}
+	// Parallel bounds concurrent cells, exactly like harness.Config.Parallel;
+	// records are assembled in grid order, so results are identical for any
+	// worker count. <= 0 means GOMAXPROCS.
+	Parallel int
+}
+
+// ErrGrid is wrapped by every Grid validation failure.
+var ErrGrid = errors.New("invalid sweep grid")
+
+// normalized fills defaults and validates, wrapping ErrGrid on failure.
+func (g Grid) normalized() (Grid, error) {
+	if len(g.Apps) == 0 {
+		g.Apps = apps.Names()
+	}
+	if len(g.Impls) == 0 {
+		g.Impls = core.Implementations()
+	}
+	if len(g.NProcs) == 0 {
+		g.NProcs = []int{8}
+	}
+	if len(g.Variants) == 0 {
+		g.Variants = []Variant{Baseline()}
+	}
+	for _, np := range g.NProcs {
+		if np < 1 {
+			return g, fmt.Errorf("sweep: %w: nprocs %d < 1", ErrGrid, np)
+		}
+	}
+	for _, i := range g.Impls {
+		if !i.Valid() {
+			return g, fmt.Errorf("sweep: %w: implementation %v", ErrGrid, i)
+		}
+	}
+	seen := make(map[string]bool, len(g.Variants))
+	for _, v := range g.Variants {
+		if v.Name == "" {
+			return g, fmt.Errorf("sweep: %w: variant with empty name", ErrGrid)
+		}
+		if seen[v.Name] {
+			return g, fmt.Errorf("sweep: %w: duplicate variant %q", ErrGrid, v.Name)
+		}
+		seen[v.Name] = true
+	}
+	cfg := harness.Config{Scale: g.Scale, NProcs: g.NProcs[0], Cost: fabric.DefaultCostModel()}
+	if err := cfg.Validate(); err != nil {
+		return g, fmt.Errorf("sweep: %w: %v", ErrGrid, err)
+	}
+	return g, nil
+}
+
+// Record is the outcome of one sweep cell: full run statistics plus the
+// variant metadata and the speedup against the application's memoized
+// sequential reference (which is platform-independent — the sequential
+// program pays computation time only).
+type Record struct {
+	Variant    string     `json:"variant"`
+	Contention bool       `json:"contention"`
+	App        string     `json:"app"`
+	Impl       string     `json:"impl"`
+	NProcs     int        `json:"nprocs"`
+	Seq        sim.Time   `json:"seq_ns"`
+	Stats      core.Stats `json:"stats"`
+	Speedup    float64    `json:"speedup"`
+}
+
+// Run executes the grid and returns one Record per cell, in grid order:
+// variants outermost, then applications, processor counts, implementations.
+// Cells run concurrently up to g.Parallel on the harness worker pool; the
+// records are identical for any worker count. The first failing cell aborts
+// the sweep with its error.
+func Run(g Grid) ([]Record, error) {
+	g, err := g.normalized()
+	if err != nil {
+		return nil, err
+	}
+	par := g.Parallel
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	baseCfg := harness.Config{Scale: g.Scale, NProcs: g.NProcs[0], Parallel: par, Cost: fabric.DefaultCostModel()}
+
+	// Sequential references, once per application: every cell of the same
+	// app shares one memoized value regardless of variant, processor count
+	// or implementation.
+	seqTimes := make([]sim.Time, len(g.Apps))
+	seqErrs := make([]error, len(g.Apps))
+	harness.ForEach(par, len(g.Apps), func(i int) {
+		seqTimes[i], seqErrs[i] = harness.RunSeq(baseCfg, g.Apps[i])
+	})
+	for i, err := range seqErrs {
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %s sequential: %w", g.Apps[i], err)
+		}
+	}
+	seqByApp := make(map[string]sim.Time, len(g.Apps))
+	for i, name := range g.Apps {
+		seqByApp[name] = seqTimes[i]
+	}
+
+	nApps, nProcs, nImpls := len(g.Apps), len(g.NProcs), len(g.Impls)
+	cells := len(g.Variants) * nApps * nProcs * nImpls
+	recs := make([]Record, cells)
+	cellErrs := make([]error, cells)
+	harness.ForEach(par, cells, func(k int) {
+		ii := k % nImpls
+		ni := k / nImpls % nProcs
+		ai := k / (nImpls * nProcs) % nApps
+		vi := k / (nImpls * nProcs * nApps)
+		v, app, np, impl := g.Variants[vi], g.Apps[ai], g.NProcs[ni], g.Impls[ii]
+		cfg := harness.Config{Scale: g.Scale, NProcs: np, Cost: v.Cost, Contention: v.Contention, Parallel: 1}
+		row := harness.RunCell(cfg, app, impl)
+		if row.Err != nil {
+			cellErrs[k] = fmt.Errorf("sweep: %s/%s on %v, %d procs: %w", v.Name, app, impl, np, row.Err)
+			return
+		}
+		seq := seqByApp[app]
+		recs[k] = Record{
+			Variant:    v.Name,
+			Contention: v.Contention,
+			App:        app,
+			Impl:       impl.String(),
+			NProcs:     np,
+			Seq:        seq,
+			Stats:      row.Stats,
+			Speedup:    float64(seq) / float64(row.Stats.Time),
+		}
+	})
+	for _, err := range cellErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return recs, nil
+}

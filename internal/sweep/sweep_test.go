@@ -1,0 +1,136 @@
+package sweep
+
+import (
+	"reflect"
+	"testing"
+
+	"ecvslrc/internal/apps"
+	"ecvslrc/internal/core"
+	"ecvslrc/internal/fabric"
+	"ecvslrc/internal/harness"
+)
+
+func testGrid(parallel int) Grid {
+	vs, err := ParseVariantSpec("net=x2 detect=hw contention=on")
+	if err != nil {
+		panic(err)
+	}
+	return Grid{
+		Scale:    apps.Test,
+		Apps:     []string{"SOR", "IS"},
+		NProcs:   []int{2, 4},
+		Variants: vs,
+		Parallel: parallel,
+	}
+}
+
+// TestSweepDeterministicUnderParallel runs the same grid serially and on a
+// worker pool and requires bit-identical records, the same guarantee the
+// table harness gives.
+func TestSweepDeterministicUnderParallel(t *testing.T) {
+	serial, err := Run(testGrid(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(testGrid(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("records differ between -parallel 1 and 4")
+	}
+	// 2 variants (the combined one, baseline prepended) x 2 apps x 2 proc
+	// counts x 6 impls.
+	if want := 2 * 2 * 2 * 6; len(serial) != want {
+		t.Errorf("got %d records, want %d", len(serial), want)
+	}
+	// Grid order: variants outermost, baseline first.
+	if serial[0].Variant != BaselineName || serial[0].App != "SOR" || serial[0].NProcs != 2 {
+		t.Errorf("first record = %+v", serial[0])
+	}
+}
+
+// TestSweepBaselineMatchesHarness is the subsystem's anchor: with contention
+// off, the default-variant cells must be bit-identical to harness.RunCell
+// under the calibrated cost model — the sweep engine adds an axis, it must
+// not move the baseline.
+func TestSweepBaselineMatchesHarness(t *testing.T) {
+	recs, err := Run(Grid{
+		Scale:  apps.Test,
+		Apps:   []string{"QS"},
+		NProcs: []int{4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := harness.Config{Scale: apps.Test, NProcs: 4, Cost: fabric.DefaultCostModel()}
+	impls := core.Implementations()
+	if len(recs) != len(impls) {
+		t.Fatalf("got %d records, want %d", len(recs), len(impls))
+	}
+	seq, err := harness.RunSeq(cfg, "QS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, impl := range impls {
+		row := harness.RunCell(cfg, "QS", impl)
+		if row.Err != nil {
+			t.Fatal(row.Err)
+		}
+		r := recs[i]
+		if r.Impl != impl.String() || r.Variant != BaselineName || r.Contention {
+			t.Errorf("record %d metadata = %+v", i, r)
+		}
+		if r.Stats != row.Stats {
+			t.Errorf("%v: sweep stats differ from harness:\n  sweep:   %+v\n  harness: %+v", impl, r.Stats, row.Stats)
+		}
+		if r.Seq != seq {
+			t.Errorf("%v: seq = %v, want %v", impl, r.Seq, seq)
+		}
+	}
+}
+
+// TestSweepContentionSlowsCells checks the axis actually bites: with
+// contention on, no cell can finish earlier, and communication-heavy cells
+// finish strictly later.
+func TestSweepContentionSlowsCells(t *testing.T) {
+	vs, err := ParseVariantSpec("contention=on")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Run(Grid{
+		Scale:    apps.Test,
+		Apps:     []string{"IS"},
+		NProcs:   []int{4},
+		Variants: vs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := map[string]Record{}
+	for _, r := range recs {
+		if r.Variant == BaselineName {
+			base[r.Impl] = r
+		}
+	}
+	slower := 0
+	for _, r := range recs {
+		if r.Variant != "contention=on" {
+			continue
+		}
+		b := base[r.Impl]
+		if r.Stats.Time < b.Stats.Time {
+			t.Errorf("%s: contention made the run faster (%v < %v)", r.Impl, r.Stats.Time, b.Stats.Time)
+		}
+		if r.Stats.Time > b.Stats.Time {
+			slower++
+		}
+		// The protocol's work is unchanged; only timing moves.
+		if r.Stats.Msgs != b.Stats.Msgs {
+			t.Errorf("%s: contention changed message count (%d vs %d)", r.Impl, r.Stats.Msgs, b.Stats.Msgs)
+		}
+	}
+	if slower == 0 {
+		t.Error("contention=on slowed no cell at all")
+	}
+}

@@ -1,0 +1,194 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ecvslrc/internal/fabric"
+)
+
+// ErrSpec is wrapped by every variant-spec parse failure.
+var ErrSpec = errors.New("invalid variant spec")
+
+// axis is one sensitivity dimension of the cost model. Axes apply in a fixed
+// order, so a variant's cost model (and canonical name) does not depend on
+// the order the user wrote the spec in.
+type axis struct {
+	name    string
+	def     string // default value, elided from variant names
+	values  []string
+	apply   func(cm fabric.CostModel, val float64) fabric.CostModel
+	numeric bool // values are scale factors like "x2" (or bare "2")
+}
+
+func axes() []axis {
+	return []axis{
+		{name: "net", def: "x1", numeric: true,
+			apply: func(cm fabric.CostModel, k float64) fabric.CostModel { return cm.ScaleNetwork(k) }},
+		{name: "cpu", def: "x1", numeric: true,
+			apply: func(cm fabric.CostModel, k float64) fabric.CostModel { return cm.ScaleCPU(k) }},
+		{name: "detect", def: "sw", values: []string{"sw", "hw"},
+			apply: func(cm fabric.CostModel, _ float64) fabric.CostModel { return cm.HardwareWriteDetection() }},
+		{name: "diff", def: "sw", values: []string{"sw", "free"},
+			apply: func(cm fabric.CostModel, _ float64) fabric.CostModel { return cm.ZeroCostDiff() }},
+		{name: "contention", def: "off", values: []string{"off", "on"}, apply: nil},
+	}
+}
+
+// ParseVariantSpec expands a sensitivity spec into the cross product of its
+// axes, e.g. "net=x2,x4 detect=sw,hw" yields four variants. Syntax: space-
+// separated axes, each "name=v1,v2,...". Axes:
+//
+//	net=xK        messaging path K times faster (ScaleNetwork)
+//	cpu=xK        memory-management software K times faster (ScaleCPU)
+//	detect=sw|hw  software write trapping vs free hardware dirty bits
+//	diff=sw|free  software write collection vs a free hardware diff engine
+//	contention=off|on  shared-link occupancy modeling in the fabric
+//
+// Unspecified axes stay at their defaults (x1, sw, off). The all-default
+// combination is named "paper"; other variants are named by their non-default
+// settings, e.g. "net=x2+detect=hw". The baseline is prepended when the spec
+// does not produce it, so reports always have their comparison point. An
+// empty spec yields just the baseline. Errors wrap ErrSpec.
+func ParseVariantSpec(spec string) ([]Variant, error) {
+	defs := axes()
+	chosen := make([][]string, len(defs))
+	for i, ax := range defs {
+		chosen[i] = []string{ax.def}
+	}
+	byName := make(map[string]int, len(defs))
+	for i, ax := range defs {
+		byName[ax.name] = i
+	}
+	seen := make(map[string]bool)
+	for _, field := range strings.Fields(spec) {
+		name, vals, ok := strings.Cut(field, "=")
+		if !ok {
+			return nil, fmt.Errorf("sweep: %w: %q is not axis=v1,v2,...", ErrSpec, field)
+		}
+		i, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("sweep: %w: unknown axis %q (known: %s)", ErrSpec, name, axisNames(defs))
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("sweep: %w: axis %q specified twice", ErrSpec, name)
+		}
+		seen[name] = true
+		var list []string
+		dup := make(map[string]bool)
+		for _, v := range strings.Split(vals, ",") {
+			v = strings.TrimSpace(v)
+			if v == "" {
+				continue
+			}
+			canon, err := defs[i].canonical(v)
+			if err != nil {
+				return nil, err
+			}
+			if dup[canon] {
+				continue
+			}
+			dup[canon] = true
+			list = append(list, canon)
+		}
+		if len(list) == 0 {
+			return nil, fmt.Errorf("sweep: %w: axis %q lists no values", ErrSpec, name)
+		}
+		chosen[i] = list
+	}
+
+	var out []Variant
+	counts := make([]int, len(defs))
+	for {
+		out = append(out, buildVariant(defs, chosen, counts))
+		// Odometer increment over the per-axis value lists.
+		i := len(defs) - 1
+		for ; i >= 0; i-- {
+			counts[i]++
+			if counts[i] < len(chosen[i]) {
+				break
+			}
+			counts[i] = 0
+		}
+		if i < 0 {
+			break
+		}
+	}
+	for _, v := range out {
+		if v.Name == BaselineName {
+			return out, nil
+		}
+	}
+	return append([]Variant{Baseline()}, out...), nil
+}
+
+// canonical validates one axis value and returns its canonical spelling
+// ("2" becomes "x2"; enumerated values must match exactly).
+func (ax axis) canonical(v string) (string, error) {
+	if ax.numeric {
+		k, err := ax.factor(v)
+		if err != nil {
+			return "", err
+		}
+		return "x" + strconv.FormatFloat(k, 'g', -1, 64), nil
+	}
+	for _, known := range ax.values {
+		if v == known {
+			return v, nil
+		}
+	}
+	return "", fmt.Errorf("sweep: %w: axis %q: value %q (want one of %s)",
+		ErrSpec, ax.name, v, strings.Join(ax.values, "|"))
+}
+
+// factor parses a scale value like "x2", "x2.5" or bare "4".
+func (ax axis) factor(v string) (float64, error) {
+	s := strings.TrimPrefix(v, "x")
+	k, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("sweep: %w: axis %q: value %q: %v", ErrSpec, ax.name, v, err)
+	}
+	if k <= 0 {
+		return 0, fmt.Errorf("sweep: %w: axis %q: scale %q must be > 0", ErrSpec, ax.name, v)
+	}
+	return k, nil
+}
+
+// buildVariant assembles the variant selected by counts: the cost model with
+// every non-default axis applied in axis order, named by those settings.
+func buildVariant(defs []axis, chosen [][]string, counts []int) Variant {
+	v := Variant{Cost: fabric.DefaultCostModel()}
+	var parts []string
+	for i, ax := range defs {
+		val := chosen[i][counts[i]]
+		if val == ax.def {
+			continue
+		}
+		parts = append(parts, ax.name+"="+val)
+		if ax.name == "contention" {
+			v.Contention = true
+			continue
+		}
+		var k float64
+		if ax.numeric {
+			k, _ = ax.factor(val) // already validated by canonical
+		}
+		v.Cost = ax.apply(v.Cost, k)
+	}
+	if len(parts) == 0 {
+		v.Name = BaselineName
+	} else {
+		v.Name = strings.Join(parts, "+")
+	}
+	return v
+}
+
+func axisNames(defs []axis) string {
+	var names []string
+	for _, ax := range defs {
+		names = append(names, ax.name)
+	}
+	return strings.Join(names, ", ")
+}

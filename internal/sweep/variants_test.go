@@ -1,0 +1,102 @@
+package sweep
+
+import (
+	"errors"
+	"testing"
+
+	"ecvslrc/internal/fabric"
+)
+
+func variantNames(vs []Variant) []string {
+	var out []string
+	for _, v := range vs {
+		out = append(out, v.Name)
+	}
+	return out
+}
+
+func TestParseVariantSpecCrossProduct(t *testing.T) {
+	vs, err := ParseVariantSpec("net=x2,x4 detect=sw,hw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"paper", "net=x2", "net=x2+detect=hw", "net=x4", "net=x4+detect=hw"}
+	got := variantNames(vs)
+	if len(got) != len(want) {
+		t.Fatalf("variants = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("variants = %v, want %v", got, want)
+		}
+	}
+	base := fabric.DefaultCostModel()
+	if vs[0].Cost != base {
+		t.Errorf("baseline cost drifted")
+	}
+	if vs[1].Cost != base.ScaleNetwork(2) {
+		t.Errorf("net=x2 cost = %+v", vs[1].Cost)
+	}
+	if vs[2].Cost != base.ScaleNetwork(2).HardwareWriteDetection() {
+		t.Errorf("net=x2+detect=hw cost = %+v", vs[2].Cost)
+	}
+}
+
+func TestParseVariantSpecDefaultsAndContention(t *testing.T) {
+	vs, err := ParseVariantSpec("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 || vs[0].Name != BaselineName || vs[0].Contention {
+		t.Errorf("empty spec = %+v", vs)
+	}
+	vs, err = ParseVariantSpec("contention=off,on")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 2 || vs[0].Name != "paper" || vs[1].Name != "contention=on" || !vs[1].Contention {
+		t.Errorf("contention spec = %v", variantNames(vs))
+	}
+	// Bare numbers canonicalize to the x form; duplicates collapse.
+	vs, err = ParseVariantSpec("cpu=2,x2,4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := variantNames(vs); len(got) != 3 || got[1] != "cpu=x2" || got[2] != "cpu=x4" {
+		t.Errorf("cpu spec = %v", got)
+	}
+}
+
+func TestParseVariantSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"bogus=1",       // unknown axis
+		"net",           // not axis=values
+		"net=x0",        // non-positive scale
+		"net=-2",        // negative scale
+		"net=abc",       // not a number
+		"detect=maybe",  // unknown enum value
+		"net=x2 net=x4", // duplicate axis
+		"diff=, ,",      // only empty values
+	} {
+		_, err := ParseVariantSpec(spec)
+		if err == nil {
+			t.Errorf("spec %q accepted", spec)
+			continue
+		}
+		if !errors.Is(err, ErrSpec) {
+			t.Errorf("spec %q: error does not wrap ErrSpec: %v", spec, err)
+		}
+	}
+}
+
+func TestGridValidation(t *testing.T) {
+	if _, err := Run(Grid{NProcs: []int{0}}); !errors.Is(err, ErrGrid) {
+		t.Errorf("nprocs 0: %v", err)
+	}
+	if _, err := Run(Grid{Variants: []Variant{{Name: ""}}}); !errors.Is(err, ErrGrid) {
+		t.Errorf("empty variant name: %v", err)
+	}
+	if _, err := Run(Grid{Variants: []Variant{Baseline(), Baseline()}}); !errors.Is(err, ErrGrid) {
+		t.Errorf("duplicate variants: %v", err)
+	}
+}

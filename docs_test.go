@@ -1,0 +1,79 @@
+package ecvslrc
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// docFiles are the documents whose references must not dangle. CI runs this
+// test as the doc-link checker.
+var docFiles = []string{"README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md"}
+
+var (
+	mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+	// codeRef matches backtick-quoted repo paths: a path with a directory
+	// separator that either lives under a known top-level directory or names
+	// a tracked file kind. This deliberately skips protocol spellings like
+	// "AAL3/4" and axis specs, which contain slashes but are not paths.
+	codeRef    = regexp.MustCompile("`([A-Za-z0-9_./\\-]+)`")
+	refPrefix  = []string{"internal/", "cmd/", "examples/", ".github/"}
+	refSuffix  = []string{".md", ".go", ".yml", ".golden"}
+	anchorOnly = regexp.MustCompile(`^#`)
+)
+
+func looksLikePath(s string) bool {
+	if !strings.Contains(s, "/") {
+		return false
+	}
+	for _, p := range refPrefix {
+		if strings.HasPrefix(s, p) {
+			return true
+		}
+	}
+	for _, suf := range refSuffix {
+		if strings.HasSuffix(s, suf) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestDocLinksResolve fails on dangling references in the project documents:
+// every relative markdown link target and every backtick-quoted repo path
+// must exist in the working tree.
+func TestDocLinksResolve(t *testing.T) {
+	for _, doc := range docFiles {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatalf("%s: %v", doc, err)
+		}
+		text := string(data)
+		check := func(target, kind string) {
+			target = strings.TrimSuffix(target, "/")
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				return
+			}
+			if _, err := os.Stat(filepath.Clean(target)); err != nil {
+				t.Errorf("%s: dangling %s %q", doc, kind, target)
+			}
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(text, -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || anchorOnly.MatchString(target) {
+				continue // external links and intra-document anchors
+			}
+			check(target, "link")
+		}
+		for _, m := range codeRef.FindAllStringSubmatch(text, -1) {
+			if looksLikePath(m[1]) {
+				check(m[1], "reference")
+			}
+		}
+	}
+}

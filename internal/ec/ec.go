@@ -46,25 +46,20 @@ type taggedDiff struct {
 	Diff *wcollect.Diff
 }
 
-// acqPayload is the consistency part of a lock request: the requester's
-// incarnation number and its known binding version. NoData marks an
-// acquire-for-rebind: the requester will immediately rebind the lock, so
-// the grant must carry no update-protocol data (installing the old
-// binding's contents could clobber memory the requester holds newer values
-// for under other locks).
-type acqPayload struct {
-	Inc    int32
-	Bind   int32
-	NoData bool
-}
+// EC lock-request slot conventions (the hook-owned half of a PayloadLockReq):
+// C is the requester's incarnation number, D its known binding version, and
+// Flag marks an acquire-for-rebind — the requester will immediately rebind
+// the lock, so the grant must carry no update-protocol data (installing the
+// old binding's contents could clobber memory the requester holds newer
+// values for under other locks). Grants put the owner's incarnation in C and
+// the binding version in D, with the bulk data in a *grantBody.
 
 const acqPayloadBytes = 8
 
-// grantPayload carries the update-protocol data with a lock grant.
-type grantPayload struct {
-	OwnerInc int32
-	Bind     int32
-	Ranges   []mem.Range // non-nil when the requester's binding is stale
+// grantBody carries the update-protocol data of a lock grant, as the typed
+// payload Body of a PayloadLockGrant message.
+type grantBody struct {
+	Ranges []mem.Range // non-nil when the requester's binding is stale
 
 	Stamped wcollect.StampedData // Timestamps collection
 	Diffs   []taggedDiff         // Diffs collection: applied at the requester
@@ -75,6 +70,9 @@ type grantPayload struct {
 	KnownInc map[int]int32      // incarnation gossip for diff pruning
 	Full     []wcollect.DataRun // conservative full transfer after rebind
 }
+
+// BodyKind implements fabric.Body.
+func (*grantBody) BodyKind() fabric.PayloadKind { return fabric.PayloadLockGrant }
 
 // lockState is the per-lock protocol state, held in a dense LockID-indexed
 // slice: lock operations are the protocol's hottest control path and the
@@ -476,24 +474,26 @@ type lockHooks Node
 func (h *lockHooks) node() *Node { return (*Node)(h) }
 
 // MakeLockRequest sends our incarnation number and binding version.
-func (h *lockHooks) MakeLockRequest(l core.LockID, mode syncmgr.Mode) (any, int) {
+func (h *lockHooks) MakeLockRequest(l core.LockID, mode syncmgr.Mode) (fabric.Payload, int) {
 	n := h.node()
-	return acqPayload{Inc: n.ls(l).inc, Bind: n.binding(l).version, NoData: n.nextNoData}, acqPayloadBytes
+	p := fabric.Payload{C: n.ls(l).inc, D: n.binding(l).version, Flag: n.nextNoData}
+	return p, acqPayloadBytes
 }
 
 // MakeLockGrant runs at the owner: harvest pending changes, then collect
 // everything newer than the requester's incarnation.
-func (h *lockHooks) MakeLockGrant(l core.LockID, mode syncmgr.Mode, reqPayload any, requester int) (any, int, sim.Time) {
+func (h *lockHooks) MakeLockGrant(l core.LockID, mode syncmgr.Mode, req fabric.Payload, requester int) (fabric.Payload, int, sim.Time) {
 	n := h.node()
-	req := reqPayload.(acqPayload)
+	reqInc, reqBind, noData := req.C, req.D, req.Flag
 	b := n.binding(l)
 	work := n.harvest(l)
 	st := n.ls(l)
 
-	g := grantPayload{OwnerInc: st.inc, Bind: b.version}
+	g := &grantBody{}
+	grant := fabric.Payload{C: st.inc, D: b.version, Body: g}
 	size := 8 // incarnation + binding version
 
-	if req.NoData {
+	if noData {
 		// Acquire-for-rebind: transfer ownership and the current binding,
 		// but no data. The requester rebinds immediately, after which every
 		// transfer is a conservative full send of the new binding.
@@ -504,10 +504,10 @@ func (h *lockHooks) MakeLockGrant(l core.LockID, mode syncmgr.Mode, reqPayload a
 			// after it (post-rebind transfers are full sends).
 			st.diffs = nil
 		}
-		return g, size, work
+		return grant, size, work
 	}
 
-	if req.Bind != b.version {
+	if reqBind != b.version {
 		// Rebound since the requester last saw it: conservatively send all
 		// bound data (the releaser cannot know what is already consistent).
 		g.Ranges = b.ranges
@@ -520,18 +520,18 @@ func (h *lockHooks) MakeLockGrant(l core.LockID, mode syncmgr.Mode, reqPayload a
 	} else {
 		switch n.impl.Collect {
 		case core.Timestamps:
-			runs, scanned := wcollect.SelectPred(n.stamps, b.ranges, wcollect.NewerThan{Min: wcollect.Stamp(req.Inc)})
+			runs, scanned := wcollect.SelectPred(n.stamps, b.ranges, wcollect.NewerThan{Min: wcollect.Stamp(reqInc)})
 			work += sim.Time(scanned) * n.CM.WordScan
 			g.Stamped = wcollect.ExtractStamped(n.Im, runs)
 			size += g.Stamped.WireSize(wcollect.ECStampBytes)
 			n.Extra.StampRunsSent += int64(len(runs))
 		case core.Diffs:
 			ki := n.known(l)
-			ki[requester] = req.Inc
+			ki[requester] = reqInc
 			ki[n.P.ID()] = st.inc
 			n.pruneDiffs(l)
 			for _, td := range st.diffs {
-				if td.Tag > req.Inc {
+				if td.Tag > reqInc {
 					g.Diffs = append(g.Diffs, td)
 					size += td.Diff.WireSize()
 				} else if mode == syncmgr.Exclusive {
@@ -550,20 +550,21 @@ func (h *lockHooks) MakeLockGrant(l core.LockID, mode syncmgr.Mode, reqPayload a
 			}
 		}
 	}
-	return g, size, work
+	return grant, size, work
 }
 
 // ApplyLockGrant runs at the requester: install the update-protocol data.
-func (h *lockHooks) ApplyLockGrant(l core.LockID, mode syncmgr.Mode, payload any) sim.Time {
+func (h *lockHooks) ApplyLockGrant(l core.LockID, mode syncmgr.Mode, payload fabric.Payload) sim.Time {
 	n := h.node()
-	g := payload.(grantPayload)
+	ownerInc, bindVersion := payload.C, payload.D
+	g := payload.Body.(*grantBody)
 	b := n.binding(l)
 	st := n.ls(l)
 	var work sim.Time
 
 	if g.Ranges != nil {
 		b.ranges = g.Ranges
-		b.version = g.Bind
+		b.version = bindVersion
 		b.recompute()
 	}
 	switch {
@@ -573,7 +574,7 @@ func (h *lockHooks) ApplyLockGrant(l core.LockID, mode syncmgr.Mode, payload any
 		if n.impl.Collect == core.Timestamps {
 			// The full content is current as of the owner's incarnation.
 			for _, r := range g.Full {
-				n.stamps.Set([]mem.Range{{Base: r.Base, Len: len(r.Data)}}, wcollect.Stamp(g.OwnerInc))
+				n.stamps.Set([]mem.Range{{Base: r.Base, Len: len(r.Data)}}, wcollect.Stamp(ownerInc))
 			}
 		} else {
 			st.diffs = nil
@@ -602,7 +603,7 @@ func (h *lockHooks) ApplyLockGrant(l core.LockID, mode syncmgr.Mode, payload any
 	}
 
 	if mode == syncmgr.Exclusive {
-		st.inc = g.OwnerInc + 1
+		st.inc = ownerInc + 1
 		if !n.nextNoData {
 			// An acquire-for-rebind skips the epoch on the old binding;
 			// Rebind opens one on the new ranges.
@@ -611,7 +612,7 @@ func (h *lockHooks) ApplyLockGrant(l core.LockID, mode syncmgr.Mode, payload any
 			st.dirty = false
 		}
 	} else {
-		st.inc = g.OwnerInc
+		st.inc = ownerInc
 	}
 	return work
 }
@@ -634,14 +635,19 @@ func (h *lockHooks) LocalReacquire(l core.LockID, mode syncmgr.Mode) {
 // OnRelease: collection is lazy (at grant time), nothing to do here.
 func (h *lockHooks) OnRelease(l core.LockID) sim.Time { return 0 }
 
-// nilBarrierHooks: EC barriers are pure synchronization.
+// nilBarrierHooks: EC barriers are pure synchronization; arrival and
+// departure payloads stay empty (PayloadNone body slots).
 type nilBarrierHooks struct{}
 
-func (nilBarrierHooks) MakeArrival(core.BarrierID) (any, int, sim.Time)        { return nil, 0, 0 }
-func (nilBarrierHooks) AbsorbArrival(core.BarrierID, int, any) sim.Time        { return 0 }
-func (nilBarrierHooks) PrepareDepartures(core.BarrierID) sim.Time              { return 0 }
-func (nilBarrierHooks) MakeDeparture(core.BarrierID, int) (any, int, sim.Time) { return nil, 0, 0 }
-func (nilBarrierHooks) ApplyDeparture(core.BarrierID, any) sim.Time            { return 0 }
+func (nilBarrierHooks) MakeArrival(core.BarrierID) (fabric.Payload, int, sim.Time) {
+	return fabric.Payload{}, 0, 0
+}
+func (nilBarrierHooks) AbsorbArrival(core.BarrierID, int, fabric.Payload) sim.Time { return 0 }
+func (nilBarrierHooks) PrepareDepartures(core.BarrierID) sim.Time                  { return 0 }
+func (nilBarrierHooks) MakeDeparture(core.BarrierID, int) (fabric.Payload, int, sim.Time) {
+	return fabric.Payload{}, 0, 0
+}
+func (nilBarrierHooks) ApplyDeparture(core.BarrierID, fabric.Payload) sim.Time { return 0 }
 
 var _ core.DSM = (*Node)(nil)
 var _ syncmgr.LockHooks = (*lockHooks)(nil)

@@ -135,18 +135,18 @@ func TestGrantPayloadSelectsByIncarnation(t *testing.T) {
 		n.WriteI32(0, 7)
 		n.Release(1)
 		h := (*lockHooks)(n)
-		payload, _, _ := h.MakeLockGrant(1, 0, acqPayload{Inc: 0, Bind: 1}, 0)
-		g := payload.(grantPayload)
+		payload, _, _ := h.MakeLockGrant(1, 0, fabric.Payload{C: 0, D: 1}, 0)
+		g := payload.Body.(*grantBody)
 		if len(g.Stamped.Runs) == 0 {
 			t.Error("requester at inc 0 should receive the epoch-1 write")
 		}
-		payload2, _, _ := h.MakeLockGrant(1, 0, acqPayload{Inc: 1, Bind: 1}, 0)
-		g2 := payload2.(grantPayload)
+		payload2, _, _ := h.MakeLockGrant(1, 0, fabric.Payload{C: 1, D: 1}, 0)
+		g2 := payload2.Body.(*grantBody)
 		if len(g2.Stamped.Runs) != 0 {
 			t.Error("requester at inc 1 already has everything")
 		}
-		if g.OwnerInc != 1 {
-			t.Errorf("owner inc = %d", g.OwnerInc)
+		if payload.C != 1 {
+			t.Errorf("owner inc = %d", payload.C)
 		}
 	})
 }
@@ -159,8 +159,8 @@ func TestRebindForcesFullSend(t *testing.T) {
 		n.WriteI32(128, 9)
 		n.Release(1)
 		h := (*lockHooks)(n)
-		payload, size, _ := h.MakeLockGrant(1, 0, acqPayload{Inc: 0, Bind: 1}, 0)
-		g := payload.(grantPayload)
+		payload, size, _ := h.MakeLockGrant(1, 0, fabric.Payload{C: 0, D: 1}, 0)
+		g := payload.Body.(*grantBody)
 		if g.Full == nil || g.Ranges == nil {
 			t.Error("stale binding version must trigger a conservative full send")
 		}

@@ -1,0 +1,200 @@
+package fabric
+
+import (
+	"runtime"
+	"runtime/debug"
+	"testing"
+
+	"ecvslrc/internal/sim"
+)
+
+// BenchmarkFabricDeliver drives synchronous request/reply round trips through
+// the full message path (post, flight scheduling, delivery, reply, waiter
+// rendezvous). The CI bench smoke step asserts it reports 0 allocs/op: with
+// typed payloads and per-link flight free lists, steady-state delivery must
+// not allocate. (The per-benchmark setup — spawn, first-message pool growth —
+// amortizes to zero over the measured iterations.)
+func BenchmarkFabricDeliver(b *testing.B) {
+	s := sim.New()
+	n := New(s, flatCost(), 2)
+	client := s.Spawn("client", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			reply := n.Call(p, 1, 1, 8, Payload{Kind: PayloadPageReq, A: int32(i), B: 2, C: 3})
+			if reply.Payload.C != int32(i) {
+				b.Errorf("reply %d carries %d", i, reply.Payload.C)
+				return
+			}
+		}
+	})
+	server := s.Spawn("server", func(p *sim.Proc) {})
+	n.Attach(client, func(hc *HandlerCtx, m Msg) {})
+	n.Attach(server, func(hc *HandlerCtx, m Msg) {
+		hc.Reply(m, 2, 8, Payload{Kind: PayloadPageReply, C: m.Payload.A})
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// TestDeliverSteadyStateAllocs is the strict in-process form of the
+// BenchmarkFabricDeliver guard: after a warm-up that grows the flight free
+// lists and event queues, a window of call round trips must perform zero heap
+// allocations.
+func TestDeliverSteadyStateAllocs(t *testing.T) {
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	s := sim.New()
+	n := New(s, flatCost(), 2)
+	var delta uint64
+	client := s.Spawn("client", func(p *sim.Proc) {
+		call := func(i int) {
+			reply := n.Call(p, 1, 1, 8, Payload{Kind: PayloadPageReq, A: int32(i)})
+			if reply.Payload.C != int32(i) {
+				t.Errorf("reply %d carries %d", i, reply.Payload.C)
+			}
+		}
+		for i := 0; i < 64; i++ {
+			call(i)
+		}
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		for i := 0; i < 200; i++ {
+			call(i)
+		}
+		runtime.ReadMemStats(&m1)
+		delta = m1.Mallocs - m0.Mallocs
+	})
+	server := s.Spawn("server", func(p *sim.Proc) {})
+	n.Attach(client, func(hc *HandlerCtx, m Msg) {})
+	n.Attach(server, func(hc *HandlerCtx, m Msg) {
+		hc.Reply(m, 2, 8, Payload{Kind: PayloadPageReply, C: m.Payload.A})
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if delta != 0 {
+		t.Errorf("200 call round trips allocated %d objects, want 0", delta)
+	}
+}
+
+// roundTripBody is a test Body implementation.
+type roundTripBody struct{ tag int }
+
+func (*roundTripBody) BodyKind() PayloadKind { return PayloadNoticeSet }
+
+// TestPayloadRoundTripEveryVariant sends one message per payload variant —
+// empty, scalar slots, flags, vector, and pointer body — and checks every
+// slot arrives intact, for both one-way delivery and the reply path.
+func TestPayloadRoundTripEveryVariant(t *testing.T) {
+	body := &roundTripBody{tag: 9}
+	payloads := []Payload{
+		{Kind: PayloadNone},
+		{Kind: PayloadLockReq, A: 7, B: 1, C: -3, D: 1 << 30, Flag: true, Flag2: true},
+		{Kind: PayloadLockGrant, C: 5, D: 2, Body: body},
+		{Kind: PayloadBarrier, A: 11, Vec: []int32{1, 2, 3}},
+		{Kind: PayloadPageReq, A: 4, B: 2, C: 6},
+		{Kind: PayloadPageReply, Body: body},
+	}
+	s := sim.New()
+	n := New(s, flatCost(), 2)
+	got := make([]Payload, 0, len(payloads))
+	echoed := make([]Payload, 0, len(payloads))
+	client := s.Spawn("client", func(p *sim.Proc) {
+		for _, pl := range payloads {
+			reply := n.Call(p, 1, int(pl.Kind)+1, 8, pl)
+			echoed = append(echoed, reply.Payload)
+		}
+	})
+	server := s.Spawn("server", func(p *sim.Proc) {})
+	n.Attach(client, func(hc *HandlerCtx, m Msg) {})
+	n.Attach(server, func(hc *HandlerCtx, m Msg) {
+		got = append(got, m.Payload)
+		hc.Reply(m, m.Kind, 8, m.Payload) // echo the payload back unchanged
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	check := func(tag string, seen []Payload) {
+		if len(seen) != len(payloads) {
+			t.Fatalf("%s: %d payloads, want %d", tag, len(seen), len(payloads))
+		}
+		for i, want := range payloads {
+			g := seen[i]
+			if g.Kind != want.Kind || g.A != want.A || g.B != want.B || g.C != want.C ||
+				g.D != want.D || g.Flag != want.Flag || g.Flag2 != want.Flag2 {
+				t.Errorf("%s: payload %v: got %+v, want %+v", tag, want.Kind, g, want)
+			}
+			if len(g.Vec) != len(want.Vec) {
+				t.Errorf("%s: payload %v: vec %v, want %v", tag, want.Kind, g.Vec, want.Vec)
+			}
+			for j := range want.Vec {
+				if g.Vec[j] != want.Vec[j] {
+					t.Errorf("%s: payload %v: vec %v, want %v", tag, want.Kind, g.Vec, want.Vec)
+				}
+			}
+			if want.Body != nil {
+				rb, ok := g.Body.(*roundTripBody)
+				if !ok || rb != body || rb.tag != 9 {
+					t.Errorf("%s: payload %v: body %#v, want the original pointer", tag, want.Kind, g.Body)
+				}
+			} else if g.Body != nil {
+				t.Errorf("%s: payload %v: unexpected body %#v", tag, want.Kind, g.Body)
+			}
+		}
+	}
+	check("request", got)
+	check("reply", echoed)
+}
+
+// TestBatchedWakesKeepLinkClaimOrder pins the interplay between the sim's
+// per-instant wake batching and contention mode: three senders wake at the
+// same virtual instant (a batched resume chain) and send concurrently; their
+// shared-link claims must still serialize in process schedule order with the
+// exact queueing delays of unbatched execution.
+func TestBatchedWakesKeepLinkClaimOrder(t *testing.T) {
+	const size = 4000
+	cm := flatCost()
+	cm.LinkPerByte = 100 * sim.Nanosecond
+	s := sim.New()
+	n := New(s, cm, 6)
+	var arrivals [3]sim.Time
+	var order []int32
+	for i := 0; i < 3; i++ {
+		i := i
+		sp := s.Spawn("sender", func(p *sim.Proc) {
+			p.Sleep(10 * sim.Microsecond) // all three wake at the same instant
+			n.Send(p, 3+i, 1, size, Payload{A: int32(i)})
+		})
+		n.Attach(sp, nil)
+	}
+	n.EnableContention()
+	for i := 0; i < 3; i++ {
+		i := i
+		rp := s.Spawn("recv", func(p *sim.Proc) { p.Park("recv") })
+		n.Attach(rp, func(hc *HandlerCtx, m Msg) {
+			arrivals[i] = hc.Now() - cm.HandlerFixed
+			order = append(order, m.Payload.A)
+			rp.UnparkAt(hc.Now())
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// All sends finish their programmed I/O at 10µs + SendFixed; the link then
+	// serves them one occupancy at a time, in process schedule order.
+	occupancy := sim.Time(size+MsgHeader) * cm.LinkPerByte
+	sendEnd := 10*sim.Microsecond + cm.SendFixed
+	for i, at := range arrivals {
+		want := sendEnd + sim.Time(i+1)*occupancy + cm.WireLatency
+		if at != want {
+			t.Errorf("arrival %d = %v, want %v", i, at, want)
+		}
+	}
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Errorf("claim service order = %v, want [0 1 2]", order)
+	}
+	if want := 3 * occupancy; n.LinkWait() != want {
+		t.Errorf("LinkWait = %v, want %v", n.LinkWait(), want)
+	}
+}

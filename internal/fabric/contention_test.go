@@ -80,8 +80,8 @@ func TestContentionSerializesBulkTransfers(t *testing.T) {
 			n.EnableContention()
 		}
 		senders := []*sim.Proc{
-			s.Spawn("s0", func(p *sim.Proc) { n.Send(p, 2, 1, size, nil) }),
-			s.Spawn("s1", func(p *sim.Proc) { n.Send(p, 3, 1, size, nil) }),
+			s.Spawn("s0", func(p *sim.Proc) { n.Send(p, 2, 1, size, Payload{}) }),
+			s.Spawn("s1", func(p *sim.Proc) { n.Send(p, 3, 1, size, Payload{}) }),
 		}
 		for i, sp := range senders {
 			n.Attach(sp, nil)

@@ -7,13 +7,15 @@ import (
 )
 
 // Msg is one ATM message. Size is the payload size in bytes; MsgHeader is
-// added automatically for cost and statistics purposes.
+// added automatically for cost and statistics purposes. Msg is a plain value:
+// the typed Payload union replaces the former `any` payload, so queuing,
+// forwarding and delivering a message never allocates.
 type Msg struct {
 	From    int
 	To      int
 	Kind    int
 	Size    int
-	Payload any
+	Payload Payload
 
 	waiter *sim.Waiter // reply rendezvous for Call; nil for one-way messages
 }
@@ -40,6 +42,53 @@ func (s Stats) Sub(other Stats) Stats {
 	return Stats{Msgs: s.Msgs - other.Msgs, Bytes: s.Bytes - other.Bytes}
 }
 
+// flight is one in-transit message: the slot that carries a Msg from the
+// sender's schedule to its arrival. A flight is the sim.Timer target of its
+// own delivery events (stored inline, no closure), and is recycled through
+// the destination link's free list, so steady-state delivery performs zero
+// allocations.
+type flight struct {
+	n     *Network
+	msg   Msg
+	reply bool // deliver to the request's waiter instead of the handler
+	claim bool // contention: the next Fire claims the shared link first
+}
+
+// Fire advances the flight one stage: claim the shared link (contention
+// mode), then deliver — to the destination handler, or to the waiting
+// caller for replies.
+func (fl *flight) Fire(at sim.Time) {
+	n := fl.n
+	if fl.claim {
+		// Link claims are events, so they serialize in virtual-time order.
+		fl.claim = false
+		start := at
+		if n.linkFree > start {
+			n.linkWait += n.linkFree - start
+			start = n.linkFree
+		}
+		n.linkFree = start + sim.Time(fl.msg.Size+MsgHeader)*n.cm.LinkPerByte
+		n.sim.ScheduleTimer(n.linkFree+n.cm.WireLatency, fl)
+		return
+	}
+	if fl.reply {
+		// Reply handling interrupts the receiver like any message. The slot
+		// is released by Await once the caller has copied the reply out.
+		n.procs[fl.msg.To].InjectWork(n.cm.HandlerFixed)
+		fl.msg.waiter.Deliver(fl, at+n.cm.HandlerFixed)
+		return
+	}
+	m := fl.msg
+	n.release(fl)
+	n.deliver(m, at)
+}
+
+// link is one attachment point: the free list recycling the flight slots of
+// messages addressed to this processor.
+type link struct {
+	free []*flight
+}
+
 // Network is the simulated ATM LAN. Every processor attaches one endpoint
 // (its sim.Proc plus a request handler). Messages between distinct processors
 // cost sender CPU time, wire latency and receiver handler time; a processor
@@ -51,6 +100,12 @@ type Network struct {
 	procs    []*sim.Proc
 	handlers []Handler
 	stats    []Stats
+	links    []link
+
+	// hctx is the scratch handler context reused across deliveries: handlers
+	// run synchronously in scheduler context and never nest, so one lives at
+	// a time and delivery allocates nothing.
+	hctx HandlerCtx
 
 	// Shared-link contention (opt-in; see EnableContention). linkFree is the
 	// virtual time at which the shared ATM path next becomes idle; linkWait
@@ -68,6 +123,7 @@ func New(s *sim.Simulator, cm CostModel, nprocs int) *Network {
 		procs:    make([]*sim.Proc, nprocs),
 		handlers: make([]Handler, nprocs),
 		stats:    make([]Stats, nprocs),
+		links:    make([]link, nprocs),
 	}
 }
 
@@ -89,29 +145,43 @@ func (n *Network) ContentionEnabled() bool { return n.contention }
 // shared link (always zero with contention off).
 func (n *Network) LinkWait() sim.Time { return n.linkWait }
 
-// transmit moves a message of total bytes whose sender-side processing ends
-// at sendEnd to its receiver, invoking deliver with the arrival time. Without
-// contention the message arrives WireLatency after sendEnd, scheduled
-// directly (the pre-contention event pattern, kept bit-identical). With
-// contention the message first claims the shared link at sendEnd — claims are
-// processed in virtual-time order because they are themselves events — holds
-// it for total*LinkPerByte, and only then starts its WireLatency.
-func (n *Network) transmit(sendEnd sim.Time, total int, deliver func(arrive sim.Time)) {
+// newFlight takes a slot from the destination link's free list (or grows it)
+// and loads m into it.
+func (n *Network) newFlight(m Msg) *flight {
+	free := n.links[m.To].free
+	if k := len(free); k > 0 {
+		fl := free[k-1]
+		free[k-1] = nil
+		n.links[m.To].free = free[:k-1]
+		fl.msg = m
+		return fl
+	}
+	return &flight{n: n, msg: m}
+}
+
+// release returns a consumed flight to its destination link's free list,
+// cleared for reuse.
+func (n *Network) release(fl *flight) {
+	to := fl.msg.To
+	fl.msg = Msg{}
+	fl.reply, fl.claim = false, false
+	n.links[to].free = append(n.links[to].free, fl)
+}
+
+// transmit moves fl, whose sender-side processing ends at sendEnd, to its
+// receiver. Without contention the message arrives WireLatency after sendEnd,
+// scheduled directly (the pre-contention event pattern, kept bit-identical).
+// With contention the message first claims the shared link at sendEnd —
+// claims are processed in virtual-time order because they are themselves
+// events — holds it for (size+header)*LinkPerByte, and only then starts its
+// WireLatency.
+func (n *Network) transmit(sendEnd sim.Time, fl *flight) {
 	if !n.contention {
-		arrive := sendEnd + n.cm.WireLatency
-		n.sim.Schedule(arrive, func() { deliver(arrive) })
+		n.sim.ScheduleTimer(sendEnd+n.cm.WireLatency, fl)
 		return
 	}
-	n.sim.Schedule(sendEnd, func() {
-		start := sendEnd
-		if n.linkFree > start {
-			n.linkWait += n.linkFree - start
-			start = n.linkFree
-		}
-		n.linkFree = start + sim.Time(total)*n.cm.LinkPerByte
-		arrive := n.linkFree + n.cm.WireLatency
-		n.sim.Schedule(arrive, func() { deliver(arrive) })
-	})
+	fl.claim = true
+	n.sim.ScheduleTimer(sendEnd, fl)
 }
 
 // Attach registers proc (with request handler h) as processor proc.ID().
@@ -148,7 +218,7 @@ func (n *Network) account(from, size int) int {
 
 // Send transmits a one-way message from the running processor p. The sender
 // is busy for the programmed-I/O cost of the message.
-func (n *Network) Send(p *sim.Proc, to, kind, size int, payload any) {
+func (n *Network) Send(p *sim.Proc, to, kind, size int, payload Payload) {
 	n.post(p, Msg{From: p.ID(), To: to, Kind: kind, Size: size, Payload: payload})
 }
 
@@ -157,19 +227,31 @@ func (n *Network) Send(p *sim.Proc, to, kind, size int, payload any) {
 // reply immediately, forward the request, or queue it and reply much later.
 // The rendezvous reuses p's cached waiter: a processor has at most one
 // synchronous call outstanding.
-func (n *Network) Call(p *sim.Proc, to, kind, size int, payload any) Msg {
+func (n *Network) Call(p *sim.Proc, to, kind, size int, payload Payload) Msg {
 	w := p.CallWaiter()
 	n.post(p, Msg{From: p.ID(), To: to, Kind: kind, Size: size, Payload: payload, waiter: w})
-	return w.Wait("rpc-reply").(Msg)
+	return n.Await(w, "rpc-reply")
 }
 
 // CallAsync transmits a request and returns the reply Waiter without
 // blocking, so a processor can issue several requests in parallel (as
-// TreadMarks does for diff fetches) and then await all replies.
-func (n *Network) CallAsync(p *sim.Proc, to, kind, size int, payload any) *sim.Waiter {
+// TreadMarks does for diff fetches) and then collect all replies via Await.
+func (n *Network) CallAsync(p *sim.Proc, to, kind, size int, payload Payload) *sim.Waiter {
 	w := sim.NewWaiter(p)
 	n.post(p, Msg{From: p.ID(), To: to, Kind: kind, Size: size, Payload: payload, waiter: w})
 	return w
+}
+
+// Await blocks until the reply for a Call/CallAsync waiter arrives and
+// returns it. CallAsync callers must collect each reply through Await, not
+// Waiter.Wait directly: the delivered value is the fabric's in-flight slot,
+// which Await copies out and returns to its link's free list.
+func (n *Network) Await(w *sim.Waiter, reason string) Msg {
+	fl := w.Wait(reason).(*flight)
+	m := fl.msg
+	m.waiter = nil
+	fl.n.release(fl)
+	return m
 }
 
 // post charges the running sender and schedules delivery.
@@ -182,7 +264,7 @@ func (n *Network) post(p *sim.Proc, m Msg) {
 	}
 	total := n.account(p.ID(), m.Size)
 	p.Sleep(n.cm.MsgCost(total))
-	n.transmit(p.Now(), total, func(arrive sim.Time) { n.deliver(m, arrive) })
+	n.transmit(p.Now(), n.newFlight(m))
 }
 
 // ForwardFrom re-addresses request req to another processor from process
@@ -196,13 +278,13 @@ func (n *Network) ForwardFrom(p *sim.Proc, req Msg, to int, extraSize int) {
 	fwd.Size += extraSize
 	total := n.account(p.ID(), fwd.Size)
 	p.Sleep(n.cm.MsgCost(total))
-	n.transmit(p.Now(), total, func(arrive sim.Time) { n.deliver(fwd, arrive) })
+	n.transmit(p.Now(), n.newFlight(fwd))
 }
 
 // ReplyFrom sends the reply to request req from the running processor p.
 // Used when a request was queued by a handler and is granted later from
 // process context (e.g. a lock released while others are waiting).
-func (n *Network) ReplyFrom(p *sim.Proc, req Msg, kind, size int, payload any) {
+func (n *Network) ReplyFrom(p *sim.Proc, req Msg, kind, size int, payload Payload) {
 	if req.waiter == nil {
 		panic("fabric: ReplyFrom for a one-way message")
 	}
@@ -211,16 +293,9 @@ func (n *Network) ReplyFrom(p *sim.Proc, req Msg, kind, size int, payload any) {
 	}
 	total := n.account(p.ID(), size)
 	p.Sleep(n.cm.MsgCost(total))
-	reply := Msg{From: p.ID(), To: req.From, Kind: kind, Size: size, Payload: payload}
-	n.transmit(p.Now(), total, func(arrive sim.Time) { n.deliverReply(req, reply, arrive) })
-}
-
-// deliverReply hands the reply to the waiting caller at arrival time; it runs
-// in scheduler context at arrive. Reply handling interrupts the receiver like
-// any message.
-func (n *Network) deliverReply(req Msg, reply Msg, arrive sim.Time) {
-	n.procs[reply.To].InjectWork(n.cm.HandlerFixed)
-	req.waiter.Deliver(reply, arrive+n.cm.HandlerFixed)
+	fl := n.newFlight(Msg{From: p.ID(), To: req.From, Kind: kind, Size: size, Payload: payload, waiter: req.waiter})
+	fl.reply = true
+	n.transmit(p.Now(), fl)
 }
 
 // deliver runs the destination's request handler at arrival time, charging
@@ -229,7 +304,8 @@ func (n *Network) deliver(m Msg, at sim.Time) {
 	if m.waiter != nil && m.Kind < 0 {
 		panic("fabric: negative kinds are reserved")
 	}
-	hc := &HandlerCtx{n: n, self: m.To, at: at, busy: n.cm.HandlerFixed}
+	hc := &n.hctx
+	*hc = HandlerCtx{n: n, self: m.To, at: at, busy: n.cm.HandlerFixed}
 	h := n.handlers[m.To]
 	if h == nil {
 		panic(fmt.Sprintf("fabric: no handler attached for proc %d", m.To))
@@ -240,7 +316,8 @@ func (n *Network) deliver(m Msg, at sim.Time) {
 
 // HandlerCtx is the execution context of a request handler. All time
 // consumed through it (fixed handler cost, Work, message sends) is charged to
-// the hosting processor after the handler returns.
+// the hosting processor after the handler returns; the context is valid only
+// for the duration of the handler call (it is reused across deliveries).
 type HandlerCtx struct {
 	n    *Network
 	self int
@@ -259,25 +336,26 @@ func (hc *HandlerCtx) Now() sim.Time { return hc.at + hc.busy }
 func (hc *HandlerCtx) Work(d sim.Time) { hc.busy += d }
 
 // Send transmits a one-way message from within the handler.
-func (hc *HandlerCtx) Send(to, kind, size int, payload any) {
+func (hc *HandlerCtx) Send(to, kind, size int, payload Payload) {
 	if to == hc.self {
 		panic("fabric: handler sending to self")
 	}
 	total := hc.n.account(hc.self, size)
 	hc.busy += hc.n.cm.MsgCost(total)
 	m := Msg{From: hc.self, To: to, Kind: kind, Size: size, Payload: payload}
-	hc.n.transmit(hc.at+hc.busy, total, func(arrive sim.Time) { hc.n.deliver(m, arrive) })
+	hc.n.transmit(hc.at+hc.busy, hc.n.newFlight(m))
 }
 
 // Reply answers request req from within the handler.
-func (hc *HandlerCtx) Reply(req Msg, kind, size int, payload any) {
+func (hc *HandlerCtx) Reply(req Msg, kind, size int, payload Payload) {
 	if req.waiter == nil {
 		panic("fabric: Reply to a one-way message")
 	}
 	total := hc.n.account(hc.self, size)
 	hc.busy += hc.n.cm.MsgCost(total)
-	reply := Msg{From: hc.self, To: req.From, Kind: kind, Size: size, Payload: payload}
-	hc.n.transmit(hc.at+hc.busy, total, func(arrive sim.Time) { hc.n.deliverReply(req, reply, arrive) })
+	fl := hc.n.newFlight(Msg{From: hc.self, To: req.From, Kind: kind, Size: size, Payload: payload, waiter: req.waiter})
+	fl.reply = true
+	hc.n.transmit(hc.at+hc.busy, fl)
 }
 
 // Forward re-addresses request req to another processor, preserving the
@@ -292,11 +370,11 @@ func (hc *HandlerCtx) Forward(req Msg, to int, extraSize int) {
 	fwd.Size += extraSize
 	total := hc.n.account(hc.self, fwd.Size)
 	hc.busy += hc.n.cm.MsgCost(total)
-	hc.n.transmit(hc.at+hc.busy, total, func(arrive sim.Time) { hc.n.deliver(fwd, arrive) })
+	hc.n.transmit(hc.at+hc.busy, hc.n.newFlight(fwd))
 }
 
 // LocalReply delivers a reply to a request that was queued earlier by this
 // same processor's handler and is being granted from handler context now.
-func (hc *HandlerCtx) LocalReply(req Msg, kind, size int, payload any) {
+func (hc *HandlerCtx) LocalReply(req Msg, kind, size int, payload Payload) {
 	hc.Reply(req, kind, size, payload)
 }

@@ -24,7 +24,7 @@ func TestOneWaySendDeliversAndCharges(t *testing.T) {
 	var sendDone sim.Time
 
 	p0 := s.Spawn("p0", func(p *sim.Proc) {
-		n.Send(p, 1, 7, 8, "hi")
+		n.Send(p, 1, 7, 8, Payload{A: 42})
 		sendDone = p.Now()
 	})
 	p1 := s.Spawn("p1", func(p *sim.Proc) {
@@ -62,22 +62,22 @@ func TestCallRoundTrip(t *testing.T) {
 	var rtt sim.Time
 	p0 := s.Spawn("client", func(p *sim.Proc) {
 		start := p.Now()
-		reply = n.Call(p, 1, 1, 0, "ping")
+		reply = n.Call(p, 1, 1, 0, Payload{Kind: PayloadPageReq, A: 7, B: 8})
 		rtt = p.Now() - start
 	})
 	p1 := s.Spawn("server", func(p *sim.Proc) {})
 	n.Attach(p0, func(hc *HandlerCtx, m Msg) {})
 	n.Attach(p1, func(hc *HandlerCtx, m Msg) {
-		if m.Payload != "ping" {
-			t.Errorf("payload = %v", m.Payload)
+		if m.Payload.Kind != PayloadPageReq || m.Payload.A != 7 || m.Payload.B != 8 {
+			t.Errorf("payload = %+v", m.Payload)
 		}
 		hc.Work(5 * sim.Microsecond)
-		hc.Reply(m, 2, 4, "pong")
+		hc.Reply(m, 2, 4, Payload{C: 9})
 	})
 	if err := s.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if reply.Payload != "pong" || reply.Kind != 2 || reply.From != 1 {
+	if reply.Payload.C != 9 || reply.Kind != 2 || reply.From != 1 {
 		t.Errorf("reply = %+v", reply)
 	}
 	// Request: 100 send + 50 wire. Handler: 10 fixed + 5 work + 100 reply send.
@@ -98,17 +98,17 @@ func TestForwardPreservesReplyPath(t *testing.T) {
 	var reply Msg
 	procs := make([]*sim.Proc, 3)
 	procs[0] = s.Spawn("requester", func(p *sim.Proc) {
-		reply = n.Call(p, 1, 1, 0, nil)
+		reply = n.Call(p, 1, 1, 0, Payload{})
 	})
 	procs[1] = s.Spawn("manager", func(p *sim.Proc) {})
 	procs[2] = s.Spawn("owner", func(p *sim.Proc) {})
 	n.Attach(procs[0], func(hc *HandlerCtx, m Msg) {})
 	n.Attach(procs[1], func(hc *HandlerCtx, m Msg) { hc.Forward(m, 2, 4) })
-	n.Attach(procs[2], func(hc *HandlerCtx, m Msg) { hc.Reply(m, 9, 0, "granted") })
+	n.Attach(procs[2], func(hc *HandlerCtx, m Msg) { hc.Reply(m, 9, 0, Payload{A: 1}) })
 	if err := s.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if reply.Payload != "granted" || reply.From != 2 {
+	if reply.Payload.A != 1 || reply.From != 2 {
 		t.Errorf("reply = %+v", reply)
 	}
 	if got := n.Total().Msgs; got != 3 { // request + forward + grant
@@ -123,12 +123,12 @@ func TestDeferredReplyFromProcessContext(t *testing.T) {
 	var reply Msg
 
 	p0 := s.Spawn("requester", func(p *sim.Proc) {
-		reply = n.Call(p, 1, 1, 0, nil)
+		reply = n.Call(p, 1, 1, 0, Payload{})
 	})
 	p1 := s.Spawn("holder", func(p *sim.Proc) {
 		p.Sleep(1000 * sim.Microsecond) // holds the resource for 1 ms
 		for _, req := range pending {
-			n.ReplyFrom(p, req, 2, 0, "finally")
+			n.ReplyFrom(p, req, 2, 0, Payload{B: 5})
 		}
 	})
 	n.Attach(p0, func(hc *HandlerCtx, m Msg) {})
@@ -136,7 +136,7 @@ func TestDeferredReplyFromProcessContext(t *testing.T) {
 	if err := s.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if reply.Payload != "finally" {
+	if reply.Payload.B != 5 {
 		t.Errorf("reply = %+v", reply)
 	}
 }
@@ -147,16 +147,16 @@ func TestParallelCallsOverlap(t *testing.T) {
 	var elapsed sim.Time
 	p0 := s.Spawn("client", func(p *sim.Proc) {
 		start := p.Now()
-		w1 := n.CallAsync(p, 1, 1, 0, nil)
-		w2 := n.CallAsync(p, 2, 1, 0, nil)
-		w1.Wait("r1")
-		w2.Wait("r2")
+		w1 := n.CallAsync(p, 1, 1, 0, Payload{})
+		w2 := n.CallAsync(p, 2, 1, 0, Payload{})
+		n.Await(w1, "r1")
+		n.Await(w2, "r2")
 		elapsed = p.Now() - start
 	})
 	p1 := s.Spawn("s1", func(p *sim.Proc) {})
 	p2 := s.Spawn("s2", func(p *sim.Proc) {})
 	n.Attach(p0, func(hc *HandlerCtx, m Msg) {})
-	echo := func(hc *HandlerCtx, m Msg) { hc.Reply(m, 2, 0, nil) }
+	echo := func(hc *HandlerCtx, m Msg) { hc.Reply(m, 2, 0, Payload{}) }
 	n.Attach(p1, echo)
 	n.Attach(p2, echo)
 	if err := s.Run(); err != nil {
@@ -179,7 +179,7 @@ func TestSelfSendPanics(t *testing.T) {
 				t.Error("want panic on self-send")
 			}
 		}()
-		n.Send(p, 0, 1, 0, nil)
+		n.Send(p, 0, 1, 0, Payload{})
 	})
 	n.Attach(p0, func(hc *HandlerCtx, m Msg) {})
 	if err := s.Run(); err != nil {
@@ -194,7 +194,7 @@ func TestPerByteCostAndStats(t *testing.T) {
 	n := New(s, cm, 2)
 	var sendDone sim.Time
 	p0 := s.Spawn("p0", func(p *sim.Proc) {
-		n.Send(p, 1, 1, 968, nil) // 968 + 32 header = 1000 bytes
+		n.Send(p, 1, 1, 968, Payload{}) // 968 + 32 header = 1000 bytes
 		sendDone = p.Now()
 	})
 	p1 := s.Spawn("p1", func(p *sim.Proc) { p.Park("x") })

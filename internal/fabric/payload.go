@@ -1,0 +1,85 @@
+package fabric
+
+// PayloadKind tags which variant of the Payload union a message carries. The
+// set is closed: every protocol message in the system is one of these, which
+// is what lets a Msg travel as a plain value with no interface boxing on the
+// delivery path (see DESIGN.md, "Event loop & messaging").
+type PayloadKind uint8
+
+const (
+	// PayloadNone marks an empty payload (pure-synchronization messages,
+	// acknowledgements, EC barrier traffic).
+	PayloadNone PayloadKind = iota
+	// PayloadLockReq is a lock acquire request. Slots: A = lock id,
+	// B = acquire mode, Flag2 = routed-via-manager; the consistency portion
+	// is model-specific (EC: C = incarnation, D = binding version,
+	// Flag = acquire-for-rebind; LRC: Vec = interval vector).
+	PayloadLockReq
+	// PayloadLockGrant is a lock grant reply. EC: C = owner incarnation,
+	// D = binding version, Body = update-protocol data; LRC: Vec = granter
+	// vector, Body = write-notice set.
+	PayloadLockGrant
+	// PayloadBarrier is a barrier arrival or departure. Slots: A = barrier
+	// id; LRC adds Vec = sender vector and Body = write-notice set.
+	PayloadBarrier
+	// PayloadPageReq is an LRC data fetch for one page. Slots: A = page,
+	// B = highest interval already applied, C = highest interval requested.
+	PayloadPageReq
+	// PayloadPageReply answers a page request. Body carries the diffs or
+	// timestamp-selected runs.
+	PayloadPageReply
+	// PayloadNoticeSet tags a write-notice-set Body (LRC interval records);
+	// it rides inside lock grants and barrier payloads, never alone.
+	PayloadNoticeSet
+)
+
+// String names the payload kind for taxonomy tables and test failures.
+func (k PayloadKind) String() string {
+	switch k {
+	case PayloadNone:
+		return "none"
+	case PayloadLockReq:
+		return "lock-req"
+	case PayloadLockGrant:
+		return "lock-grant"
+	case PayloadBarrier:
+		return "barrier"
+	case PayloadPageReq:
+		return "page-req"
+	case PayloadPageReply:
+		return "page-reply"
+	case PayloadNoticeSet:
+		return "notice-set"
+	}
+	return "?"
+}
+
+// Body is the sealed extension point for payload variants too large for the
+// union's inline slots (grant data, diffs, write-notice sets). Implementations
+// are pointer types owned by the protocol packages, so carrying one in a
+// Payload stores a pointer and never boxes a value.
+type Body interface {
+	// BodyKind identifies the variant, for round-trip tests and debugging.
+	BodyKind() PayloadKind
+}
+
+// Payload is the typed body of a Msg: a small value-struct union in place of
+// the previous `any` payload, so posting and delivering a message moves plain
+// values and allocates nothing. Which fields are meaningful is fixed per
+// PayloadKind (documented on the constants); unused slots stay zero. The
+// synchronization managers own the A, B and Flag2 slots of the kinds they
+// wrap, and the consistency hooks own C, D, Flag, Vec and Body — see
+// syncmgr's LockHooks.
+type Payload struct {
+	Kind PayloadKind
+	// A, B, C, D are the inline scalar slots (ids, interval bounds,
+	// incarnation numbers).
+	A, B, C, D int32
+	// Flag and Flag2 are the inline boolean slots.
+	Flag, Flag2 bool
+	// Vec is the inline vector slot (interval/version vectors).
+	Vec []int32
+	// Body points at a protocol-owned variant for payloads that carry bulk
+	// protocol data; nil otherwise.
+	Body Body
+}

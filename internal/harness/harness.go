@@ -108,13 +108,13 @@ type Row struct {
 	Err error
 }
 
-// imageCache memoizes pre-seeded initial images per (application, scale):
-// seeding is a pure function of the problem instance, and a sweep re-runs the
-// same instance for every implementation, processor count and cost variant.
-// Seeding runs under a per-key once — not a global lock — so a parallel
-// sweep's first touches of distinct apps seed concurrently. The footprint is
-// bounded by #apps x #scales (a few MB per paper-scale image); cells share
-// images read-only.
+// imageCache memoizes the computed layout and pre-seeded initial image per
+// (application, scale): both are pure functions of the problem instance, and
+// a sweep re-runs the same instance for every implementation, processor count
+// and cost variant. Seeding runs under a per-key once — not a global lock —
+// so a parallel sweep's first touches of distinct apps seed concurrently. The
+// footprint is bounded by #apps x #scales (a few MB per paper-scale image);
+// cells share images and layouts read-only.
 var imageCache sync.Map // imageKey -> *imageEntry
 
 type imageKey struct {
@@ -125,12 +125,11 @@ type imageKey struct {
 type imageEntry struct {
 	once sync.Once
 	im   *mem.Image
+	al   *mem.Allocator
 	err  error
 }
 
-// InitImage returns the cached pre-seeded initial image for (app, scale),
-// seeding it on first use. The returned image must be treated as read-only.
-func InitImage(app string, scale apps.Scale) (*mem.Image, error) {
+func initEntry(app string, scale apps.Scale) *imageEntry {
 	e, _ := imageCache.LoadOrStore(imageKey{app, scale}, &imageEntry{})
 	ent := e.(*imageEntry)
 	ent.once.Do(func() {
@@ -143,9 +142,34 @@ func InitImage(app string, scale apps.Scale) (*mem.Image, error) {
 		a.Layout(al)
 		im := mem.NewImage(al.Size())
 		a.Init(im)
-		ent.im = im
+		ent.im, ent.al = im, al
 	})
+	return ent
+}
+
+// InitImage returns the cached pre-seeded initial image for (app, scale),
+// seeding it on first use. The returned image must be treated as read-only.
+func InitImage(app string, scale apps.Scale) (*mem.Image, error) {
+	ent := initEntry(app, scale)
 	return ent.im, ent.err
+}
+
+// InitLayout returns the cached computed layout for (app, scale), computing
+// it on first use. Cells replay it (run.Options.Layout) instead of laying
+// shared memory out again; the returned allocator must be treated as
+// read-only.
+func InitLayout(app string, scale apps.Scale) (*mem.Allocator, error) {
+	ent := initEntry(app, scale)
+	return ent.al, ent.err
+}
+
+// cellOptions assembles the cached-artifact options for one cell.
+func cellOptions(cfg Config, app string) (run.Options, error) {
+	ent := initEntry(app, cfg.Scale)
+	if ent.err != nil {
+		return run.Options{}, ent.err
+	}
+	return run.Options{Contention: cfg.Contention, InitImage: ent.im, Layout: ent.al}, nil
 }
 
 // RunCell executes one cell of the evaluation matrix.
@@ -154,11 +178,10 @@ func RunCell(cfg Config, app string, impl core.Impl) Row {
 	if err != nil {
 		return Row{App: app, Impl: impl, Err: err}
 	}
-	im, err := InitImage(app, cfg.Scale)
+	opts, err := cellOptions(cfg, app)
 	if err != nil {
 		return Row{App: app, Impl: impl, Err: err}
 	}
-	opts := run.Options{Contention: cfg.Contention, InitImage: im}
 	res, err := run.RunWith(a, impl, cfg.NProcs, cfg.Cost, opts)
 	return Row{App: app, Impl: impl, Result: res, Err: err}
 }
@@ -169,11 +192,12 @@ func RunSeq(cfg Config, app string) (sim.Time, error) {
 	if err != nil {
 		return 0, err
 	}
-	im, err := InitImage(app, cfg.Scale)
+	opts, err := cellOptions(cfg, app)
 	if err != nil {
 		return 0, err
 	}
-	return run.RunSeqWith(a, run.Options{InitImage: im})
+	opts.Contention = false // the sequential reference has no fabric at all
+	return run.RunSeqWith(a, opts)
 }
 
 // Table2 renders the application-parameter table for the configured scale.

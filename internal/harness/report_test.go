@@ -74,6 +74,21 @@ func TestInitImageCached(t *testing.T) {
 	if _, err := InitImage("no-such-app", apps.Test); err == nil {
 		t.Error("want error for unknown app")
 	}
+	// The computed layout is cached alongside the image and shared by cells.
+	la, err := InitLayout("SOR", apps.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := InitLayout("SOR", apps.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if la != lb {
+		t.Error("second InitLayout call did not hit the cache")
+	}
+	if la.Size() != a.Size() {
+		t.Errorf("cached layout spans %d bytes, image %d", la.Size(), a.Size())
+	}
 	// A cell run off the cached image must produce the exact stats of a
 	// cold run (run.Run seeds its own image, bypassing the cache).
 	cfg := Config{Scale: apps.Test, NProcs: 4, Cost: fabric.DefaultCostModel()}

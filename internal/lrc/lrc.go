@@ -71,19 +71,31 @@ type ivalDiff struct {
 	Diff *wcollect.Diff
 }
 
-type fetchReq struct {
-	Page  int
-	Since int32 // highest interval of the responder already applied locally
-	// UpTo bounds the reply to intervals the requester holds write notices
-	// for: modifications from the responder's later intervals have not been
-	// "released" to the requester yet and must not travel early.
-	UpTo int32
-}
+// Fetch-request slot conventions (PayloadPageReq): A is the page, B the
+// highest interval of the responder already applied locally, and C bounds
+// the reply to intervals the requester holds write notices for —
+// modifications from the responder's later intervals have not been
+// "released" to the requester yet and must not travel early.
 
-type fetchReply struct {
+// pageReply is the typed Body of a kindFetchReply message.
+type pageReply struct {
 	Diffs   []ivalDiff           // Diffs collection
 	Stamped wcollect.StampedData // Timestamps collection
 }
+
+// BodyKind implements fabric.Body.
+func (*pageReply) BodyKind() fabric.PayloadKind { return fabric.PayloadPageReply }
+
+// noticeBody is the write-notice set riding with lock grants, barrier
+// arrivals and barrier departures: the interval records the receiver's
+// vector does not cover. The sender's vector travels in the payload's Vec
+// slot alongside it.
+type noticeBody struct {
+	records []*interval
+}
+
+// BodyKind implements fabric.Body.
+func (*noticeBody) BodyKind() fabric.PayloadKind { return fabric.PayloadNoticeSet }
 
 // pendingWriter is one processor with unfetched write notices for a page.
 type pendingWriter struct {
@@ -469,12 +481,13 @@ func (n *Node) accessMiss(pg int, write bool) {
 	// Parallel requests, as TreadMarks issues its diff requests.
 	waiters := make([]*sim.Waiter, len(writers))
 	for i, w := range writers {
-		waiters[i] = n.Net.CallAsync(n.P, w.proc, kindFetchReq, 12, fetchReq{Page: pg, Since: w.since, UpTo: w.upTo})
+		req := fabric.Payload{Kind: fabric.PayloadPageReq, A: int32(pg), B: w.since, C: w.upTo}
+		waiters[i] = n.Net.CallAsync(n.P, w.proc, kindFetchReq, 12, req)
 	}
 	var units []applyUnit
 	for i, w := range waiters {
-		reply := w.Wait("lrc-fetch").(fabric.Msg)
-		fr := reply.Payload.(fetchReply)
+		reply := n.Net.Await(w, "lrc-fetch")
+		fr := reply.Payload.Body.(*pageReply)
 		switch n.impl.Collect {
 		case core.Diffs:
 			for _, idf := range fr.Diffs {
@@ -586,23 +599,22 @@ func (n *Node) intervalBefore(p int, i int32, q int, j int32) bool {
 // requests; with timestamps, every request pays a fresh scan of the page's
 // timestamps (the computation-overhead asymmetry of Section 5.3).
 func (n *Node) handleFetch(hc *fabric.HandlerCtx, m fabric.Msg) {
-	req := m.Payload.(fetchReq)
-	pg := req.Page
+	pg, since, upTo := int(m.Payload.A), m.Payload.B, m.Payload.C
 	hc.Work(n.harvestPage(pg)) // lazy collection happens at first request
 
-	var reply fetchReply
+	reply := &pageReply{}
 	size := 0
 	switch n.impl.Collect {
 	case core.Diffs:
 		for _, idf := range n.diffStore[pg] {
-			if idf.Ival > req.Since && idf.Ival <= req.UpTo {
+			if idf.Ival > since && idf.Ival <= upTo {
 				reply.Diffs = append(reply.Diffs, idf)
 				size += idf.Diff.WireSize()
 			}
 		}
 		if Trace {
 			fmt.Printf("    [lrc] p%d serves fetch(pg%d since %d) from p%d: %d diffs of %d stored\n",
-				n.P.ID(), pg, req.Since, m.From, len(reply.Diffs), len(n.diffStore[pg]))
+				n.P.ID(), pg, since, m.From, len(reply.Diffs), len(n.diffStore[pg]))
 			for _, idf := range reply.Diffs {
 				fmt.Printf("      ival %d: %d runs\n", idf.Ival, len(idf.Diff.Runs))
 			}
@@ -610,13 +622,13 @@ func (n *Node) handleFetch(hc *fabric.HandlerCtx, m fabric.Msg) {
 	case core.Timestamps:
 		pageRange := []mem.Range{{Base: mem.PageBase(pg), Len: mem.PageSize}}
 		runs, scanned := wcollect.SelectPred(n.stamps, pageRange,
-			wcollect.ProcWindow{Proc: n.P.ID(), Since: req.Since, UpTo: req.UpTo})
+			wcollect.ProcWindow{Proc: n.P.ID(), Since: since, UpTo: upTo})
 		hc.Work(sim.Time(scanned) * n.CM.WordScan)
 		reply.Stamped = wcollect.ExtractStamped(n.Im, runs)
 		size = reply.Stamped.WireSize(wcollect.LRCStampBytes)
 		n.Extra.StampRunsSent += int64(len(runs))
 	}
-	hc.Reply(m, kindFetchReply, size, reply)
+	hc.Reply(m, kindFetchReply, size, fabric.Payload{Kind: fabric.PayloadPageReply, Body: reply})
 }
 
 // --- syncmgr lock hooks ----------------------------------------------------
@@ -626,35 +638,28 @@ type lockHooks Node
 func (h *lockHooks) node() *Node { return (*Node)(h) }
 
 // MakeLockRequest attaches the requester's interval vector.
-func (h *lockHooks) MakeLockRequest(l core.LockID, mode syncmgr.Mode) (any, int) {
+func (h *lockHooks) MakeLockRequest(l core.LockID, mode syncmgr.Mode) (fabric.Payload, int) {
 	n := h.node()
 	v := make([]int32, len(n.vec))
 	copy(v, n.vec)
-	return v, 4 * len(v)
-}
-
-type lockGrant struct {
-	Vec     []int32
-	Records []*interval
+	return fabric.Payload{Vec: v}, 4 * len(v)
 }
 
 // MakeLockGrant closes the granter's interval and piggybacks the write
 // notices the requester's vector does not cover.
-func (h *lockHooks) MakeLockGrant(l core.LockID, mode syncmgr.Mode, reqPayload any, requester int) (any, int, sim.Time) {
+func (h *lockHooks) MakeLockGrant(l core.LockID, mode syncmgr.Mode, req fabric.Payload, requester int) (fabric.Payload, int, sim.Time) {
 	n := h.node()
 	work := n.closeInterval()
-	reqVec := reqPayload.([]int32)
-	records, size := n.collectNotices(reqVec)
+	records, size := n.collectNotices(req.Vec)
 	v := make([]int32, len(n.vec))
 	copy(v, n.vec)
-	return lockGrant{Vec: v, Records: records}, size + 4*len(v), work
+	return fabric.Payload{Vec: v, Body: &noticeBody{records: records}}, size + 4*len(v), work
 }
 
 // ApplyLockGrant installs the piggybacked write notices and invalidates.
-func (h *lockHooks) ApplyLockGrant(l core.LockID, mode syncmgr.Mode, payload any) sim.Time {
+func (h *lockHooks) ApplyLockGrant(l core.LockID, mode syncmgr.Mode, payload fabric.Payload) sim.Time {
 	n := h.node()
-	g := payload.(lockGrant)
-	return n.absorb(g.Records, g.Vec)
+	return n.absorb(payload.Body.(*noticeBody).records, payload.Vec)
 }
 
 // LocalReacquire begins a new interval even without communication, so local
@@ -673,14 +678,10 @@ type barrierHooks Node
 
 func (h *barrierHooks) node() *Node { return (*Node)(h) }
 
-type barrierArrival struct {
-	Vec     []int32
-	Records []*interval // the arriver's own records since the last barrier
-}
-
 // MakeArrival closes the interval and sends the manager this processor's
-// vector plus its own interval records created since the last barrier.
-func (h *barrierHooks) MakeArrival(b core.BarrierID) (any, int, sim.Time) {
+// vector (the payload Vec slot) plus its own interval records created since
+// the last barrier (a noticeBody).
+func (h *barrierHooks) MakeArrival(b core.BarrierID) (fabric.Payload, int, sim.Time) {
 	n := h.node()
 	work := n.closeInterval()
 	self := n.P.ID()
@@ -692,19 +693,18 @@ func (h *barrierHooks) MakeArrival(b core.BarrierID) (any, int, sim.Time) {
 	n.lastBarrierSent = n.cur - 1
 	v := make([]int32, len(n.vec))
 	copy(v, n.vec)
-	return barrierArrival{Vec: v, Records: recs}, size, work
+	return fabric.Payload{Vec: v, Body: &noticeBody{records: recs}}, size, work
 }
 
 // AbsorbArrival buffers one arrival at the manager. The records are merged
 // into the manager's consistency state only at PrepareDepartures: until then
 // the manager may still be computing, and applying write notices mid-
 // interval would invalidate pages under its feet.
-func (h *barrierHooks) AbsorbArrival(b core.BarrierID, from int, payload any) sim.Time {
+func (h *barrierHooks) AbsorbArrival(b core.BarrierID, from int, payload fabric.Payload) sim.Time {
 	n := h.node()
-	arr := payload.(barrierArrival)
-	n.arrivalVecs[from] = arr.Vec
+	n.arrivalVecs[from] = payload.Vec
 	if from != n.P.ID() {
-		n.arrivalRecs[from] = arr.Records
+		n.arrivalRecs[from] = payload.Body.(*noticeBody).records
 	}
 	return 0
 }
@@ -726,13 +726,8 @@ func (h *barrierHooks) PrepareDepartures(b core.BarrierID) sim.Time {
 	return work
 }
 
-type barrierDeparture struct {
-	Vec     []int32
-	Records []*interval
-}
-
 // MakeDeparture sends processor q every record it lacks.
-func (h *barrierHooks) MakeDeparture(b core.BarrierID, to int) (any, int, sim.Time) {
+func (h *barrierHooks) MakeDeparture(b core.BarrierID, to int) (fabric.Payload, int, sim.Time) {
 	n := h.node()
 	av := n.arrivalVecs[to]
 	records, size := n.collectNotices(av)
@@ -746,14 +741,13 @@ func (h *barrierHooks) MakeDeparture(b core.BarrierID, to int) (any, int, sim.Ti
 	}
 	v := make([]int32, len(n.vec))
 	copy(v, n.vec)
-	return barrierDeparture{Vec: v, Records: records}, size + 4*len(v), 0
+	return fabric.Payload{Vec: v, Body: &noticeBody{records: records}}, size + 4*len(v), 0
 }
 
 // ApplyDeparture installs the departure's notices at a client.
-func (h *barrierHooks) ApplyDeparture(b core.BarrierID, payload any) sim.Time {
+func (h *barrierHooks) ApplyDeparture(b core.BarrierID, payload fabric.Payload) sim.Time {
 	n := h.node()
-	g := payload.(barrierDeparture)
-	return n.absorb(g.Records, g.Vec)
+	return n.absorb(payload.Body.(*noticeBody).records, payload.Vec)
 }
 
 var _ core.DSM = (*Node)(nil)

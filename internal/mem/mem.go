@@ -86,19 +86,51 @@ type Allocator struct {
 	// becomes a single array load instead of a region binary search (it runs
 	// on every instrumented store and in every collection scan).
 	pageBlock []uint8
+	// replay re-serves the recorded regions in order instead of appending
+	// (see Replayer): replayNext indexes the next region to hand out.
+	replay     bool
+	replayNext int
 }
 
 // NewAllocator returns an empty allocator starting at address 0.
 func NewAllocator() *Allocator { return &Allocator{} }
 
+// Replayer returns a view of al that re-serves the recorded allocation
+// sequence: calling Alloc with the same (name, size, block) sequence returns
+// the same addresses without mutating al or rebuilding its region tables.
+// Layout is a pure function of the problem instance, so a cached allocator
+// plus a Replayer lets every cell of a sweep rebind its app's addresses
+// against shared, read-only region state. A mismatched sequence panics —
+// that is a (app, scale) cache mix-up, not a recoverable condition.
+func (al *Allocator) Replayer() *Allocator {
+	cp := *al
+	cp.replay = true
+	cp.replayNext = 0
+	return &cp
+}
+
 // Alloc reserves size bytes on a fresh page boundary with the given
-// instrumentation block granularity and returns the base address.
+// instrumentation block granularity and returns the base address. On a
+// Replayer it re-serves the next recorded region instead, verifying the
+// request matches.
 func (al *Allocator) Alloc(name string, size, block int) Addr {
 	if size <= 0 {
 		panic(fmt.Sprintf("mem: alloc %q: bad size %d", name, size))
 	}
 	if block != 4 && block != 8 {
 		panic(fmt.Sprintf("mem: alloc %q: block must be 4 or 8, got %d", name, block))
+	}
+	if al.replay {
+		if al.replayNext >= len(al.regions) {
+			panic(fmt.Sprintf("mem: replay alloc %q beyond the recorded layout", name))
+		}
+		r := al.regions[al.replayNext]
+		if r.Name != name || r.Size != size || r.Block != block {
+			panic(fmt.Sprintf("mem: replay alloc %q (%d/%d) does not match recorded region %q (%d/%d)",
+				name, size, block, r.Name, r.Size, r.Block))
+		}
+		al.replayNext++
+		return r.Base
 	}
 	base := al.next
 	al.regions = append(al.regions, Region{Name: name, Base: base, Size: size, Block: block})

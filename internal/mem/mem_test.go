@@ -83,6 +83,36 @@ func TestAllocatorPanics(t *testing.T) {
 	mustPanic(t, "bad block", func() { al.Alloc("x", 8, 16) })
 }
 
+// TestAllocatorReplayer: a Replayer re-serves the recorded allocation
+// sequence with identical addresses and metadata, without mutating the
+// original, and rejects any divergence from the recorded layout.
+func TestAllocatorReplayer(t *testing.T) {
+	al := NewAllocator()
+	a := al.Alloc("a", 100, 4)
+	b := al.Alloc("b", PageSize+1, 8)
+
+	r := al.Replayer()
+	if got := r.Alloc("a", 100, 4); got != a {
+		t.Errorf("replayed a = %d, want %d", got, a)
+	}
+	if got := r.Alloc("b", PageSize+1, 8); got != b {
+		t.Errorf("replayed b = %d, want %d", got, b)
+	}
+	if r.Size() != al.Size() || r.Pages() != al.Pages() {
+		t.Errorf("replayer geometry %d/%d, want %d/%d", r.Size(), r.Pages(), al.Size(), al.Pages())
+	}
+	if r.BlockAt(PageSize+10) != 8 {
+		t.Error("replayer lost block granularity")
+	}
+	if len(al.Regions()) != 2 {
+		t.Errorf("replay mutated the original: %d regions", len(al.Regions()))
+	}
+	mustPanic(t, "replay beyond layout", func() { r.Alloc("c", 8, 4) })
+
+	r2 := al.Replayer()
+	mustPanic(t, "replay mismatch", func() { r2.Alloc("a", 200, 4) })
+}
+
 func mustPanic(t *testing.T, name string, fn func()) {
 	t.Helper()
 	defer func() {

@@ -59,6 +59,12 @@ type Options struct {
 	// implementing RefInit; ownership stays with the caller (the image is
 	// read, never recycled).
 	InitImage *mem.Image
+	// Layout, when non-nil, is the pre-computed allocator for this exact
+	// application instance, typically cached alongside InitImage. The run
+	// replays it (mem.Allocator.Replayer) instead of laying shared memory
+	// out again: the app still binds its instance addresses, but the region
+	// tables are shared read-only across cells.
+	Layout *mem.Allocator
 }
 
 // node is the common view of ec.Node and lrc.Node the runner needs.
@@ -74,6 +80,10 @@ type Result struct {
 	NProcs  int
 	Stats   core.Stats
 	PerProc []nodebase.WindowStats
+	// LinkWait is the total queueing delay messages spent waiting for the
+	// shared link over the whole run (always zero with contention off) —
+	// the direct measure of what contention mode models.
+	LinkWait sim.Time
 }
 
 // Run executes app on nprocs processors under the given implementation and
@@ -87,8 +97,7 @@ func RunWith(app App, impl core.Impl, nprocs int, cm fabric.CostModel, opts Opti
 	if !impl.Valid() {
 		return Result{}, fmt.Errorf("run: invalid implementation %v", impl)
 	}
-	al := mem.NewAllocator()
-	app.Layout(al)
+	al := layout(app, opts)
 	initIm, cached, err := initialImage(app, al, opts)
 	if err != nil {
 		return Result{}, err
@@ -131,7 +140,7 @@ func RunWith(app App, impl core.Impl, nprocs int, cm fabric.CostModel, opts Opti
 		return Result{}, fmt.Errorf("run: %s on %v: %w", app.Name(), impl, err)
 	}
 
-	res := Result{App: app.Name(), Impl: impl, NProcs: nprocs}
+	res := Result{App: app.Name(), Impl: impl, NProcs: nprocs, LinkWait: net.LinkWait()}
 	for i, n := range nodes {
 		w, ok := n.Window()
 		if !ok {
@@ -174,6 +183,17 @@ func RunWith(app App, impl core.Impl, nprocs int, cm fabric.CostModel, opts Opti
 	return res, nil
 }
 
+// layout binds app's shared regions: against a fresh allocator, or by
+// replaying the cached layout from opts so the region tables are shared.
+func layout(app App, opts Options) *mem.Allocator {
+	al := mem.NewAllocator()
+	if opts.Layout != nil {
+		al = opts.Layout.Replayer()
+	}
+	app.Layout(al)
+	return al
+}
+
 // initialImage produces the seeded initial image for app (already laid out
 // on al), honoring a cached image from opts when the app supports reference
 // adoption. cached reports whether the returned image is caller-owned.
@@ -203,8 +223,7 @@ func RunSeq(app App) (sim.Time, error) {
 // RunSeqWith is RunSeq with Options. A cached initial image is copied, not
 // mutated: the sequential program runs on its own scratch image.
 func RunSeqWith(app App, opts Options) (sim.Time, error) {
-	al := mem.NewAllocator()
-	app.Layout(al)
+	al := layout(app, opts)
 	var im *mem.Image
 	initIm, cached, err := initialImage(app, al, opts)
 	if err != nil {

@@ -13,6 +13,7 @@ const (
 	stateDone
 )
 
+// String names the state for panics and debug output.
 func (st procState) String() string {
 	switch st {
 	case stateBlocked:

@@ -11,7 +11,9 @@ import (
 // The scheduler's own wake-ups (sleep expiry, deferred resume, unpark) are
 // encoded as typed events targeting a Proc instead of closures: they are by
 // far the most frequent events, and storing them inline keeps the event loop
-// allocation-free.
+// allocation-free. Subsystems with their own high-frequency events (the
+// fabric's message deliveries) use typed timer events (kindTimer) the same
+// way: the Timer target is stored inline, so no closure is allocated.
 type event struct {
 	at   Time
 	seq  uint64
@@ -19,6 +21,7 @@ type event struct {
 	gen  uint64 // kindSleepWake: wake-generation guard
 	p    *Proc  // target of the typed kinds
 	fn   func() // kindFn only
+	t    Timer  // kindTimer only
 }
 
 const (
@@ -26,7 +29,17 @@ const (
 	kindSleepWake               // resume p if its wake generation still matches
 	kindRunProc                 // resume p unconditionally (busyUntil deferral, spawn)
 	kindUnpark                  // resume p if still parked
+	kindTimer                   // fire t
 )
+
+// Timer is the typed-event counterpart of a Schedule closure for subsystems
+// that schedule many recurring events of their own (message deliveries, link
+// claims). The target is stored inline in the event, so scheduling one
+// allocates nothing; Fire runs in scheduler context at the scheduled instant,
+// under the same ordering rules as any event.
+type Timer interface {
+	Fire(at Time)
+}
 
 // eventLess orders events by (at, seq): earlier time first, scheduling order
 // on ties. seq is unique, so this is a strict total order.
@@ -67,6 +80,18 @@ type Simulator struct {
 	nowQ    []event
 	nowHead int
 
+	// batch is the per-instant run queue: when dispatching an event resumes a
+	// process, every immediately following event at the same instant that is
+	// itself a process wake-up is popped ahead of time into this FIFO. The
+	// baton then travels straight down the batch — each blocking process takes
+	// the next entry without re-entering the queues — so all scheduler work
+	// for the instant happens on the carrier that first reached it. Entries
+	// are raw events, validated (wake generation, busyUntil, parked state)
+	// only when their turn comes, which keeps the dispatch order and every
+	// reschedule's sequence number identical to unbatched execution.
+	batch     []event
+	batchHead int
+
 	procs   []*Proc
 	done    chan struct{} // baton holder -> Run: the event queue drained
 	yield   chan struct{} // killed process -> killBlocked: unwound, baton back
@@ -89,6 +114,13 @@ func (s *Simulator) Procs() []*Proc { return s.procs }
 // Callbacks scheduled for the same instant run in the order scheduled.
 func (s *Simulator) Schedule(at Time, fn func()) {
 	s.schedule(event{at: at, fn: fn})
+}
+
+// ScheduleTimer registers t to fire at time at (>= Now) in scheduler context,
+// under the same same-instant ordering as Schedule, without allocating: the
+// target is stored inline in the event.
+func (s *Simulator) ScheduleTimer(at Time, t Timer) {
+	s.schedule(event{at: at, kind: kindTimer, t: t})
 }
 
 // schedule enqueues e (whose at must be >= Now), assigning its sequence
@@ -128,15 +160,20 @@ func (s *Simulator) dispatch(ev *event) *Proc {
 			return s.wake(ev.p)
 		}
 		return nil
+	case kindTimer:
+		ev.t.Fire(ev.at)
+		return nil
 	}
 	panic("sim: unknown event kind")
 }
 
 // step drains events until some process must resume (returned marked
-// running) or the run is over (nil). Called by the baton holder. A panic in
-// an event callback is recorded as the run's failure and ends the run: the
-// baton may be held by any process goroutine, where an escaping panic would
-// kill the whole program (or be misattributed to the parked process).
+// running) or the run is over (nil). Called by the baton holder. The
+// per-instant batch is drained first: its entries were popped ahead of the
+// queues and must fire before anything scheduled since. A panic in an event
+// callback is recorded as the run's failure and ends the run: the baton may
+// be held by any process goroutine, where an escaping panic would kill the
+// whole program (or be misattributed to the parked process).
 func (s *Simulator) step() (next *Proc) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -144,14 +181,60 @@ func (s *Simulator) step() (next *Proc) {
 			next = nil
 		}
 	}()
+	for s.batchHead < len(s.batch) && s.failure == nil && !s.stopped {
+		ev := s.batch[s.batchHead]
+		s.batch[s.batchHead] = event{}
+		s.batchHead++
+		if s.batchHead == len(s.batch) {
+			s.batch = s.batch[:0]
+			s.batchHead = 0
+		}
+		if p := s.dispatch(&ev); p != nil {
+			s.batchWakes()
+			return p
+		}
+	}
 	for s.pending() && s.failure == nil && !s.stopped {
 		ev := s.pop()
 		s.now = ev.at
 		if p := s.dispatch(&ev); p != nil {
+			s.batchWakes()
 			return p
 		}
 	}
 	return nil
+}
+
+// peek returns the event that pop would remove next, or nil.
+func (s *Simulator) peek() *event {
+	if s.nowHead < len(s.nowQ) {
+		front := &s.nowQ[s.nowHead]
+		if len(s.queue) == 0 || eventLess(front, &s.queue[0]) {
+			return front
+		}
+		return &s.queue[0]
+	}
+	if len(s.queue) > 0 {
+		return &s.queue[0]
+	}
+	return nil
+}
+
+// batchWakes extends the per-instant batch: consecutive pending wake-up
+// events at the current instant are popped into the batch so the processes
+// they resume are handed the baton one after another without queue re-entry.
+// The look-ahead stops at the first callback or timer event (those may mutate
+// state the later wake-ups' validation depends on only in the same ways a
+// process run can, but keeping them in the queues keeps the batch a pure run
+// queue of processes). Entries stay unvalidated; see the batch field.
+func (s *Simulator) batchWakes() {
+	for {
+		e := s.peek()
+		if e == nil || e.at != s.now || e.kind == kindFn || e.kind == kindTimer {
+			return
+		}
+		s.batch = append(s.batch, s.pop())
+	}
 }
 
 // After is shorthand for Schedule(Now()+d, fn).
@@ -215,21 +298,19 @@ func (s *Simulator) pending() bool {
 }
 
 // pop removes the globally minimum event across the heap and the
-// same-instant FIFO.
+// same-instant FIFO. The selection is delegated to peek, so the batch
+// look-ahead (which peeks, then pops) can never disagree with it.
 func (s *Simulator) pop() event {
-	if s.nowHead < len(s.nowQ) {
-		front := &s.nowQ[s.nowHead]
-		if len(s.queue) == 0 || eventLess(front, &s.queue[0]) {
-			e := *front
-			*front = event{} // release the closure and proc for GC
-			s.nowHead++
-			if s.nowHead == len(s.nowQ) {
-				s.nowQ = s.nowQ[:0]
-				s.nowHead = 0
-			}
-			return e
+	front := s.peek()
+	if s.nowHead < len(s.nowQ) && front == &s.nowQ[s.nowHead] {
+		e := *front
+		*front = event{} // release the closure and proc for GC
+		s.nowHead++
+		if s.nowHead == len(s.nowQ) {
+			s.nowQ = s.nowQ[:0]
+			s.nowHead = 0
 		}
-		return s.heapPop()
+		return e
 	}
 	return s.heapPop()
 }
@@ -277,6 +358,7 @@ type Deadlock struct {
 	Blocked []string // names of the blocked processes with their wait reasons
 }
 
+// Error describes the deadlock with every blocked process and its reason.
 func (d *Deadlock) Error() string {
 	return fmt.Sprintf("sim: deadlock at %v: blocked: %v", d.At, d.Blocked)
 }
@@ -301,7 +383,9 @@ func (s *Simulator) Run() error {
 	}
 	// The run is over in every branch from here: release parked process
 	// goroutines so stopped, deadlocked and failed runs do not leak them
-	// (goroutines blocked on channels are never garbage collected).
+	// (goroutines blocked on channels are never garbage collected). A stop or
+	// failure may abandon prefetched batch entries; drop them with the run.
+	s.batch, s.batchHead = nil, 0
 	s.killBlocked()
 	if s.failure != nil {
 		return s.failure
@@ -339,6 +423,7 @@ type procPanic struct {
 	stack []byte
 }
 
+// Error reproduces the panicking process, value and stack.
 func (e *procPanic) Error() string {
 	return fmt.Sprintf("sim: process %s panicked: %v\n%s", e.proc, e.value, e.stack)
 }

@@ -15,7 +15,7 @@ var csvHeader = []string{
 	"seq_sec", "time_sec", "speedup",
 	"msgs", "bytes", "faults", "access_misses",
 	"lock_acquires", "read_lock_acquires", "remote_acquires", "barriers",
-	"diffs_created", "twins_made", "stamp_runs_sent",
+	"diffs_created", "twins_made", "stamp_runs_sent", "link_wait_sec",
 }
 
 // WriteCSV emits one flat row per record, in record order.
@@ -45,6 +45,7 @@ func WriteCSV(w io.Writer, recs []Record) error {
 			strconv.FormatInt(r.Stats.DiffsCreated, 10),
 			strconv.FormatInt(r.Stats.TwinsMade, 10),
 			strconv.FormatInt(r.Stats.StampRunsSent, 10),
+			fmt.Sprintf("%.6f", r.LinkWait.Seconds()),
 		}
 		if err := cw.Write(row); err != nil {
 			return fmt.Errorf("sweep: csv: %w", err)

@@ -17,9 +17,13 @@ var update = flag.Bool("update", false, "rewrite the emitter golden files")
 // the net=x4 variant flips the Water verdict from LRC to EC.
 func sampleRecords() []Record {
 	mk := func(variant string, cont bool, app, impl string, np int, seq, tm sim.Time, msgs, bytes int64) Record {
+		var lw sim.Time
+		if cont {
+			lw = tm / 10 // contention cells report their shared-link queueing
+		}
 		return Record{
 			Variant: variant, Contention: cont, App: app, Impl: impl, NProcs: np,
-			Seq: seq, Speedup: float64(seq) / float64(tm),
+			Seq: seq, Speedup: float64(seq) / float64(tm), LinkWait: lw,
 			Stats: core.Stats{
 				Time: tm, Msgs: msgs, Bytes: bytes,
 				Faults: 7, AccessMisses: 3, LockAcquires: 100, ReadLockAcquires: 10,

@@ -108,6 +108,9 @@ type Record struct {
 	Seq        sim.Time   `json:"seq_ns"`
 	Stats      core.Stats `json:"stats"`
 	Speedup    float64    `json:"speedup"`
+	// LinkWait is the total shared-link queueing delay of the run — the
+	// quantity contention mode exists to measure (zero with contention off).
+	LinkWait sim.Time `json:"link_wait_ns"`
 }
 
 // Run executes the grid and returns one Record per cell, in grid order:
@@ -170,6 +173,7 @@ func Run(g Grid) ([]Record, error) {
 			Seq:        seq,
 			Stats:      row.Stats,
 			Speedup:    float64(seq) / float64(row.Stats.Time),
+			LinkWait:   row.LinkWait,
 		}
 	})
 	for _, err := range cellErrs {

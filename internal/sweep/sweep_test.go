@@ -124,6 +124,12 @@ func TestSweepContentionSlowsCells(t *testing.T) {
 		}
 		if r.Stats.Time > b.Stats.Time {
 			slower++
+			if r.LinkWait == 0 {
+				t.Errorf("%s: contention slowed the run but reported no LinkWait", r.Impl)
+			}
+		}
+		if b.LinkWait != 0 {
+			t.Errorf("%s: baseline reports LinkWait %v, want 0", r.Impl, b.LinkWait)
 		}
 		// The protocol's work is unchanged; only timing moves.
 		if r.Stats.Msgs != b.Stats.Msgs {

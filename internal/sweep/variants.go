@@ -49,9 +49,11 @@ func axes() []axis {
 //
 // Unspecified axes stay at their defaults (x1, sw, off). The all-default
 // combination is named "paper"; other variants are named by their non-default
-// settings, e.g. "net=x2+detect=hw". The baseline is prepended when the spec
-// does not produce it, so reports always have their comparison point. An
-// empty spec yields just the baseline. Errors wrap ErrSpec.
+// settings, e.g. "net=x2+detect=hw". The baseline always comes first:
+// prepended when the spec does not produce it, moved to the front when the
+// cross product yields it elsewhere — so reports and Sweep callers can read
+// the leading records as their comparison point. An empty spec yields just
+// the baseline. Errors wrap ErrSpec.
 func ParseVariantSpec(spec string) ([]Variant, error) {
 	defs := axes()
 	chosen := make([][]string, len(defs))
@@ -116,8 +118,13 @@ func ParseVariantSpec(spec string) ([]Variant, error) {
 			break
 		}
 	}
-	for _, v := range out {
+	for i, v := range out {
 		if v.Name == BaselineName {
+			// The baseline leads regardless of where the cross product put
+			// it (e.g. "net=x4,x1"): reports and callers read the first
+			// records as the comparison point.
+			copy(out[1:i+1], out[:i])
+			out[0] = v
 			return out, nil
 		}
 	}

@@ -67,6 +67,21 @@ func TestParseVariantSpecDefaultsAndContention(t *testing.T) {
 	}
 }
 
+func TestParseVariantSpecBaselineAlwaysFirst(t *testing.T) {
+	// The default value listed after a non-default one places the baseline
+	// late in the cross product; it must still lead the variant list.
+	vs, err := ParseVariantSpec("net=x4,x1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := variantNames(vs); len(got) != 2 || got[0] != BaselineName || got[1] != "net=x4" {
+		t.Errorf("variants = %v, want [paper net=x4]", got)
+	}
+	if vs[0].Cost != fabric.DefaultCostModel() {
+		t.Error("leading variant is not the calibrated baseline")
+	}
+}
+
 func TestParseVariantSpecErrors(t *testing.T) {
 	for _, spec := range []string{
 		"bogus=1",       // unknown axis

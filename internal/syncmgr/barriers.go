@@ -12,22 +12,26 @@ import (
 // barrier episodes. EC barriers move no data (shared data is associated with
 // locks, not barriers); LRC barriers exchange interval vectors and write
 // notices through the manager.
+//
+// Payloads are typed fabric.Payload unions; the barrier manager owns the A
+// slot (barrier id) and the Kind tag, hooks own the rest (LRC uses Vec and
+// Body; EC barriers leave everything zero).
 type BarrierHooks interface {
 	// MakeArrival builds the client's arrival payload; work is charged to
 	// the arriving processor.
-	MakeArrival(b core.BarrierID) (payload any, size int, work sim.Time)
+	MakeArrival(b core.BarrierID) (payload fabric.Payload, size int, work sim.Time)
 	// AbsorbArrival records one arrival at the manager. Implementations
 	// must only buffer here: the manager may still be computing, and
 	// consistency actions belong at synchronization points.
-	AbsorbArrival(b core.BarrierID, from int, payload any) (work sim.Time)
+	AbsorbArrival(b core.BarrierID, from int, payload fabric.Payload) (work sim.Time)
 	// PrepareDepartures runs once at the manager when every processor has
 	// arrived, before any departure is built. This is the manager's safe
 	// point for merging the buffered consistency state.
 	PrepareDepartures(b core.BarrierID) (work sim.Time)
 	// MakeDeparture builds the departure payload for processor to.
-	MakeDeparture(b core.BarrierID, to int) (payload any, size int, work sim.Time)
+	MakeDeparture(b core.BarrierID, to int) (payload fabric.Payload, size int, work sim.Time)
 	// ApplyDeparture installs the departure payload at a client.
-	ApplyDeparture(b core.BarrierID, payload any) (work sim.Time)
+	ApplyDeparture(b core.BarrierID, payload fabric.Payload) (work sim.Time)
 }
 
 type barrierState struct {
@@ -78,12 +82,13 @@ func (m *BarrierMgr) state(b core.BarrierID) *barrierState {
 func (m *BarrierMgr) Wait(b core.BarrierID) {
 	m.cnt.Barriers++
 	payload, size, work := m.hooks.MakeArrival(b)
+	payload.Kind, payload.A = fabric.PayloadBarrier, int32(b)
 	m.p.Sleep(work)
 
 	mgr := m.ManagerOf(b)
 	if mgr != m.self {
-		reply := m.net.Call(m.p, mgr, KindBarrierArrive, size, barrierMsg{Barrier: b, Data: payload})
-		m.p.Sleep(m.hooks.ApplyDeparture(b, reply.Payload.(barrierMsg).Data))
+		reply := m.net.Call(m.p, mgr, KindBarrierArrive, size, payload)
+		m.p.Sleep(m.hooks.ApplyDeparture(b, reply.Payload))
 		return
 	}
 
@@ -102,24 +107,19 @@ func (m *BarrierMgr) Wait(b core.BarrierID) {
 	m.depart(b, st, nil)
 }
 
-type barrierMsg struct {
-	Barrier core.BarrierID
-	Data    any
-}
-
 // Handle processes a barrier-protocol message; returns false if the message
 // is not a barrier message.
 func (m *BarrierMgr) Handle(hc *fabric.HandlerCtx, msg fabric.Msg) bool {
 	if msg.Kind != KindBarrierArrive {
 		return false
 	}
-	bm := msg.Payload.(barrierMsg)
-	st := m.state(bm.Barrier)
-	hc.Work(m.hooks.AbsorbArrival(bm.Barrier, msg.From, bm.Data))
+	b := core.BarrierID(msg.Payload.A)
+	st := m.state(b)
+	hc.Work(m.hooks.AbsorbArrival(b, msg.From, msg.Payload))
 	st.arrived++
 	st.reqs = append(st.reqs, msg)
 	if st.arrived == m.nprocs {
-		m.depart(bm.Barrier, st, hc)
+		m.depart(b, st, hc)
 	}
 	return true
 }
@@ -144,12 +144,13 @@ func (m *BarrierMgr) depart(b core.BarrierID, st *barrierState, hc *fabric.Handl
 	}
 	for _, req := range reqs {
 		payload, size, work := m.hooks.MakeDeparture(b, req.From)
+		payload.Kind, payload.A = fabric.PayloadBarrier, int32(b)
 		if hc != nil {
 			hc.Work(work)
-			hc.Reply(req, KindBarrierDepart, size, barrierMsg{Barrier: b, Data: payload})
+			hc.Reply(req, KindBarrierDepart, size, payload)
 		} else {
 			m.p.Sleep(work)
-			m.net.ReplyFrom(m.p, req, KindBarrierDepart, size, barrierMsg{Barrier: b, Data: payload})
+			m.net.ReplyFrom(m.p, req, KindBarrierDepart, size, payload)
 		}
 	}
 	if local != nil {

@@ -31,6 +31,7 @@ const (
 	ReadOnly
 )
 
+// String names the mode for debug output.
 func (m Mode) String() string {
 	if m == Exclusive {
 		return "excl"
@@ -40,17 +41,24 @@ func (m Mode) String() string {
 
 // LockHooks supplies the model-specific consistency payloads attached to
 // lock traffic. All payload sizes are in bytes (headers are added by fabric).
+//
+// Payloads are typed fabric.Payload unions. The lock manager owns the A
+// (lock id), B (mode) and Flag2 (routed-via-manager) slots of every lock
+// message, plus the Kind tag; hooks populate and read only the C, D, Flag,
+// Vec and Body slots, so both halves compose into one value with no nesting
+// and no boxing.
 type LockHooks interface {
 	// MakeLockRequest builds the consistency portion of an acquire request
 	// (e.g. the requester's incarnation number or interval vector).
-	MakeLockRequest(l core.LockID, mode Mode) (payload any, size int)
+	MakeLockRequest(l core.LockID, mode Mode) (payload fabric.Payload, size int)
 	// MakeLockGrant runs at the granting owner and builds the consistency
-	// payload (updated data, diffs, or write notices). The returned work is
-	// CPU time spent collecting it, charged to the granter.
-	MakeLockGrant(l core.LockID, mode Mode, reqPayload any, requester int) (payload any, size int, work sim.Time)
+	// payload (updated data, diffs, or write notices) from the request's
+	// hook slots. The returned work is CPU time spent collecting it, charged
+	// to the granter.
+	MakeLockGrant(l core.LockID, mode Mode, req fabric.Payload, requester int) (payload fabric.Payload, size int, work sim.Time)
 	// ApplyLockGrant runs at the requester when the grant arrives and
 	// returns the CPU time spent installing the payload.
-	ApplyLockGrant(l core.LockID, mode Mode, payload any) sim.Time
+	ApplyLockGrant(l core.LockID, mode Mode, payload fabric.Payload) sim.Time
 	// LocalReacquire runs when the owner reacquires its own lock without
 	// any communication.
 	LocalReacquire(l core.LockID, mode Mode)
@@ -66,15 +74,9 @@ type Counters struct {
 	Barriers         int64
 }
 
-type lockReq struct {
-	Lock core.LockID
-	Mode Mode
-	Data any
-	// viaManager is set once the manager has routed the request, so a
-	// second arrival at the manager (via successor forwarding) does not
-	// re-route it.
-	viaManager bool
-}
+// Lock-message slot conventions (see LockHooks): A carries the lock id and B
+// the mode; Flag2 is set once the manager has routed the request, so a second
+// arrival at the manager (via successor forwarding) does not re-route it.
 
 type lockState struct {
 	owned     bool // this processor holds the lock token (is the data owner)
@@ -153,8 +155,8 @@ func (m *LockMgr) Acquire(l core.LockID, mode Mode) {
 		return
 	}
 	m.cnt.RemoteAcquires++
-	payload, size := m.hooks.MakeLockRequest(l, mode)
-	req := lockReq{Lock: l, Mode: mode, Data: payload}
+	req, size := m.hooks.MakeLockRequest(l, mode)
+	req.Kind, req.A, req.B = fabric.PayloadLockReq, int32(l), int32(mode)
 
 	target := m.ManagerOf(l)
 	if target == m.self {
@@ -163,7 +165,7 @@ func (m *LockMgr) Acquire(l core.LockID, mode Mode) {
 		if mode == Exclusive {
 			st.lastReq = m.self
 		}
-		req.viaManager = true
+		req.Flag2 = true // routed via the manager already
 		if target == m.self {
 			panic(fmt.Sprintf("syncmgr: manager %d believes it owns un-owned lock %d", m.self, l))
 		}
@@ -215,25 +217,27 @@ func (m *LockMgr) Release(l core.LockID) {
 }
 
 func (m *LockMgr) grantFromProc(st *lockState, req fabric.Msg) {
-	lr := req.Payload.(lockReq)
+	l, mode := core.LockID(req.Payload.A), Mode(req.Payload.B)
 	// Transfer ownership before the collection work sleeps: requests
 	// arriving mid-grant must chase the new owner, not be granted again.
-	if lr.Mode == Exclusive {
+	if mode == Exclusive {
 		st.owned = false
 		st.successor = req.From
 	}
-	payload, size, work := m.hooks.MakeLockGrant(lr.Lock, lr.Mode, lr.Data, req.From)
+	payload, size, work := m.hooks.MakeLockGrant(l, mode, req.Payload, req.From)
+	payload.Kind, payload.A, payload.B = fabric.PayloadLockGrant, int32(l), int32(mode)
 	m.p.Sleep(work)
 	m.net.ReplyFrom(m.p, req, KindLockGrant, size, payload)
 }
 
 func (m *LockMgr) grantFromHandler(hc *fabric.HandlerCtx, st *lockState, req fabric.Msg) {
-	lr := req.Payload.(lockReq)
-	if lr.Mode == Exclusive {
+	l, mode := core.LockID(req.Payload.A), Mode(req.Payload.B)
+	if mode == Exclusive {
 		st.owned = false
 		st.successor = req.From
 	}
-	payload, size, work := m.hooks.MakeLockGrant(lr.Lock, lr.Mode, lr.Data, req.From)
+	payload, size, work := m.hooks.MakeLockGrant(l, mode, req.Payload, req.From)
+	payload.Kind, payload.A, payload.B = fabric.PayloadLockGrant, int32(l), int32(mode)
 	hc.Work(work)
 	hc.Reply(req, KindLockGrant, size, payload)
 }
@@ -244,23 +248,22 @@ func (m *LockMgr) Handle(hc *fabric.HandlerCtx, msg fabric.Msg) bool {
 	if msg.Kind != KindLockReq {
 		return false
 	}
-	lr := msg.Payload.(lockReq)
-	st := m.lock(lr.Lock)
+	l, mode := core.LockID(msg.Payload.A), Mode(msg.Payload.B)
+	st := m.lock(l)
 
-	if m.ManagerOf(lr.Lock) == m.self && !lr.viaManager {
+	if m.ManagerOf(l) == m.self && !msg.Payload.Flag2 {
 		// Manager role: forward to the last exclusive requester unless that
 		// is ourselves (then we are the owner and fall through).
-		lr.viaManager = true
-		msg.Payload = lr
+		msg.Payload.Flag2 = true
 		if st.lastReq != m.self {
 			target := st.lastReq
-			if lr.Mode == Exclusive {
+			if mode == Exclusive {
 				st.lastReq = msg.From
 			}
 			hc.Forward(msg, target, 0)
 			return true
 		}
-		if lr.Mode == Exclusive {
+		if mode == Exclusive {
 			st.lastReq = msg.From
 		}
 	}
@@ -268,13 +271,13 @@ func (m *LockMgr) Handle(hc *fabric.HandlerCtx, msg fabric.Msg) bool {
 	// A read request can be granted while the owner itself holds the lock
 	// read-only: read-only locks are shared (Midway semantics; IS phase 2
 	// has every processor read-locking the same array concurrently).
-	free := !st.held || (st.heldMode == ReadOnly && lr.Mode == ReadOnly)
+	free := !st.held || (st.heldMode == ReadOnly && mode == ReadOnly)
 	switch {
 	case st.owned && free && len(st.pendingEx) == 0:
 		m.grantFromHandler(hc, st, msg)
 	case st.owned || st.acquiring:
 		// Busy (or about to own): queue until release.
-		if lr.Mode == Exclusive {
+		if mode == Exclusive {
 			st.pendingEx = append(st.pendingEx, msg)
 		} else {
 			st.pendingRead = append(st.pendingRead, msg)
@@ -282,7 +285,7 @@ func (m *LockMgr) Handle(hc *fabric.HandlerCtx, msg fabric.Msg) bool {
 	default:
 		// Ownership has moved on; chase it down the successor chain.
 		if st.successor < 0 {
-			panic(fmt.Sprintf("syncmgr: proc %d got request for lock %d it never owned", m.self, lr.Lock))
+			panic(fmt.Sprintf("syncmgr: proc %d got request for lock %d it never owned", m.self, l))
 		}
 		hc.Forward(msg, st.successor, 0)
 	}

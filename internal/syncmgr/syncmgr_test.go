@@ -11,17 +11,25 @@ import (
 // nilHooks attach no consistency traffic: pure synchronization.
 type nilHooks struct{}
 
-func (nilHooks) MakeLockRequest(core.LockID, Mode) (any, int)                   { return nil, 0 }
-func (nilHooks) MakeLockGrant(core.LockID, Mode, any, int) (any, int, sim.Time) { return nil, 0, 0 }
-func (nilHooks) ApplyLockGrant(core.LockID, Mode, any) sim.Time                 { return 0 }
-func (nilHooks) LocalReacquire(core.LockID, Mode)                               {}
-func (nilHooks) OnRelease(core.LockID) sim.Time                                 { return 0 }
+func (nilHooks) MakeLockRequest(core.LockID, Mode) (fabric.Payload, int) {
+	return fabric.Payload{}, 0
+}
+func (nilHooks) MakeLockGrant(core.LockID, Mode, fabric.Payload, int) (fabric.Payload, int, sim.Time) {
+	return fabric.Payload{}, 0, 0
+}
+func (nilHooks) ApplyLockGrant(core.LockID, Mode, fabric.Payload) sim.Time { return 0 }
+func (nilHooks) LocalReacquire(core.LockID, Mode)                          {}
+func (nilHooks) OnRelease(core.LockID) sim.Time                            { return 0 }
 
-func (nilHooks) MakeArrival(core.BarrierID) (any, int, sim.Time)        { return nil, 0, 0 }
-func (nilHooks) AbsorbArrival(core.BarrierID, int, any) sim.Time        { return 0 }
-func (nilHooks) PrepareDepartures(core.BarrierID) sim.Time              { return 0 }
-func (nilHooks) MakeDeparture(core.BarrierID, int) (any, int, sim.Time) { return nil, 0, 0 }
-func (nilHooks) ApplyDeparture(core.BarrierID, any) sim.Time            { return 0 }
+func (nilHooks) MakeArrival(core.BarrierID) (fabric.Payload, int, sim.Time) {
+	return fabric.Payload{}, 0, 0
+}
+func (nilHooks) AbsorbArrival(core.BarrierID, int, fabric.Payload) sim.Time { return 0 }
+func (nilHooks) PrepareDepartures(core.BarrierID) sim.Time                  { return 0 }
+func (nilHooks) MakeDeparture(core.BarrierID, int) (fabric.Payload, int, sim.Time) {
+	return fabric.Payload{}, 0, 0
+}
+func (nilHooks) ApplyDeparture(core.BarrierID, fabric.Payload) sim.Time { return 0 }
 
 type cluster struct {
 	s     *sim.Simulator

@@ -5,6 +5,7 @@
 //
 //	dsmrun -app Water -impl LRC-diff -procs 8 -scale paper
 //	dsmrun -app QS -impl EC-time -procs 4 -scale test
+//	dsmrun -app SOR -impl LRC-diff -procs 8 -trace trace-out
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"ecvslrc/internal/core"
 	"ecvslrc/internal/fabric"
 	"ecvslrc/internal/run"
+	"ecvslrc/internal/trace"
 )
 
 func main() {
@@ -27,6 +29,7 @@ func main() {
 	seq := flag.Bool("seq", false, "also run the sequential reference")
 	preset := flag.String("preset", "paper", "cost-model preset: "+strings.Join(fabric.PresetNames(), ", "))
 	contention := flag.Bool("contention", false, "model shared-link contention (concurrent bulk transfers queue)")
+	traceDir := flag.String("trace", "", "record an event trace and write all attribution reports to this directory (see cmd/dsmtrace for report selection)")
 	flag.Parse()
 
 	var sc apps.Scale
@@ -64,12 +67,33 @@ func main() {
 		}
 		fmt.Printf("%s sequential: %v\n", *appName, t)
 	}
+	// The trace options are validated up front, before the (potentially
+	// long) run: a bad report selection must fail like a bad flag.
+	var topts trace.Options
+	var tr *trace.Tracer
+	if *traceDir != "" {
+		if *procs < 1 || *procs > trace.MaxProcs {
+			fmt.Fprintf(os.Stderr, "dsmrun: traced runs support 1..%d processors, got %d\n", trace.MaxProcs, *procs)
+			os.Exit(2)
+		}
+		sel, err := trace.ParseReports("")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dsmrun:", err)
+			os.Exit(2)
+		}
+		topts = trace.Options{Reports: sel, OutDir: *traceDir}
+		if err := topts.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, "dsmrun:", err)
+			os.Exit(2)
+		}
+		tr = trace.New(*procs)
+	}
 	a, err := apps.New(*appName, sc)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dsmrun:", err)
 		os.Exit(1)
 	}
-	res, err := run.RunWith(a, impl, *procs, cost, run.Options{Contention: *contention})
+	res, err := run.RunWith(a, impl, *procs, cost, run.Options{Contention: *contention, Trace: tr})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dsmrun:", err)
 		os.Exit(1)
@@ -79,4 +103,18 @@ func main() {
 		variant += "+contention"
 	}
 	fmt.Printf("%s on %v, %d procs (%s scale, %s cost):\n  %v\n", *appName, impl, *procs, *scale, variant, res.Stats)
+	if tr != nil {
+		a2, err := apps.New(*appName, sc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dsmrun:", err)
+			os.Exit(1)
+		}
+		meta := run.TraceMeta(a2, impl, *procs, *scale)
+		written, err := trace.EmitReports(topts.OutDir, topts.Reports, trace.Analyze(tr, meta), tr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dsmrun:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  trace: %d events -> %s\n", tr.Len(), strings.Join(written, ", "))
+	}
 }

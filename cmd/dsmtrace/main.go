@@ -1,0 +1,122 @@
+// Command dsmtrace answers "why is this cell slow?": it runs one
+// (application, implementation) combination with event tracing enabled and
+// emits the attribution artifacts — per-page heat and sharing patterns,
+// per-lock contention chains, barrier imbalance, a message-class timeline
+// and a Chrome trace-event view.
+//
+// Usage:
+//
+//	dsmtrace -app Water -impl LRC-diff -procs 8 -report pages,locks,timeline -out results/
+//	dsmtrace -app SOR -impl EC-time -procs 4 -scale test
+//
+// With -out unset the markdown summary goes to stdout; with it set, the
+// selected reports (summary.md, pages.csv, locks.csv, timeline.json,
+// trace.bin) are written to the directory. Tracing is observation-only: the
+// run's statistics are bit-identical to an untraced dsmrun.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ecvslrc/internal/apps"
+	"ecvslrc/internal/core"
+	"ecvslrc/internal/fabric"
+	"ecvslrc/internal/run"
+	"ecvslrc/internal/trace"
+)
+
+func main() {
+	appName := flag.String("app", "SOR", "application: "+strings.Join(apps.Names(), ", "))
+	implName := flag.String("impl", "LRC-diff", "implementation: EC-ci, EC-time, EC-diff, LRC-ci, LRC-time, LRC-diff")
+	procs := flag.Int("procs", 8, "number of simulated processors")
+	scale := flag.String("scale", "bench", "problem scale: test, bench or paper")
+	preset := flag.String("preset", "paper", "cost-model preset: "+strings.Join(fabric.PresetNames(), ", "))
+	contention := flag.Bool("contention", false, "model shared-link contention (queueing delays appear in the analysis)")
+	reports := flag.String("report", "", "comma-separated reports: "+strings.Join(trace.ReportNames(), ", ")+" (default: all)")
+	out := flag.String("out", "", "artifact directory; empty prints the summary to stdout")
+	sched := flag.Bool("sched", false, "also record scheduler dispatch events (very voluminous)")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "dsmtrace: %v\n", err)
+		os.Exit(1)
+	}
+	usageFail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "dsmtrace: "+format+"\n", args...)
+		os.Exit(2)
+	}
+
+	var sc apps.Scale
+	switch *scale {
+	case "test":
+		sc = apps.Test
+	case "bench":
+		sc = apps.Bench
+	case "paper":
+		sc = apps.Paper
+	default:
+		usageFail("unknown scale %q", *scale)
+	}
+	impl, err := core.ParseImpl(*implName)
+	if err != nil {
+		usageFail("%v", err)
+	}
+	if *procs < 1 || *procs > trace.MaxProcs {
+		usageFail("traced runs support 1..%d processors, got %d", trace.MaxProcs, *procs)
+	}
+	cost, err := fabric.PresetByName(*preset)
+	if err != nil {
+		usageFail("%v", err)
+	}
+	var sel []trace.Report
+	if *reports == "" && *out == "" {
+		// Stdout mode emits the summary only; files need -out.
+		sel = []trace.Report{trace.ReportSummary}
+	} else {
+		sel, err = trace.ParseReports(*reports)
+		if err != nil {
+			usageFail("%v", err)
+		}
+	}
+	topts := trace.Options{Reports: sel, OutDir: *out, Sched: *sched}
+	if err := topts.Validate(); err != nil {
+		usageFail("%v", err)
+	}
+
+	a, err := apps.New(*appName, sc)
+	if err != nil {
+		fail(err)
+	}
+	tr := trace.New(*procs)
+	if topts.Sched {
+		tr.EnableSched()
+	}
+	res, err := run.RunWith(a, impl, *procs, cost, run.Options{Contention: *contention, Trace: tr})
+	if err != nil {
+		fail(err)
+	}
+
+	// Re-derive the layout on a fresh instance (Layout may bind app state)
+	// so the analysis can name pages by region.
+	a2, err := apps.New(*appName, sc)
+	if err != nil {
+		fail(err)
+	}
+	analysis := trace.Analyze(tr, run.TraceMeta(a2, impl, *procs, *scale))
+
+	if *out == "" {
+		if err := trace.WriteMarkdown(os.Stdout, analysis); err != nil {
+			fail(err)
+		}
+		return
+	}
+	written, err := trace.EmitReports(*out, sel, analysis, tr)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("dsmtrace: %s on %v, %d procs: %d events, %v simulated -> %s\n",
+		*appName, impl, *procs, tr.Len(), res.Stats.Time, strings.Join(written, ", "))
+}

@@ -13,6 +13,9 @@
 package ecvslrc
 
 import (
+	"fmt"
+	"io"
+
 	"ecvslrc/internal/apps"
 	"ecvslrc/internal/core"
 	"ecvslrc/internal/fabric"
@@ -20,6 +23,7 @@ import (
 	"ecvslrc/internal/run"
 	"ecvslrc/internal/sim"
 	"ecvslrc/internal/sweep"
+	"ecvslrc/internal/trace"
 )
 
 // Scale names a problem-size preset.
@@ -121,6 +125,61 @@ func Sweep(spec string, scale Scale, nprocs int, appNames ...string) ([]SweepRec
 		NProcs:   []int{nprocs},
 		Variants: vs,
 	})
+}
+
+// TraceAnalysis is the attribution summary of one traced run: per-page heat
+// and sharing patterns, per-lock contention, barrier imbalance and the
+// message-class timeline. See trace.Analyze for the derivation.
+type TraceAnalysis = trace.Analysis
+
+// TraceRun is the outcome of one traced run: the ordinary statistics (bit-
+// identical to an untraced run), the raw event tracer and its analysis.
+type TraceRun struct {
+	Stats    Stats
+	Tracer   *trace.Tracer
+	Analysis *TraceAnalysis
+}
+
+// WriteSummary renders the markdown attribution summary.
+func (t *TraceRun) WriteSummary(w io.Writer) error { return trace.WriteMarkdown(w, t.Analysis) }
+
+// WriteTimeline renders the Chrome trace-event JSON timeline.
+func (t *TraceRun) WriteTimeline(w io.Writer) error {
+	return trace.WriteChromeTrace(w, t.Tracer, t.Analysis.Meta)
+}
+
+// Trace executes one application under one implementation with event tracing
+// enabled and returns the statistics together with the attribution analysis.
+// Tracing is observation-only: Stats matches what Run would report.
+func Trace(app, impl string, nprocs int, scale Scale) (*TraceRun, error) {
+	return TraceCost(app, impl, nprocs, scale, fabric.DefaultCostModel(), false)
+}
+
+// TraceCost is Trace under an explicit cost model, optionally with
+// shared-link contention (whose queueing delays then appear in the analysis).
+func TraceCost(app, impl string, nprocs int, scale Scale, cost CostModel, contention bool) (*TraceRun, error) {
+	i, err := core.ParseImpl(impl)
+	if err != nil {
+		return nil, err
+	}
+	if nprocs < 1 || nprocs > trace.MaxProcs {
+		return nil, fmt.Errorf("ecvslrc: traced runs support 1..%d processors, got %d", trace.MaxProcs, nprocs)
+	}
+	a, err := apps.New(app, scale)
+	if err != nil {
+		return nil, err
+	}
+	tr := trace.New(nprocs)
+	res, err := run.RunWith(a, i, nprocs, cost, run.Options{Contention: contention, Trace: tr})
+	if err != nil {
+		return nil, err
+	}
+	a2, err := apps.New(app, scale) // fresh instance: Layout may bind state
+	if err != nil {
+		return nil, err
+	}
+	meta := run.TraceMeta(a2, i, nprocs, scale.String())
+	return &TraceRun{Stats: res.Stats, Tracer: tr, Analysis: trace.Analyze(tr, meta)}, nil
 }
 
 // RunSeq executes the sequential reference of an application and returns

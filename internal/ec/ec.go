@@ -16,6 +16,7 @@ import (
 	"ecvslrc/internal/nodebase"
 	"ecvslrc/internal/sim"
 	"ecvslrc/internal/syncmgr"
+	"ecvslrc/internal/trace"
 	"ecvslrc/internal/vm"
 	"ecvslrc/internal/wcollect"
 	"ecvslrc/internal/wtrap"
@@ -172,6 +173,21 @@ func NewWithImage(p *sim.Proc, net *fabric.Network, al *mem.Allocator, nprocs in
 // Impl returns the implementation configuration.
 func (n *Node) Impl() core.Impl { return n.impl }
 
+// SetTracer attaches the event tracer to this node and its sub-machinery:
+// fault, twin, harvest and grant-install events plus the lock and barrier
+// manager taps. EC attribution is lock-keyed (trace.DomainLock); the Bind
+// records let the analyzer project it onto pages. Call before the run starts.
+func (n *Node) SetTracer(tr *trace.Tracer) {
+	n.AttachTracer(tr)
+	n.locks.SetTracer(tr)
+	n.bars.SetTracer(tr)
+	if n.twins != nil {
+		n.twins.OnMake = func(pg int) {
+			tr.Twin(n.P.Now(), n.P.ID(), trace.DomainPage, pg)
+		}
+	}
+}
+
 // NProcs implements core.DSM.
 func (n *Node) NProcs() int { return n.Base.NProcs }
 
@@ -195,6 +211,9 @@ func (n *Node) Bind(l core.LockID, rs ...mem.Range) {
 	b := &binding{ranges: rs, version: 1}
 	b.recompute()
 	st.b = b
+	for _, r := range rs {
+		n.Tr.Bind(n.P.Now(), n.P.ID(), int(l), int(r.Base), r.Len)
+	}
 }
 
 // Rebind implements core.DSM: rebinds l to new ranges. The caller must hold
@@ -214,6 +233,9 @@ func (n *Node) Rebind(l core.LockID, rs ...mem.Range) {
 	b.ranges = rs
 	b.version++
 	b.recompute()
+	for _, r := range rs {
+		n.Tr.Bind(n.P.Now(), n.P.ID(), int(l), int(r.Base), r.Len)
+	}
 	// Re-open the epoch for the new ranges: the holder may write them.
 	n.openEpoch(l)
 }
@@ -285,6 +307,7 @@ func (n *Node) openEpoch(l core.LockID) {
 	if b.small {
 		// Eager copy: no protection faults for small objects (Section 4.2).
 		st.objTwin = wtrap.MakeObjectTwin(n.Im, b.ranges)
+		n.Tr.Twin(n.P.Now(), n.P.ID(), trace.DomainLock, int(l))
 		n.Charge(sim.Time(b.words) * n.CM.WordCopy)
 		return
 	}
@@ -357,6 +380,13 @@ func (n *Node) harvest(l core.LockID) sim.Time {
 			n.Extra.DiffsCreated++
 			work += sim.Time(d.Words()) * n.CM.WordCopy
 		}
+	}
+	if n.Tr != nil && len(changed) > 0 {
+		words := 0
+		for _, r := range changed {
+			words += r.Words()
+		}
+		n.Tr.Collect(n.P.Now(), n.P.ID(), trace.DomainLock, int(l), int(st.inc), words)
 	}
 	return work
 }
@@ -566,10 +596,15 @@ func (h *lockHooks) ApplyLockGrant(l core.LockID, mode syncmgr.Mode, payload fab
 		b.ranges = g.Ranges
 		b.version = bindVersion
 		b.recompute()
+		for _, r := range g.Ranges {
+			n.Tr.Bind(n.P.Now(), n.P.ID(), int(l), int(r.Base), r.Len)
+		}
 	}
+	appliedWords := 0
 	switch {
 	case g.Full != nil:
 		words := wcollect.ApplyRuns(n.Im, g.Full)
+		appliedWords += words
 		work += sim.Time(words) * n.CM.WordApply
 		if n.impl.Collect == core.Timestamps {
 			// The full content is current as of the owner's incarnation.
@@ -581,11 +616,13 @@ func (h *lockHooks) ApplyLockGrant(l core.LockID, mode syncmgr.Mode, payload fab
 		}
 	case n.impl.Collect == core.Timestamps:
 		words := g.Stamped.Apply(n.Im, n.stamps)
+		appliedWords += words
 		work += sim.Time(words) * n.CM.WordApply
 	default:
 		sort.Slice(g.Diffs, func(i, j int) bool { return g.Diffs[i].Tag < g.Diffs[j].Tag })
 		for _, td := range g.Diffs {
 			words := td.Diff.Apply(n.Im)
+			appliedWords += words
 			work += sim.Time(words) * n.CM.WordApply
 		}
 		if mode == syncmgr.Exclusive {
@@ -602,6 +639,9 @@ func (h *lockHooks) ApplyLockGrant(l core.LockID, mode syncmgr.Mode, payload fab
 		}
 	}
 
+	if appliedWords > 0 {
+		n.Tr.Apply(n.P.Now(), n.P.ID(), trace.DomainLock, int(l), -1, appliedWords)
+	}
 	if mode == syncmgr.Exclusive {
 		st.inc = ownerInc + 1
 		if !n.nextNoData {

@@ -78,6 +78,47 @@ func TestDeliverSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestNilTracerDeliverAllocs proves the tracing hooks add zero allocations
+// to the BenchmarkFabricDeliver message path when no tracer is attached: the
+// nil-tracer fast path is one nil check per hook. SetTracer(nil) is called
+// explicitly so the test stays honest if the default ever changes.
+func TestNilTracerDeliverAllocs(t *testing.T) {
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	s := sim.New()
+	n := New(s, flatCost(), 2)
+	n.SetTracer(nil)
+	var delta uint64
+	client := s.Spawn("client", func(p *sim.Proc) {
+		call := func(i int) {
+			reply := n.Call(p, 1, 1, 8, Payload{Kind: PayloadPageReq, A: int32(i)})
+			if reply.Payload.C != int32(i) {
+				t.Errorf("reply %d carries %d", i, reply.Payload.C)
+			}
+		}
+		for i := 0; i < 64; i++ {
+			call(i)
+		}
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		for i := 0; i < 200; i++ {
+			call(i)
+		}
+		runtime.ReadMemStats(&m1)
+		delta = m1.Mallocs - m0.Mallocs
+	})
+	server := s.Spawn("server", func(p *sim.Proc) {})
+	n.Attach(client, func(hc *HandlerCtx, m Msg) {})
+	n.Attach(server, func(hc *HandlerCtx, m Msg) {
+		hc.Reply(m, 2, 8, Payload{Kind: PayloadPageReply, C: m.Payload.A})
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if delta != 0 {
+		t.Errorf("200 nil-tracer call round trips allocated %d objects, want 0", delta)
+	}
+}
+
 // roundTripBody is a test Body implementation.
 type roundTripBody struct{ tag int }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ecvslrc/internal/sim"
+	"ecvslrc/internal/trace"
 )
 
 // Msg is one ATM message. Size is the payload size in bytes; MsgHeader is
@@ -63,8 +64,10 @@ func (fl *flight) Fire(at sim.Time) {
 		// Link claims are events, so they serialize in virtual-time order.
 		fl.claim = false
 		start := at
+		n.tr.LinkClaim(at, fl.msg.From, fl.msg.To, fl.msg.Size+MsgHeader)
 		if n.linkFree > start {
 			n.linkWait += n.linkFree - start
+			n.tr.LinkWait(at, fl.msg.From, n.linkFree-start)
 			start = n.linkFree
 		}
 		n.linkFree = start + sim.Time(fl.msg.Size+MsgHeader)*n.cm.LinkPerByte
@@ -74,6 +77,7 @@ func (fl *flight) Fire(at sim.Time) {
 	if fl.reply {
 		// Reply handling interrupts the receiver like any message. The slot
 		// is released by Await once the caller has copied the reply out.
+		n.tr.Deliver(at, fl.msg.From, fl.msg.To, fl.msg.Kind, fl.msg.Size+MsgHeader)
 		n.procs[fl.msg.To].InjectWork(n.cm.HandlerFixed)
 		fl.msg.waiter.Deliver(fl, at+n.cm.HandlerFixed)
 		return
@@ -107,6 +111,11 @@ type Network struct {
 	// a time and delivery allocates nothing.
 	hctx HandlerCtx
 
+	// tr records send/deliver/link events for the tracing subsystem. All
+	// emit methods are nil-safe, so the disabled path costs one nil check
+	// per hook and allocates nothing.
+	tr *trace.Tracer
+
 	// Shared-link contention (opt-in; see EnableContention). linkFree is the
 	// virtual time at which the shared ATM path next becomes idle; linkWait
 	// accumulates the queueing delay messages suffered behind it.
@@ -129,6 +138,10 @@ func New(s *sim.Simulator, cm CostModel, nprocs int) *Network {
 
 // Cost returns the network's cost model.
 func (n *Network) Cost() *CostModel { return &n.cm }
+
+// SetTracer attaches the event tracer (nil to detach). Tracing is
+// observation-only: traced runs stay bit-identical to untraced ones.
+func (n *Network) SetTracer(tr *trace.Tracer) { n.tr = tr }
 
 // EnableContention switches on shared-link contention: every message must
 // additionally occupy the shared ATM link/switch path for
@@ -263,6 +276,7 @@ func (n *Network) post(p *sim.Proc, m Msg) {
 		panic(fmt.Sprintf("fabric: bad destination %d", m.To))
 	}
 	total := n.account(p.ID(), m.Size)
+	n.tr.Send(p.Now(), m.From, m.To, m.Kind, total)
 	p.Sleep(n.cm.MsgCost(total))
 	n.transmit(p.Now(), n.newFlight(m))
 }
@@ -277,6 +291,7 @@ func (n *Network) ForwardFrom(p *sim.Proc, req Msg, to int, extraSize int) {
 	fwd.To = to
 	fwd.Size += extraSize
 	total := n.account(p.ID(), fwd.Size)
+	n.tr.Send(p.Now(), p.ID(), fwd.To, fwd.Kind, total)
 	p.Sleep(n.cm.MsgCost(total))
 	n.transmit(p.Now(), n.newFlight(fwd))
 }
@@ -292,6 +307,7 @@ func (n *Network) ReplyFrom(p *sim.Proc, req Msg, kind, size int, payload Payloa
 		panic("fabric: replying to self")
 	}
 	total := n.account(p.ID(), size)
+	n.tr.Send(p.Now(), p.ID(), req.From, kind, total)
 	p.Sleep(n.cm.MsgCost(total))
 	fl := n.newFlight(Msg{From: p.ID(), To: req.From, Kind: kind, Size: size, Payload: payload, waiter: req.waiter})
 	fl.reply = true
@@ -304,6 +320,7 @@ func (n *Network) deliver(m Msg, at sim.Time) {
 	if m.waiter != nil && m.Kind < 0 {
 		panic("fabric: negative kinds are reserved")
 	}
+	n.tr.Deliver(at, m.From, m.To, m.Kind, m.Size+MsgHeader)
 	hc := &n.hctx
 	*hc = HandlerCtx{n: n, self: m.To, at: at, busy: n.cm.HandlerFixed}
 	h := n.handlers[m.To]
@@ -341,6 +358,7 @@ func (hc *HandlerCtx) Send(to, kind, size int, payload Payload) {
 		panic("fabric: handler sending to self")
 	}
 	total := hc.n.account(hc.self, size)
+	hc.n.tr.Send(hc.Now(), hc.self, to, kind, total)
 	hc.busy += hc.n.cm.MsgCost(total)
 	m := Msg{From: hc.self, To: to, Kind: kind, Size: size, Payload: payload}
 	hc.n.transmit(hc.at+hc.busy, hc.n.newFlight(m))
@@ -352,6 +370,7 @@ func (hc *HandlerCtx) Reply(req Msg, kind, size int, payload Payload) {
 		panic("fabric: Reply to a one-way message")
 	}
 	total := hc.n.account(hc.self, size)
+	hc.n.tr.Send(hc.Now(), hc.self, req.From, kind, total)
 	hc.busy += hc.n.cm.MsgCost(total)
 	fl := hc.n.newFlight(Msg{From: hc.self, To: req.From, Kind: kind, Size: size, Payload: payload, waiter: req.waiter})
 	fl.reply = true
@@ -369,6 +388,7 @@ func (hc *HandlerCtx) Forward(req Msg, to int, extraSize int) {
 	fwd.To = to
 	fwd.Size += extraSize
 	total := hc.n.account(hc.self, fwd.Size)
+	hc.n.tr.Send(hc.Now(), hc.self, fwd.To, fwd.Kind, total)
 	hc.busy += hc.n.cm.MsgCost(total)
 	hc.n.transmit(hc.at+hc.busy, hc.n.newFlight(fwd))
 }

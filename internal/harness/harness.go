@@ -19,6 +19,7 @@ import (
 	"ecvslrc/internal/mem"
 	"ecvslrc/internal/run"
 	"ecvslrc/internal/sim"
+	"ecvslrc/internal/trace"
 )
 
 // Config selects the experiment size.
@@ -35,6 +36,12 @@ type Config struct {
 	// fabric.Network.EnableContention). Off reproduces the calibrated
 	// free-overlap model bit-exactly.
 	Contention bool
+	// Trace attaches a fresh event tracer to every cell (internal/trace).
+	// Tracing is observation-only — the tables are byte-identical with it on
+	// — so the flag exists for regression tests and for callers that want
+	// traced table runs; the per-cell traces themselves are discarded by the
+	// table entry points (use run.Options.Trace directly to keep one).
+	Trace bool
 }
 
 // ErrConfig is wrapped by every Config validation failure.
@@ -169,7 +176,11 @@ func cellOptions(cfg Config, app string) (run.Options, error) {
 	if ent.err != nil {
 		return run.Options{}, ent.err
 	}
-	return run.Options{Contention: cfg.Contention, InitImage: ent.im, Layout: ent.al}, nil
+	opts := run.Options{Contention: cfg.Contention, InitImage: ent.im, Layout: ent.al}
+	if cfg.Trace {
+		opts.Trace = trace.New(cfg.NProcs)
+	}
+	return opts, nil
 }
 
 // RunCell executes one cell of the evaluation matrix.

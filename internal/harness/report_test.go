@@ -33,6 +33,28 @@ func TestBenchReportMatchesSeedGolden(t *testing.T) {
 	}
 }
 
+// TestBenchReportWithTracingMatchesSeedGolden re-runs the full bench-scale
+// report with a fresh tracer attached to every cell and requires the output
+// to stay byte-identical to the seed golden: tracing is observation-only at
+// every hook point, so turning it on moves no simulated statistic.
+func TestBenchReportWithTracingMatchesSeedGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench-scale full sweep")
+	}
+	want, err := os.ReadFile("testdata/bench_all_micro.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Scale: apps.Bench, NProcs: 8, Cost: fabric.DefaultCostModel(), Trace: true}
+	got, err := BenchReport(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("BenchReport with tracing enabled drifted from the seed golden (%d vs %d bytes): a trace hook is perturbing the simulation", len(got), len(want))
+	}
+}
+
 func TestConfigValidate(t *testing.T) {
 	good := Config{Scale: apps.Test, NProcs: 2, Cost: fabric.DefaultCostModel()}
 	if err := good.Validate(); err != nil {

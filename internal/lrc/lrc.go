@@ -17,6 +17,7 @@ import (
 	"ecvslrc/internal/nodebase"
 	"ecvslrc/internal/sim"
 	"ecvslrc/internal/syncmgr"
+	"ecvslrc/internal/trace"
 	"ecvslrc/internal/vm"
 	"ecvslrc/internal/wcollect"
 	"ecvslrc/internal/wtrap"
@@ -203,6 +204,20 @@ func NewWithImage(p *sim.Proc, net *fabric.Network, al *mem.Allocator, nprocs in
 // Impl returns the implementation configuration.
 func (n *Node) Impl() core.Impl { return n.impl }
 
+// SetTracer attaches the event tracer to this node and its sub-machinery:
+// fault, miss, twin, collect and apply events plus the lock and barrier
+// manager taps. Tracing is observation-only; call before the run starts.
+func (n *Node) SetTracer(tr *trace.Tracer) {
+	n.AttachTracer(tr)
+	n.locks.SetTracer(tr)
+	n.bars.SetTracer(tr)
+	if n.twins != nil {
+		n.twins.OnMake = func(pg int) {
+			tr.Twin(n.P.Now(), n.P.ID(), trace.DomainPage, pg)
+		}
+	}
+}
+
 // NProcs implements core.DSM.
 func (n *Node) NProcs() int { return n.Base.NProcs }
 
@@ -284,6 +299,9 @@ func (n *Node) closeInterval() sim.Time {
 			runs, scanned := n.db.CollectPage(pg)
 			work += sim.Time(scanned) * n.CM.WordScan
 			n.stamps.Set(runs, wcollect.LRCStamp(self, int(n.cur)))
+			if n.Tr != nil {
+				n.Tr.Collect(n.P.Now(), self, trace.DomainPage, pg, int(n.cur), rangeWords(runs))
+			}
 			n.db.ResetPage(pg)
 		}
 	case core.Twinning:
@@ -341,7 +359,19 @@ func (n *Node) harvestPage(pg int) sim.Time {
 		n.Extra.DiffsCreated++
 		work += sim.Time(d.Words()) * n.CM.WordCopy
 	}
+	if n.Tr != nil {
+		n.Tr.Collect(n.P.Now(), n.P.ID(), trace.DomainPage, pg, int(ival), rangeWords(runs))
+	}
 	return work
+}
+
+// rangeWords sums the word count of changed ranges (trace attribution only).
+func rangeWords(rs []mem.Range) int {
+	words := 0
+	for _, r := range rs {
+		words += r.Words()
+	}
+	return words
 }
 
 // --- write notice application --------------------------------------------
@@ -473,6 +503,7 @@ func (n *Node) accessMiss(pg int, write bool) {
 	if len(writers) == 0 {
 		panic(fmt.Sprintf("lrc: proc %d: invalid page %d with no pending notices", n.P.ID(), pg))
 	}
+	n.Tr.Miss(n.P.Now(), n.P.ID(), pg, len(writers), write)
 	if Trace {
 		fmt.Printf("    [lrc] t=%v p%d miss pg%d writers=%+v noticed=%v applied=%v\n",
 			n.P.Now(), n.P.ID(), pg, writers, pm.noticed, pm.applied)
@@ -556,10 +587,12 @@ func (n *Node) accessMiss(pg int, write bool) {
 	}
 	words := 0
 	for _, u := range ordered {
-		words += wcollect.ApplyRuns(n.Im, u.dr)
+		w := wcollect.ApplyRuns(n.Im, u.dr)
 		if n.stamps != nil {
 			n.stamps.ApplyStamps(u.sr)
 		}
+		n.Tr.Apply(n.P.Now(), n.P.ID(), trace.DomainPage, pg, u.proc, w)
+		words += w
 	}
 	n.Charge(sim.Time(words) * n.CM.WordApply)
 
@@ -628,6 +661,7 @@ func (n *Node) handleFetch(hc *fabric.HandlerCtx, m fabric.Msg) {
 		size = reply.Stamped.WireSize(wcollect.LRCStampBytes)
 		n.Extra.StampRunsSent += int64(len(runs))
 	}
+	n.Tr.FetchServe(hc.Now(), n.P.ID(), pg, m.From, size)
 	hc.Reply(m, kindFetchReply, size, fabric.Payload{Kind: fabric.PayloadPageReply, Body: reply})
 }
 

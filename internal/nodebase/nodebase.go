@@ -11,6 +11,7 @@ import (
 	"ecvslrc/internal/mem"
 	"ecvslrc/internal/sim"
 	"ecvslrc/internal/syncmgr"
+	"ecvslrc/internal/trace"
 	"ecvslrc/internal/vm"
 )
 
@@ -34,6 +35,10 @@ type Base struct {
 	// OnWrite is the write-trapping hook invoked (after MMU checks) for
 	// every shared store; nil when twinning handles trapping via faults.
 	OnWrite func(a mem.Addr, size int)
+
+	// Tr is the event tracer, nil when tracing is off. Every emit method is
+	// nil-safe, so protocol code records unconditionally.
+	Tr *trace.Tracer
 
 	Cnt syncmgr.Counters
 
@@ -76,6 +81,16 @@ func (b *Base) InitWithImage(p *sim.Proc, net *fabric.Network, al *mem.Allocator
 	b.MMU = vm.New(al.Pages())
 	b.NProcs = nprocs
 	b.Model = model
+}
+
+// AttachTracer stores the event tracer and taps the hooks common to both
+// protocol stacks (protection faults via the MMU observer). The protocol
+// nodes extend it with their own taps in their SetTracer methods.
+func (b *Base) AttachTracer(tr *trace.Tracer) {
+	b.Tr = tr
+	b.MMU.SetObserver(func(a mem.Addr, write bool) {
+		tr.Fault(b.P.Now(), b.P.ID(), mem.PageOf(a), write)
+	})
 }
 
 // Charge defers d of CPU cost, flushing when the accumulation grows large.

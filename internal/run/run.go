@@ -13,6 +13,7 @@ import (
 	"ecvslrc/internal/mem"
 	"ecvslrc/internal/nodebase"
 	"ecvslrc/internal/sim"
+	"ecvslrc/internal/trace"
 )
 
 // App is a DSM application. One App value describes one problem instance;
@@ -65,6 +66,12 @@ type Options struct {
 	// out again: the app still binds its instance addresses, but the region
 	// tables are shared read-only across cells.
 	Layout *mem.Allocator
+	// Trace, when non-nil, records the run's event trace: scheduler resumes,
+	// message traffic, faults, misses, twins, collections and synchronization
+	// events flow into it for post-run attribution (internal/trace). Tracing
+	// is observation-only — the simulated statistics are bit-identical with
+	// and without it. The tracer must be fresh and sized for nprocs.
+	Trace *trace.Tracer
 }
 
 // node is the common view of ec.Node and lrc.Node the runner needs.
@@ -108,6 +115,14 @@ func RunWith(app App, impl core.Impl, nprocs int, cm fabric.CostModel, opts Opti
 	if opts.Contention {
 		net.EnableContention()
 	}
+	if opts.Trace != nil {
+		if opts.Trace.NProcs() != nprocs {
+			return Result{}, fmt.Errorf("run: %s: tracer is sized for %d procs, run has %d",
+				app.Name(), opts.Trace.NProcs(), nprocs)
+		}
+		s.SetProbe(opts.Trace)
+		net.SetTracer(opts.Trace)
+	}
 	nodes := make([]node, nprocs)
 	images := make([]*mem.Image, nprocs)
 	for i := 0; i < nprocs; i++ {
@@ -123,10 +138,16 @@ func RunWith(app App, impl core.Impl, nprocs int, cm fabric.CostModel, opts Opti
 		switch impl.Model {
 		case core.EC:
 			n := ec.NewWithImage(p, net, al, nprocs, impl, im)
+			if opts.Trace != nil {
+				n.SetTracer(opts.Trace)
+			}
 			n.Im.CopyFrom(initIm)
 			nodes[i], images[i] = n, n.Im
 		case core.LRC:
 			n := lrc.NewWithImage(p, net, al, nprocs, impl, im)
+			if opts.Trace != nil {
+				n.SetTracer(opts.Trace)
+			}
 			n.Im.CopyFrom(initIm)
 			nodes[i], images[i] = n, n.Im
 		}
@@ -181,6 +202,18 @@ func RunWith(app App, impl core.Impl, nprocs int, cm fabric.CostModel, opts Opti
 		mem.RecycleImage(im)
 	}
 	return res, nil
+}
+
+// TraceMeta assembles the analysis metadata for a traced run of app: the
+// run identity plus the shared-memory layout (computed here on a fresh
+// allocator, so pass a fresh app instance — Layout may bind instance state).
+func TraceMeta(app App, impl core.Impl, nprocs int, scale string) trace.Meta {
+	al := mem.NewAllocator()
+	app.Layout(al)
+	return trace.Meta{
+		App: app.Name(), Impl: impl.String(), Scale: scale, NProcs: nprocs,
+		Regions: al.Regions(), Pages: al.Pages(),
+	}
 }
 
 // layout binds app's shared regions: against a fresh allocator, or by

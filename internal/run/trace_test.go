@@ -1,0 +1,170 @@
+package run_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"ecvslrc/internal/apps"
+	"ecvslrc/internal/core"
+	"ecvslrc/internal/fabric"
+	"ecvslrc/internal/harness"
+	"ecvslrc/internal/run"
+	"ecvslrc/internal/trace"
+)
+
+// TestTracingObservationOnly pins the trace subsystem's core contract: a
+// traced run's statistics — aggregate and per-processor — are bit-identical
+// to an untraced run of the same cell, for every implementation of both
+// models. Tracing observes; it must never perturb the simulation.
+func TestTracingObservationOnly(t *testing.T) {
+	const nprocs = 4
+	for _, impl := range core.Implementations() {
+		for _, appName := range []string{"SOR", "Water", "IS"} {
+			plain := mustRun(t, appName, impl, nprocs, nil)
+			tr := trace.New(nprocs)
+			traced := mustRun(t, appName, impl, nprocs, tr)
+			if !reflect.DeepEqual(plain, traced) {
+				t.Errorf("%s on %v: traced run diverged:\n  plain:  %+v\n  traced: %+v",
+					appName, impl, plain, traced)
+			}
+			if tr.Len() == 0 {
+				t.Errorf("%s on %v: traced run recorded no events", appName, impl)
+			}
+		}
+	}
+}
+
+func mustRun(t *testing.T, appName string, impl core.Impl, nprocs int, tr *trace.Tracer) run.Result {
+	t.Helper()
+	a, err := apps.New(appName, apps.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := run.RunWith(a, impl, nprocs, fabric.DefaultCostModel(), run.Options{Trace: tr})
+	if err != nil {
+		t.Fatalf("%s on %v: %v", appName, impl, err)
+	}
+	return res
+}
+
+// traceBytes runs one traced cell and returns its binary trace.
+func traceBytes(t *testing.T, appName string, impl core.Impl, nprocs int) []byte {
+	t.Helper()
+	tr := trace.New(nprocs)
+	mustRun(t, appName, impl, nprocs, tr)
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTraceDeterministic requires the binary trace of a cell to be
+// byte-identical across repeated runs, and across runs interleaved on the
+// harness worker pool at any parallelism — the per-cell tracer plus the
+// canonical merged order make the trace a pure function of the cell.
+func TestTraceDeterministic(t *testing.T) {
+	const nprocs = 4
+	cells := []struct {
+		app  string
+		impl core.Impl
+	}{
+		{"SOR", core.Impl{Model: core.LRC, Trap: core.Twinning, Collect: core.Diffs}},
+		{"Water", core.Impl{Model: core.EC, Trap: core.Twinning, Collect: core.Diffs}},
+		{"IS", core.Impl{Model: core.LRC, Trap: core.CompilerInstr, Collect: core.Timestamps}},
+		{"QS", core.Impl{Model: core.EC, Trap: core.Twinning, Collect: core.Timestamps}},
+	}
+	solo := make([][]byte, len(cells))
+	for i, c := range cells {
+		solo[i] = traceBytes(t, c.app, c.impl, nprocs)
+	}
+	// Re-run every cell concurrently on the worker pool: host-level
+	// interleaving must not move a byte of any trace.
+	concurrent := make([][]byte, len(cells))
+	harness.ForEach(len(cells), len(cells), func(i int) {
+		c := cells[i]
+		tr := trace.New(nprocs)
+		a, err := apps.New(c.app, apps.Test)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := run.RunWith(a, c.impl, nprocs, fabric.DefaultCostModel(), run.Options{Trace: tr}); err != nil {
+			t.Error(err)
+			return
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteBinary(&buf); err != nil {
+			t.Error(err)
+			return
+		}
+		concurrent[i] = buf.Bytes()
+	})
+	for i, c := range cells {
+		if len(solo[i]) == 0 {
+			t.Errorf("%s on %v: empty trace", c.app, c.impl)
+			continue
+		}
+		if !bytes.Equal(solo[i], concurrent[i]) {
+			t.Errorf("%s on %v: trace differs between solo and concurrent runs (%d vs %d bytes)",
+				c.app, c.impl, len(solo[i]), len(concurrent[i]))
+		}
+	}
+}
+
+// TestTraceAnalysisCoversPaperApps runs three paper applications traced and
+// checks the acceptance contract: per-page, per-lock (where the model uses
+// remote locks) and timeline artifacts are derivable, and the classifier
+// assigns a sharing pattern to every shared page.
+func TestTraceAnalysisCoversPaperApps(t *testing.T) {
+	const nprocs = 4
+	cases := []struct {
+		app  string
+		impl core.Impl
+	}{
+		{"Water", core.Impl{Model: core.LRC, Trap: core.Twinning, Collect: core.Diffs}},
+		{"IS", core.Impl{Model: core.EC, Trap: core.Twinning, Collect: core.Diffs}},
+		{"3D-FFT", core.Impl{Model: core.LRC, Trap: core.Twinning, Collect: core.Timestamps}},
+	}
+	for _, c := range cases {
+		tr := trace.New(nprocs)
+		mustRun(t, c.app, c.impl, nprocs, tr)
+		a2, err := apps.New(c.app, apps.Test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		meta := run.TraceMeta(a2, c.impl, nprocs, "test")
+		an := trace.Analyze(tr, meta)
+		if len(an.Pages) != meta.Pages {
+			t.Errorf("%s on %v: %d page reports for %d pages", c.app, c.impl, len(an.Pages), meta.Pages)
+		}
+		shared := 0
+		for _, p := range an.Pages {
+			if p.Pattern != trace.PatternPrivate {
+				shared++
+			}
+		}
+		if shared == 0 {
+			t.Errorf("%s on %v: classifier found no shared pages at all", c.app, c.impl)
+		}
+		if an.TotalMsgs == 0 || len(an.Intervals) == 0 {
+			t.Errorf("%s on %v: empty timeline (msgs %d, intervals %d)",
+				c.app, c.impl, an.TotalMsgs, len(an.Intervals))
+		}
+		if c.impl.Model == core.EC && len(an.Locks) == 0 {
+			t.Errorf("%s on %v: EC run produced no lock reports", c.app, c.impl)
+		}
+		var md bytes.Buffer
+		if err := trace.WriteMarkdown(&md, an); err != nil {
+			t.Errorf("%s: summary: %v", c.app, err)
+		}
+		var tl bytes.Buffer
+		if err := trace.WriteChromeTrace(&tl, tr, an.Meta); err != nil {
+			t.Errorf("%s: timeline: %v", c.app, err)
+		}
+		if md.Len() == 0 || tl.Len() == 0 {
+			t.Errorf("%s: empty report artifacts", c.app)
+		}
+	}
+}

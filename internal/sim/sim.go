@@ -32,6 +32,17 @@ const (
 	kindTimer                   // fire t
 )
 
+// Probe observes scheduler activity for the tracing subsystem. Both methods
+// run with the baton held and must not mutate simulation state: a probed run
+// must stay bit-identical to an unprobed one. ProcResumed fires once per
+// process resume (the wake half of the dispatch/wake cycle); EventDispatched
+// fires for every event the loop dispatches, with the internal event kind and
+// the target process id (-1 for callbacks and timers).
+type Probe interface {
+	ProcResumed(at Time, proc int)
+	EventDispatched(at Time, kind uint8, proc int)
+}
+
 // Timer is the typed-event counterpart of a Schedule closure for subsystems
 // that schedule many recurring events of their own (message deliveries, link
 // claims). The target is stored inline in the event, so scheduling one
@@ -92,6 +103,10 @@ type Simulator struct {
 	batch     []event
 	batchHead int
 
+	// probe, when non-nil, observes dispatches and process resumes. The
+	// disabled path costs one nil check per event.
+	probe Probe
+
 	procs   []*Proc
 	done    chan struct{} // baton holder -> Run: the event queue drained
 	yield   chan struct{} // killed process -> killBlocked: unwound, baton back
@@ -106,6 +121,11 @@ func New() *Simulator {
 
 // Now returns the current simulated time.
 func (s *Simulator) Now() Time { return s.now }
+
+// SetProbe installs the scheduler observation hook (nil to remove). Must be
+// called before Run; the probe only records, so probed runs are bit-identical
+// to unprobed ones.
+func (s *Simulator) SetProbe(p Probe) { s.probe = p }
 
 // Procs returns the processes spawned so far, in spawn order.
 func (s *Simulator) Procs() []*Proc { return s.procs }
@@ -141,6 +161,13 @@ func (s *Simulator) schedule(e event) {
 // dispatch runs one event with the baton held, returning the process that
 // must now resume (marked running), or nil to keep looping.
 func (s *Simulator) dispatch(ev *event) *Proc {
+	if s.probe != nil {
+		pid := -1
+		if ev.p != nil {
+			pid = ev.p.id
+		}
+		s.probe.EventDispatched(ev.at, ev.kind, pid)
+	}
 	switch ev.kind {
 	case kindFn:
 		ev.fn()
@@ -348,6 +375,9 @@ func (s *Simulator) wake(p *Proc) *Proc {
 		return nil
 	}
 	p.state = stateRunning
+	if s.probe != nil {
+		s.probe.ProcResumed(s.now, p.id)
+	}
 	return p
 }
 

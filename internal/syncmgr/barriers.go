@@ -6,6 +6,7 @@ import (
 	"ecvslrc/internal/core"
 	"ecvslrc/internal/fabric"
 	"ecvslrc/internal/sim"
+	"ecvslrc/internal/trace"
 )
 
 // BarrierHooks supplies the model-specific consistency traffic attached to
@@ -51,7 +52,13 @@ type BarrierMgr struct {
 	hooks    BarrierHooks
 	barriers map[core.BarrierID]*barrierState
 	cnt      *Counters
+	tr       *trace.Tracer
 }
+
+// SetTracer attaches the event tracer (nil-safe, observation-only): each
+// processor's arrival and departure instants are recorded, from which the
+// analyzer derives per-episode barrier imbalance.
+func (m *BarrierMgr) SetTracer(tr *trace.Tracer) { m.tr = tr }
 
 // NewBarrierMgr returns the barrier manager endpoint for processor p.
 func NewBarrierMgr(p *sim.Proc, net *fabric.Network, nprocs int, hooks BarrierHooks, cnt *Counters) *BarrierMgr {
@@ -84,11 +91,13 @@ func (m *BarrierMgr) Wait(b core.BarrierID) {
 	payload, size, work := m.hooks.MakeArrival(b)
 	payload.Kind, payload.A = fabric.PayloadBarrier, int32(b)
 	m.p.Sleep(work)
+	m.tr.BarArrive(m.p.Now(), m.self, int(b))
 
 	mgr := m.ManagerOf(b)
 	if mgr != m.self {
 		reply := m.net.Call(m.p, mgr, KindBarrierArrive, size, payload)
 		m.p.Sleep(m.hooks.ApplyDeparture(b, reply.Payload))
+		m.tr.BarDepart(m.p.Now(), m.self, int(b))
 		return
 	}
 
@@ -102,9 +111,11 @@ func (m *BarrierMgr) Wait(b core.BarrierID) {
 		}
 		st.local = sim.NewWaiter(m.p)
 		st.local.Wait("barrier")
+		m.tr.BarDepart(m.p.Now(), m.self, int(b))
 		return
 	}
 	m.depart(b, st, nil)
+	m.tr.BarDepart(m.p.Now(), m.self, int(b))
 }
 
 // Handle processes a barrier-protocol message; returns false if the message

@@ -11,6 +11,7 @@ import (
 	"ecvslrc/internal/core"
 	"ecvslrc/internal/fabric"
 	"ecvslrc/internal/sim"
+	"ecvslrc/internal/trace"
 )
 
 // Message kinds used by the managers. Protocol-specific kinds must be >= 10.
@@ -101,7 +102,13 @@ type LockMgr struct {
 	hooks  LockHooks
 	locks  map[core.LockID]*lockState
 	cnt    *Counters
+	tr     *trace.Tracer
 }
+
+// SetTracer attaches the event tracer (nil-safe, observation-only): acquire
+// requests, grants, completions and releases are recorded with their modes
+// and queue depths, the raw material of the per-lock contention reports.
+func (m *LockMgr) SetTracer(tr *trace.Tracer) { m.tr = tr }
 
 // NewLockMgr returns the lock manager endpoint for processor p.
 func NewLockMgr(p *sim.Proc, net *fabric.Network, nprocs int, hooks LockHooks, cnt *Counters) *LockMgr {
@@ -152,9 +159,11 @@ func (m *LockMgr) Acquire(l core.LockID, mode Mode) {
 	if st.owned {
 		st.held, st.heldMode = true, mode
 		m.hooks.LocalReacquire(l, mode)
+		m.tr.LockAcq(m.p.Now(), m.self, int(l), mode == ReadOnly, true)
 		return
 	}
 	m.cnt.RemoteAcquires++
+	m.tr.LockReq(m.p.Now(), m.self, int(l), mode == ReadOnly)
 	req, size := m.hooks.MakeLockRequest(l, mode)
 	req.Kind, req.A, req.B = fabric.PayloadLockReq, int32(l), int32(mode)
 
@@ -182,6 +191,7 @@ func (m *LockMgr) Acquire(l core.LockID, mode Mode) {
 	}
 	work := m.hooks.ApplyLockGrant(l, mode, reply.Payload)
 	m.p.Sleep(work)
+	m.tr.LockAcq(m.p.Now(), m.self, int(l), mode == ReadOnly, false)
 }
 
 // Release releases lock l and grants any queued requests.
@@ -191,6 +201,7 @@ func (m *LockMgr) Release(l core.LockID) {
 		panic(fmt.Sprintf("syncmgr: proc %d releasing un-held lock %d", m.self, l))
 	}
 	m.p.Sleep(m.hooks.OnRelease(l))
+	m.tr.LockRel(m.p.Now(), m.self, int(l), len(st.pendingEx)+len(st.pendingRead))
 	st.held = false
 	if st.heldMode == ReadOnly {
 		// Read-only releases are local: ownership was never transferred.
@@ -227,6 +238,7 @@ func (m *LockMgr) grantFromProc(st *lockState, req fabric.Msg) {
 	payload, size, work := m.hooks.MakeLockGrant(l, mode, req.Payload, req.From)
 	payload.Kind, payload.A, payload.B = fabric.PayloadLockGrant, int32(l), int32(mode)
 	m.p.Sleep(work)
+	m.tr.LockGrant(m.p.Now(), m.self, int(l), req.From, mode == ReadOnly, size)
 	m.net.ReplyFrom(m.p, req, KindLockGrant, size, payload)
 }
 
@@ -239,6 +251,7 @@ func (m *LockMgr) grantFromHandler(hc *fabric.HandlerCtx, st *lockState, req fab
 	payload, size, work := m.hooks.MakeLockGrant(l, mode, req.Payload, req.From)
 	payload.Kind, payload.A, payload.B = fabric.PayloadLockGrant, int32(l), int32(mode)
 	hc.Work(work)
+	m.tr.LockGrant(hc.Now(), m.self, int(l), req.From, mode == ReadOnly, size)
 	hc.Reply(req, KindLockGrant, size, payload)
 }
 

@@ -19,6 +19,10 @@ type PageTwins struct {
 	scratch []mem.Range
 	count   int
 	made    int64
+
+	// OnMake, when non-nil, observes every twin creation (the tracing
+	// subsystem's tap point). It must not mutate twin state.
+	OnMake func(pg int)
 }
 
 // NewPageTwins returns an empty twin store over image im.
@@ -44,6 +48,9 @@ func (t *PageTwins) Make(pg int) {
 	t.twins[pg] = twin
 	t.count++
 	t.made++
+	if t.OnMake != nil {
+		t.OnMake(pg)
+	}
 }
 
 // Has reports whether page pg currently has a twin.

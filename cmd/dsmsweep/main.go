@@ -14,11 +14,17 @@
 // included as the comparison baseline. With -out unset, the markdown report
 // goes to stdout; with it set, sweep.csv, sweep.jsonl, sweep.md and
 // report.md are written to the directory.
+//
+// Exit codes: 0 on success, 1 on run/emit failure, 2 on invalid flags
+// (including -variants specs, which carry the wrapped sweep.ErrSpec
+// message).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -32,23 +38,36 @@ import (
 )
 
 func main() {
-	scale := flag.String("scale", "bench", "problem scale: test, bench or paper")
-	procsFlag := flag.String("procs", "8", "comma-separated processor counts, e.g. \"4,8\"")
-	appsFlag := flag.String("apps", "", "comma-separated application subset (default: all)")
-	implsFlag := flag.String("impls", "", "comma-separated implementation subset, e.g. \"EC-time,LRC-diff\" (default: all six)")
-	variants := flag.String("variants", "", "variant spec, e.g. \"net=x2,x4 detect=sw,hw\" (default: baseline only)")
-	preset := flag.String("preset", "", "add one named cost preset as a variant: "+strings.Join(fabric.PresetNames(), ", "))
-	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max cells simulated concurrently (records are identical for any value)")
-	out := flag.String("out", "", "artifact directory (csv, jsonl, markdown, report); empty prints markdown to stdout")
-	flag.Parse()
+	os.Exit(cli(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	fail := func(err error) {
-		fmt.Fprintf(os.Stderr, "dsmsweep: %v\n", err)
-		os.Exit(1)
+// cli is main with injectable arguments and streams, so the exit-code
+// contract is table-testable. Returns the process exit code.
+func cli(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dsmsweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scale := fs.String("scale", "bench", "problem scale: test, bench or paper")
+	procsFlag := fs.String("procs", "8", "comma-separated processor counts, e.g. \"4,8\"")
+	appsFlag := fs.String("apps", "", "comma-separated application subset (default: all)")
+	implsFlag := fs.String("impls", "", "comma-separated implementation subset, e.g. \"EC-time,LRC-diff\" (default: all six)")
+	variants := fs.String("variants", "", "variant spec, e.g. \"net=x2,x4 detect=sw,hw\" (default: baseline only)")
+	preset := fs.String("preset", "", "add one named cost preset as a variant: "+strings.Join(fabric.PresetNames(), ", "))
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "max cells simulated concurrently (records are identical for any value)")
+	out := fs.String("out", "", "artifact directory (csv, jsonl, markdown, report); empty prints markdown to stdout")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
 	}
-	usageFail := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, "dsmsweep: "+format+"\n", args...)
-		os.Exit(2)
+
+	fail := func(err error) int {
+		fmt.Fprintf(stderr, "dsmsweep: %v\n", err)
+		return 1
+	}
+	usageFail := func(format string, fargs ...any) int {
+		fmt.Fprintf(stderr, "dsmsweep: "+format+"\n", fargs...)
+		return 2
 	}
 
 	g := sweep.Grid{Parallel: *parallel}
@@ -60,12 +79,12 @@ func main() {
 	case "paper":
 		g.Scale = apps.Paper
 	default:
-		usageFail("unknown scale %q", *scale)
+		return usageFail("unknown scale %q", *scale)
 	}
 	for _, s := range splitList(*procsFlag) {
 		np, err := strconv.Atoi(s)
 		if err != nil {
-			usageFail("bad -procs entry %q", s)
+			return usageFail("bad -procs entry %q", s)
 		}
 		g.NProcs = append(g.NProcs, np)
 	}
@@ -76,7 +95,7 @@ func main() {
 		}
 		for _, n := range splitList(*appsFlag) {
 			if !known[n] {
-				usageFail("unknown app %q (known: %s)", n, strings.Join(apps.Names(), ", "))
+				return usageFail("unknown app %q (known: %s)", n, strings.Join(apps.Names(), ", "))
 			}
 			g.Apps = append(g.Apps, n)
 		}
@@ -85,19 +104,19 @@ func main() {
 		for _, s := range splitList(*implsFlag) {
 			impl, err := core.ParseImpl(s)
 			if err != nil {
-				usageFail("%v", err)
+				return usageFail("%v", err)
 			}
 			g.Impls = append(g.Impls, impl)
 		}
 	}
 	vs, err := sweep.ParseVariantSpec(*variants)
 	if err != nil {
-		usageFail("%v", err)
+		return usageFail("%v", err)
 	}
 	if *preset != "" {
 		cm, err := fabric.PresetByName(*preset)
 		if err != nil {
-			usageFail("%v", err)
+			return usageFail("%v", err)
 		}
 		have := false
 		for _, v := range vs {
@@ -113,41 +132,49 @@ func main() {
 
 	recs, err := sweep.Run(g)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 
 	if *out == "" {
-		if err := sweep.WriteMarkdown(os.Stdout, recs); err != nil {
-			fail(err)
+		if err := sweep.WriteMarkdown(stdout, recs); err != nil {
+			return fail(err)
 		}
-		fmt.Println()
-		if err := sweep.WriteBaselineReport(os.Stdout, recs, sweep.BaselineName); err != nil {
-			fail(err)
+		fmt.Fprintln(stdout)
+		if err := sweep.WriteBaselineReport(stdout, recs, sweep.BaselineName); err != nil {
+			return fail(err)
 		}
-		return
+		return 0
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fail(err)
+		return fail(err)
 	}
-	emit := func(name string, write func(f *os.File) error) {
+	emit := func(name string, write func(f *os.File) error) error {
 		path := filepath.Join(*out, name)
 		f, err := os.Create(path)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		if err := write(f); err != nil {
 			f.Close()
-			fail(err)
+			return err
 		}
-		if err := f.Close(); err != nil {
-			fail(err)
+		return f.Close()
+	}
+	for _, e := range []struct {
+		name  string
+		write func(f *os.File) error
+	}{
+		{"sweep.csv", func(f *os.File) error { return sweep.WriteCSV(f, recs) }},
+		{"sweep.jsonl", func(f *os.File) error { return sweep.WriteJSONL(f, recs) }},
+		{"sweep.md", func(f *os.File) error { return sweep.WriteMarkdown(f, recs) }},
+		{"report.md", func(f *os.File) error { return sweep.WriteBaselineReport(f, recs, sweep.BaselineName) }},
+	} {
+		if err := emit(e.name, e.write); err != nil {
+			return fail(err)
 		}
 	}
-	emit("sweep.csv", func(f *os.File) error { return sweep.WriteCSV(f, recs) })
-	emit("sweep.jsonl", func(f *os.File) error { return sweep.WriteJSONL(f, recs) })
-	emit("sweep.md", func(f *os.File) error { return sweep.WriteMarkdown(f, recs) })
-	emit("report.md", func(f *os.File) error { return sweep.WriteBaselineReport(f, recs, sweep.BaselineName) })
-	fmt.Printf("dsmsweep: %d records (%d variants) -> %s\n", len(recs), len(g.Variants), *out)
+	fmt.Fprintf(stdout, "dsmsweep: %d records (%d variants) -> %s\n", len(recs), len(g.Variants), *out)
+	return 0
 }
 
 func splitList(s string) []string {

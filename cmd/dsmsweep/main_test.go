@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCLIExitCodes pins the exit-code contract the CI smoke steps rely on:
+// invalid flag values must exit non-zero, and invalid -variants specs must
+// carry the wrapped sweep.ErrSpec message so failures are legible.
+func TestCLIExitCodes(t *testing.T) {
+	cases := []struct {
+		name   string
+		args   []string
+		code   int
+		stderr string // required substring of stderr, "" for any
+	}{
+		{"help exits zero", []string{"-h"}, 0, "Usage of dsmsweep"},
+		{"unknown flag", []string{"-nonsense"}, 2, ""},
+		{"bad scale", []string{"-scale", "huge"}, 2, `unknown scale "huge"`},
+		{"bad procs", []string{"-procs", "eight"}, 2, `bad -procs entry "eight"`},
+		{"unknown app", []string{"-apps", "NoSuch"}, 2, `unknown app "NoSuch"`},
+		{"bad impl", []string{"-impls", "EC-magic"}, 2, `unknown implementation "EC-magic"`},
+		{"bad variant axis", []string{"-variants", "warp=x9"}, 2,
+			`invalid variant spec: unknown axis "warp"`},
+		{"malformed variant", []string{"-variants", "net"}, 2,
+			`invalid variant spec: "net" is not axis=v1,v2,...`},
+		{"bad variant value", []string{"-variants", "detect=maybe"}, 2,
+			"invalid variant spec"},
+		{"bad preset", []string{"-preset", "quantum"}, 2, "unknown cost preset"},
+		{"good run", []string{"-scale", "test", "-procs", "2", "-apps", "IS", "-impls", "LRC-time"}, 0, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			code := cli(tc.args, &stdout, &stderr)
+			if code != tc.code {
+				t.Errorf("exit code = %d, want %d (stderr: %s)", code, tc.code, stderr.String())
+			}
+			if tc.stderr != "" && !strings.Contains(stderr.String(), tc.stderr) {
+				t.Errorf("stderr %q does not contain %q", stderr.String(), tc.stderr)
+			}
+		})
+	}
+}

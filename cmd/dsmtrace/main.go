@@ -13,11 +13,17 @@
 // selected reports (summary.md, pages.csv, locks.csv, timeline.json,
 // trace.bin) are written to the directory. Tracing is observation-only: the
 // run's statistics are bit-identical to an untraced dsmrun.
+//
+// Exit codes: 0 on success, 1 on run/emit failure, 2 on invalid flags
+// (including -report selections, which carry the wrapped trace.ErrConfig
+// message).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -29,24 +35,37 @@ import (
 )
 
 func main() {
-	appName := flag.String("app", "SOR", "application: "+strings.Join(apps.Names(), ", "))
-	implName := flag.String("impl", "LRC-diff", "implementation: EC-ci, EC-time, EC-diff, LRC-ci, LRC-time, LRC-diff")
-	procs := flag.Int("procs", 8, "number of simulated processors")
-	scale := flag.String("scale", "bench", "problem scale: test, bench or paper")
-	preset := flag.String("preset", "paper", "cost-model preset: "+strings.Join(fabric.PresetNames(), ", "))
-	contention := flag.Bool("contention", false, "model shared-link contention (queueing delays appear in the analysis)")
-	reports := flag.String("report", "", "comma-separated reports: "+strings.Join(trace.ReportNames(), ", ")+" (default: all)")
-	out := flag.String("out", "", "artifact directory; empty prints the summary to stdout")
-	sched := flag.Bool("sched", false, "also record scheduler dispatch events (very voluminous)")
-	flag.Parse()
+	os.Exit(cli(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	fail := func(err error) {
-		fmt.Fprintf(os.Stderr, "dsmtrace: %v\n", err)
-		os.Exit(1)
+// cli is main with injectable arguments and streams, so the exit-code
+// contract is table-testable. Returns the process exit code.
+func cli(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dsmtrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	appName := fs.String("app", "SOR", "application: "+strings.Join(apps.Names(), ", "))
+	implName := fs.String("impl", "LRC-diff", "implementation: EC-ci, EC-time, EC-diff, LRC-ci, LRC-time, LRC-diff")
+	procs := fs.Int("procs", 8, "number of simulated processors")
+	scale := fs.String("scale", "bench", "problem scale: test, bench or paper")
+	preset := fs.String("preset", "paper", "cost-model preset: "+strings.Join(fabric.PresetNames(), ", "))
+	contention := fs.Bool("contention", false, "model shared-link contention (queueing delays appear in the analysis)")
+	reports := fs.String("report", "", "comma-separated reports: "+strings.Join(trace.ReportNames(), ", ")+" (default: all)")
+	out := fs.String("out", "", "artifact directory; empty prints the summary to stdout")
+	sched := fs.Bool("sched", false, "also record scheduler dispatch events (very voluminous)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
 	}
-	usageFail := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, "dsmtrace: "+format+"\n", args...)
-		os.Exit(2)
+
+	fail := func(err error) int {
+		fmt.Fprintf(stderr, "dsmtrace: %v\n", err)
+		return 1
+	}
+	usageFail := func(format string, fargs ...any) int {
+		fmt.Fprintf(stderr, "dsmtrace: "+format+"\n", fargs...)
+		return 2
 	}
 
 	var sc apps.Scale
@@ -58,18 +77,18 @@ func main() {
 	case "paper":
 		sc = apps.Paper
 	default:
-		usageFail("unknown scale %q", *scale)
+		return usageFail("unknown scale %q", *scale)
 	}
 	impl, err := core.ParseImpl(*implName)
 	if err != nil {
-		usageFail("%v", err)
+		return usageFail("%v", err)
 	}
 	if *procs < 1 || *procs > trace.MaxProcs {
-		usageFail("traced runs support 1..%d processors, got %d", trace.MaxProcs, *procs)
+		return usageFail("traced runs support 1..%d processors, got %d", trace.MaxProcs, *procs)
 	}
 	cost, err := fabric.PresetByName(*preset)
 	if err != nil {
-		usageFail("%v", err)
+		return usageFail("%v", err)
 	}
 	var sel []trace.Report
 	if *reports == "" && *out == "" {
@@ -78,17 +97,17 @@ func main() {
 	} else {
 		sel, err = trace.ParseReports(*reports)
 		if err != nil {
-			usageFail("%v", err)
+			return usageFail("%v", err)
 		}
 	}
 	topts := trace.Options{Reports: sel, OutDir: *out, Sched: *sched}
 	if err := topts.Validate(); err != nil {
-		usageFail("%v", err)
+		return usageFail("%v", err)
 	}
 
 	a, err := apps.New(*appName, sc)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	tr := trace.New(*procs)
 	if topts.Sched {
@@ -96,27 +115,28 @@ func main() {
 	}
 	res, err := run.RunWith(a, impl, *procs, cost, run.Options{Contention: *contention, Trace: tr})
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 
 	// Re-derive the layout on a fresh instance (Layout may bind app state)
 	// so the analysis can name pages by region.
 	a2, err := apps.New(*appName, sc)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	analysis := trace.Analyze(tr, run.TraceMeta(a2, impl, *procs, *scale))
 
 	if *out == "" {
-		if err := trace.WriteMarkdown(os.Stdout, analysis); err != nil {
-			fail(err)
+		if err := trace.WriteMarkdown(stdout, analysis); err != nil {
+			return fail(err)
 		}
-		return
+		return 0
 	}
 	written, err := trace.EmitReports(*out, sel, analysis, tr)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
-	fmt.Printf("dsmtrace: %s on %v, %d procs: %d events, %v simulated -> %s\n",
+	fmt.Fprintf(stdout, "dsmtrace: %s on %v, %d procs: %d events, %v simulated -> %s\n",
 		*appName, impl, *procs, tr.Len(), res.Stats.Time, strings.Join(written, ", "))
+	return 0
 }

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCLIExitCodes pins the exit-code contract the CI smoke steps rely on:
+// invalid flag values must exit non-zero, and invalid -report selections
+// must carry the wrapped trace.ErrConfig message so failures are legible.
+func TestCLIExitCodes(t *testing.T) {
+	cases := []struct {
+		name   string
+		args   []string
+		code   int
+		stderr string // required substring of stderr, "" for any
+	}{
+		{"help exits zero", []string{"-h"}, 0, "Usage of dsmtrace"},
+		{"unknown flag", []string{"-nonsense"}, 2, ""},
+		{"bad scale", []string{"-scale", "huge"}, 2, `unknown scale "huge"`},
+		{"bad impl", []string{"-impl", "EC-magic"}, 2, `unknown implementation "EC-magic"`},
+		{"bad procs", []string{"-procs", "0"}, 2, "traced runs support"},
+		{"bad preset", []string{"-preset", "quantum"}, 2, "unknown cost preset"},
+		{"bad report", []string{"-report", "pages,nonsense", "-out", t.TempDir()}, 2,
+			`invalid trace options: unknown report "nonsense"`},
+		{"empty report list", []string{"-report", ",,", "-out", t.TempDir()}, 2,
+			"invalid trace options: report list selects nothing"},
+		{"file report without out", []string{"-report", "pages"}, 2,
+			"invalid trace options: report pages needs an output directory"},
+		{"unknown app", []string{"-app", "NoSuch", "-scale", "test", "-procs", "2"}, 1,
+			`unknown application "NoSuch"`},
+		{"good run", []string{"-app", "IS", "-impl", "LRC-time", "-scale", "test", "-procs", "2"}, 0, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			code := cli(tc.args, &stdout, &stderr)
+			if code != tc.code {
+				t.Errorf("exit code = %d, want %d (stderr: %s)", code, tc.code, stderr.String())
+			}
+			if tc.stderr != "" && !strings.Contains(stderr.String(), tc.stderr) {
+				t.Errorf("stderr %q does not contain %q", stderr.String(), tc.stderr)
+			}
+		})
+	}
+}

@@ -64,6 +64,20 @@ func MicroNames() []string {
 	return []string{"micro-migratory", "micro-producer-consumer", "micro-false-sharing", "micro-prefetch", "micro-rebinding"}
 }
 
+// Every suite application is written as a generic kernel
+// (func kernel[D core.Accessor](app, d D)) and provides the
+// statically-dispatched run.StaticApp entries alongside the
+// Program(core.DSM) adapter; the runner picks the concrete instantiation.
+var (
+	_ run.StaticApp = (*SOR)(nil)
+	_ run.StaticApp = (*QS)(nil)
+	_ run.StaticApp = (*Water)(nil)
+	_ run.StaticApp = (*Barnes)(nil)
+	_ run.StaticApp = (*IS)(nil)
+	_ run.StaticApp = (*FFT)(nil)
+	_ run.StaticApp = (*Micro)(nil)
+)
+
 // lcg is a small deterministic pseudo-random generator (stdlib-only, and
 // identical across runs so results are bit-reproducible).
 type lcg struct{ s uint64 }

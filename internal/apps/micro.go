@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"ecvslrc/internal/core"
+	"ecvslrc/internal/ec"
+	"ecvslrc/internal/lrc"
 	"ecvslrc/internal/mem"
 	"ecvslrc/internal/run"
 	"ecvslrc/internal/sim"
@@ -94,23 +96,37 @@ func (m *Micro) Init(im *mem.Image) {}
 // InitRef implements run.RefInit (Init is stateless).
 func (m *Micro) InitRef() {}
 
-// Program implements run.App.
-func (m *Micro) Program(d core.DSM) {
+// Program implements run.App: the interface-adapter entry of microProgram —
+// the same generic kernel the statically-dispatched entries run.
+func (m *Micro) Program(d core.DSM) { microProgram(m, d) }
+
+// ProgramLRC implements run.StaticApp: microProgram at *lrc.Node.
+func (m *Micro) ProgramLRC(n *lrc.Node) { microProgram(m, n) }
+
+// ProgramEC implements run.StaticApp: microProgram at *ec.Node.
+func (m *Micro) ProgramEC(n *ec.Node) { microProgram(m, n) }
+
+// ProgramSeq implements run.StaticApp: microProgram at *run.Local.
+func (m *Micro) ProgramSeq(l *run.Local) { microProgram(m, l) }
+
+// microProgram dispatches to the selected factor kernel; each kernel is
+// generic over the access frontend and instantiated per protocol stack.
+func microProgram[D core.Accessor](m *Micro, d D) {
 	switch m.kind {
 	case microMigratory:
-		m.migratory(d)
+		migratory(m, d)
 	case microProducerConsumer:
-		m.producerConsumer(d)
+		producerConsumer(m, d)
 	case microFalseSharing:
-		m.falseSharing(d)
+		falseSharing(m, d)
 	case microPrefetch:
-		m.prefetch(d)
+		prefetch(m, d)
 	case microRebinding:
-		m.rebinding(d)
+		rebinding(m, d)
 	}
 }
 
-func (m *Micro) migratory(d core.DSM) {
+func migratory[D core.Accessor](m *Micro, d D) {
 	m.nprocs = d.NProcs()
 	const words = 256 // 1 KB record, below a page
 	d.Bind(1, mem.Range{Base: m.base, Len: words * 4})
@@ -134,7 +150,7 @@ func (m *Micro) migratory(d core.DSM) {
 	}
 }
 
-func (m *Micro) producerConsumer(d core.DSM) {
+func producerConsumer[D core.Accessor](m *Micro, d D) {
 	ec := d.Model() == core.EC
 	m.nprocs = d.NProcs()
 	n := 4 * mem.PageSize / 4
@@ -175,7 +191,7 @@ func (m *Micro) producerConsumer(d core.DSM) {
 	}
 }
 
-func (m *Micro) falseSharing(d core.DSM) {
+func falseSharing[D core.Accessor](m *Micro, d D) {
 	ec := d.Model() == core.EC
 	m.nprocs = d.NProcs()
 	np := d.NProcs()
@@ -213,7 +229,7 @@ func (m *Micro) falseSharing(d core.DSM) {
 	d.StatsEnd()
 }
 
-func (m *Micro) prefetch(d core.DSM) {
+func prefetch[D core.Accessor](m *Micro, d D) {
 	ec := d.Model() == core.EC
 	m.nprocs = d.NProcs()
 	const objs = 32 // 128-byte objects, all on one page
@@ -259,7 +275,7 @@ func (m *Micro) prefetch(d core.DSM) {
 	d.StatsEnd()
 }
 
-func (m *Micro) rebinding(d core.DSM) {
+func rebinding[D core.Accessor](m *Micro, d D) {
 	ec := d.Model() == core.EC
 	m.nprocs = d.NProcs()
 	const taskBytes = 2048

@@ -157,10 +157,7 @@ func NewWithImage(p *sim.Proc, net *fabric.Network, al *mem.Allocator, nprocs in
 	switch impl.Trap {
 	case core.CompilerInstr:
 		n.db = wtrap.NewDirtyBits(al, false)
-		n.OnWrite = func(a mem.Addr, size int) {
-			n.Charge(n.CM.InstrStoreOpt)
-			n.db.NoteWrite(a, size)
-		}
+		n.SetTrap(n.db, n.CM.InstrStoreOpt)
 	case core.Twinning:
 		n.twins = wtrap.NewPageTwins(n.Im)
 		n.openEpochs = make([]map[core.LockID]bool, al.Pages())

@@ -183,12 +183,9 @@ func NewWithImage(p *sim.Proc, net *fabric.Network, al *mem.Allocator, nprocs in
 		// Hierarchical dirty bits: page-level bits narrow the collection
 		// scan because there is no lock/data association (Section 4.1).
 		n.db = wtrap.NewDirtyBits(al, true)
-		n.OnWrite = func(a mem.Addr, size int) {
-			// Setting both the word- and page-level bits costs more than
-			// EC's flat scheme (Section 8.1).
-			n.Charge(n.CM.InstrStoreOpt + n.CM.InstrStoreOpt/2)
-			n.db.NoteWrite(a, size)
-		}
+		// Setting both the word- and page-level bits costs more than EC's
+		// flat scheme (Section 8.1).
+		n.SetTrap(n.db, n.CM.InstrStoreOpt+n.CM.InstrStoreOpt/2)
 	case core.Twinning:
 		n.twins = wtrap.NewPageTwins(n.Im)
 		// All shared pages start write-protected so first writes twin.

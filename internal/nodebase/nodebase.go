@@ -6,6 +6,9 @@
 package nodebase
 
 import (
+	"encoding/binary"
+	"math"
+
 	"ecvslrc/internal/core"
 	"ecvslrc/internal/fabric"
 	"ecvslrc/internal/mem"
@@ -13,6 +16,7 @@ import (
 	"ecvslrc/internal/syncmgr"
 	"ecvslrc/internal/trace"
 	"ecvslrc/internal/vm"
+	"ecvslrc/internal/wtrap"
 )
 
 // flushThreshold bounds how much deferred CPU cost may accumulate before it
@@ -32,9 +36,28 @@ type Base struct {
 	NProcs int
 	Model  core.Model
 
-	// OnWrite is the write-trapping hook invoked (after MMU checks) for
-	// every shared store; nil when twinning handles trapping via faults.
-	OnWrite func(a mem.Addr, size int)
+	// prot and data are the devirtualized access fast path: prot aliases the
+	// MMU's protection table (SetProt mutates the shared backing array) and
+	// data the image's backing store, so the in-window check plus the load or
+	// store is flat slice indexing — no MMU or Image pointer chase, no
+	// closure, no nested call. Every accessor below keeps its fast path small
+	// enough to inline, with the fault and trap slow paths out of line.
+	prot []vm.Prot
+	data []byte
+
+	// trapDB and trapCost are the compiler-instrumentation write trap (nil
+	// when twinning handles trapping via protection faults): every shared
+	// store charges trapCost and marks the dirty bits. A direct field pair
+	// replaces the previous per-store closure call.
+	trapDB   *wtrap.DirtyBits
+	trapCost sim.Time
+
+	// fastWriteProt is the protection level at which a store may skip the
+	// slow path entirely: ReadWrite normally, an impossible sentinel when
+	// instrumentation is on (every store must then trap — there is no
+	// untrapped write under ci by construction). Folding the trap test into
+	// the protection compare keeps the store fast path to a single branch.
+	fastWriteProt vm.Prot
 
 	// Tr is the event tracer, nil when tracing is off. Every emit method is
 	// nil-safe, so protocol code records unconditionally.
@@ -79,8 +102,28 @@ func (b *Base) InitWithImage(p *sim.Proc, net *fabric.Network, al *mem.Allocator
 	b.Al = al
 	b.Im = im
 	b.MMU = vm.New(al.Pages())
+	b.prot = b.MMU.Table()
+	b.data = im.Bytes()
+	b.fastWriteProt = vm.ReadWrite
 	b.NProcs = nprocs
 	b.Model = model
+}
+
+// neverProt is fastWriteProt's sentinel: no page ever reaches it, so every
+// store misses the fast-path compare and takes writeSlow.
+const neverProt vm.Prot = 0xFF
+
+// SetTrap installs the compiler-instrumentation write trap: every shared
+// store charges cost and records its block in db. Pass nil to clear (the
+// twinning configurations trap via protection faults instead).
+func (b *Base) SetTrap(db *wtrap.DirtyBits, cost sim.Time) {
+	b.trapDB = db
+	b.trapCost = cost
+	if db != nil {
+		b.fastWriteProt = neverProt
+	} else {
+		b.fastWriteProt = vm.ReadWrite
+	}
 }
 
 // AttachTracer stores the event tracer and taps the hooks common to both
@@ -120,53 +163,91 @@ func (b *Base) Now() sim.Time { return b.P.Now() + b.pending }
 // Proc implements core.DSM.
 func (b *Base) Proc() int { return b.P.ID() }
 
-// Typed accessors: every shared access consults the MMU (which models the
-// page protection hardware) and fires the trapping hook on stores.
+// Typed accessors: every shared access consults the protection table (the
+// page protection hardware) and fires the write trap on instrumented stores.
+// The in-window, no-fault, no-trap path of each accessor is a flat check
+// plus a direct load or store on Base-resident slices — no MMU or Image
+// pointer chase, no closure, no virtual call — and stays inside the
+// compiler's inlining budget. The fault and trap machinery lives in the
+// out-of-line readFault/writeSlow* slow paths, which reproduce the
+// pre-devirtualization behaviour exactly: resolve the fault first, then
+// charge and record the instrumented store, then perform the access.
 
 // ReadI32 implements core.DSM.
 func (b *Base) ReadI32(a mem.Addr) int32 {
-	b.MMU.CheckRead(a)
-	return b.Im.ReadI32(a)
+	if b.prot[a>>mem.PageShift] == vm.NoAccess {
+		b.readFault(a)
+	}
+	return int32(binary.LittleEndian.Uint32(b.data[a:]))
 }
 
 // WriteI32 implements core.DSM.
 func (b *Base) WriteI32(a mem.Addr, v int32) {
-	b.MMU.CheckWrite(a)
-	if b.OnWrite != nil {
-		b.OnWrite(a, 4)
+	if b.prot[a>>mem.PageShift] != b.fastWriteProt {
+		b.writeSlow4(a)
 	}
-	b.Im.WriteI32(a, v)
+	binary.LittleEndian.PutUint32(b.data[a:], uint32(v))
 }
 
 // ReadF32 implements core.DSM.
 func (b *Base) ReadF32(a mem.Addr) float32 {
-	b.MMU.CheckRead(a)
-	return b.Im.ReadF32(a)
+	if b.prot[a>>mem.PageShift] == vm.NoAccess {
+		b.readFault(a)
+	}
+	return math.Float32frombits(binary.LittleEndian.Uint32(b.data[a:]))
 }
 
 // WriteF32 implements core.DSM.
 func (b *Base) WriteF32(a mem.Addr, v float32) {
-	b.MMU.CheckWrite(a)
-	if b.OnWrite != nil {
-		b.OnWrite(a, 4)
+	if b.prot[a>>mem.PageShift] != b.fastWriteProt {
+		b.writeSlow4(a)
 	}
-	b.Im.WriteF32(a, v)
+	binary.LittleEndian.PutUint32(b.data[a:], math.Float32bits(v))
 }
 
 // ReadF64 implements core.DSM.
 func (b *Base) ReadF64(a mem.Addr) float64 {
-	b.MMU.CheckRead(a)
-	return b.Im.ReadF64(a)
+	if b.prot[a>>mem.PageShift] == vm.NoAccess {
+		b.readFault(a)
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b.data[a:]))
 }
 
 // WriteF64 implements core.DSM.
 func (b *Base) WriteF64(a mem.Addr, v float64) {
-	b.MMU.CheckWrite(a)
-	if b.OnWrite != nil {
-		b.OnWrite(a, 8)
+	if b.prot[a>>mem.PageShift] != b.fastWriteProt {
+		b.writeSlow8(a)
 	}
-	b.Im.WriteF64(a, v)
+	binary.LittleEndian.PutUint64(b.data[a:], math.Float64bits(v))
 }
+
+// readFault is the read slow path: the page is invalid, run the fault
+// machinery. go:noinline keeps its cost out of the accessors' budgets — it
+// is taken once per access miss, never on the in-window path.
+//
+//go:noinline
+func (b *Base) readFault(a mem.Addr) { b.MMU.FaultRead(a) }
+
+// writeSlow handles everything a store may owe beyond the raw write: a
+// protection fault (resolved before trapping, as the hardware would), then
+// the compiler-instrumentation charge and dirty-bit update. For the ci
+// configurations every store lands here by construction — instrumentation
+// is per-store work, there is no untrapped write path to speed up.
+func (b *Base) writeSlow(a mem.Addr, size int) {
+	if b.prot[a>>mem.PageShift] != vm.ReadWrite {
+		b.MMU.FaultWrite(a)
+	}
+	if b.trapDB != nil {
+		b.Charge(b.trapCost)
+		b.trapDB.NoteWrite(a, size)
+	}
+}
+
+//go:noinline
+func (b *Base) writeSlow4(a mem.Addr) { b.writeSlow(a, 4) }
+
+//go:noinline
+func (b *Base) writeSlow8(a mem.Addr) { b.writeSlow(a, 8) }
 
 // WindowStats is the per-processor measurement extracted by the runner.
 type WindowStats struct {

@@ -7,6 +7,7 @@ import (
 	"ecvslrc/internal/fabric"
 	"ecvslrc/internal/mem"
 	"ecvslrc/internal/sim"
+	"ecvslrc/internal/wtrap"
 )
 
 // rig builds a Base on a one-processor simulation and runs body.
@@ -61,16 +62,23 @@ func TestFlushExplicit(t *testing.T) {
 
 func TestAccessorsRoundTripAndTrap(t *testing.T) {
 	rig(t, func(b *Base) {
-		var trapped []mem.Addr
-		b.OnWrite = func(a mem.Addr, size int) { trapped = append(trapped, a) }
+		db := wtrap.NewDirtyBits(b.Al, false)
+		b.SetTrap(db, sim.Microsecond)
 		b.WriteI32(4, -5)
 		b.WriteF32(8, 1.5)
 		b.WriteF64(16, 2.25)
 		if b.ReadI32(4) != -5 || b.ReadF32(8) != 1.5 || b.ReadF64(16) != 2.25 {
 			t.Error("round trip failed")
 		}
-		if len(trapped) != 3 || trapped[0] != 4 || trapped[2] != 16 {
-			t.Errorf("trapped = %v", trapped)
+		if db.Stores() != 3 {
+			t.Errorf("instrumented stores = %d, want 3", db.Stores())
+		}
+		runs, _ := db.Collect([]mem.Range{{Base: 0, Len: 32}})
+		if len(runs) != 2 || runs[0].Base != 4 || runs[0].Len != 8 || runs[1].Base != 16 || runs[1].Len != 8 {
+			t.Errorf("dirty runs = %v", runs)
+		}
+		if b.Now() != 3*sim.Microsecond {
+			t.Errorf("pending trap cost = %v, want 3µs", b.Now())
 		}
 	})
 }

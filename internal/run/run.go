@@ -38,6 +38,28 @@ type App interface {
 	Verify(im *mem.Image) error
 }
 
+// StaticApp is implemented by applications whose Program body is a generic
+// kernel `func kernel[D core.Accessor](d D, ...)` instantiated once per
+// protocol stack. The runner then enters the kernel through the concrete
+// frontend (*lrc.Node, *ec.Node, *Local), so every shared-memory accessor
+// call dispatches statically instead of through the core.DSM interface —
+// the per-word cost the ROADMAP names as the largest remaining one. The
+// plain Program(core.DSM) method remains the adapter path: same kernel,
+// instantiated with the interface, used by custom DSM values and by the
+// equivalence tests (Options.InterfaceDispatch).
+//
+// All four entry points must run the same kernel; the runner chooses freely
+// between them and the simulated statistics must not depend on the choice.
+type StaticApp interface {
+	App
+	// ProgramLRC is Program entered through the concrete LRC frontend.
+	ProgramLRC(n *lrc.Node)
+	// ProgramEC is Program entered through the concrete EC frontend.
+	ProgramEC(n *ec.Node)
+	// ProgramSeq is Program entered through the sequential frontend.
+	ProgramSeq(l *Local)
+}
+
 // RefInit is implemented by applications whose Init separates into image
 // seeding (a pure, deterministic function of the problem instance) and
 // adoption of the verification reference (memoized per problem size).
@@ -66,6 +88,12 @@ type Options struct {
 	// out again: the app still binds its instance addresses, but the region
 	// tables are shared read-only across cells.
 	Layout *mem.Allocator
+	// InterfaceDispatch forces the run through the Program(core.DSM) adapter
+	// path even when the application provides statically-dispatched kernels
+	// (StaticApp). The statistics are identical either way — the equivalence
+	// tests pin that — so this exists for those tests and for debugging
+	// dispatch-layer suspicions, not for production runs.
+	InterfaceDispatch bool
 	// Trace, when non-nil, records the run's event trace: scheduler resumes,
 	// message traffic, faults, misses, twins, collections and synchronization
 	// events flow into it for post-run attribution (internal/trace). Tracing
@@ -123,14 +151,20 @@ func RunWith(app App, impl core.Impl, nprocs int, cm fabric.CostModel, opts Opti
 		s.SetProbe(opts.Trace)
 		net.SetTracer(opts.Trace)
 	}
+	// Statically-dispatched entry when the app provides generic kernels: the
+	// per-processor body then calls the concrete frontend's kernel
+	// instantiation instead of crossing the core.DSM interface per access.
+	sa, _ := app.(StaticApp)
+	if opts.InterfaceDispatch {
+		sa = nil
+	}
 	nodes := make([]node, nprocs)
 	images := make([]*mem.Image, nprocs)
+	starts := make([]func(), nprocs)
 	for i := 0; i < nprocs; i++ {
 		i := i
 		p := s.Spawn(fmt.Sprintf("%s/p%d", app.Name(), i), func(p *sim.Proc) {
-			d := nodes[i]
-			d.StatsBegin()
-			app.Program(d)
+			starts[i]()
 		})
 		// Node images come from the recycle pool (contents unspecified) and
 		// are fully overwritten by CopyFrom before the simulation starts.
@@ -143,6 +177,11 @@ func RunWith(app App, impl core.Impl, nprocs int, cm fabric.CostModel, opts Opti
 			}
 			n.Im.CopyFrom(initIm)
 			nodes[i], images[i] = n, n.Im
+			if sa != nil {
+				starts[i] = func() { n.StatsBegin(); sa.ProgramEC(n) }
+			} else {
+				starts[i] = func() { n.StatsBegin(); app.Program(n) }
+			}
 		case core.LRC:
 			n := lrc.NewWithImage(p, net, al, nprocs, impl, im)
 			if opts.Trace != nil {
@@ -150,6 +189,11 @@ func RunWith(app App, impl core.Impl, nprocs int, cm fabric.CostModel, opts Opti
 			}
 			n.Im.CopyFrom(initIm)
 			nodes[i], images[i] = n, n.Im
+			if sa != nil {
+				starts[i] = func() { n.StatsBegin(); sa.ProgramLRC(n) }
+			} else {
+				starts[i] = func() { n.StatsBegin(); app.Program(n) }
+			}
 		}
 	}
 	// Every node holds its own copy now; recycle the template's buffer
@@ -270,7 +314,11 @@ func RunSeqWith(app App, opts Options) (sim.Time, error) {
 		im = initIm
 	}
 	d := &Local{im: im}
-	app.Program(d)
+	if sa, ok := app.(StaticApp); ok && !opts.InterfaceDispatch {
+		sa.ProgramSeq(d)
+	} else {
+		app.Program(d)
+	}
 	if !d.ended {
 		return 0, fmt.Errorf("run: %s sequential program never called StatsEnd", app.Name())
 	}

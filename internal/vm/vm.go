@@ -70,6 +70,13 @@ func (m *MMU) SetObserver(h FaultHandler) { m.observer = h }
 // Pages returns the number of pages covered.
 func (m *MMU) Pages() int { return len(m.prot) }
 
+// Table exposes the page-protection array itself, indexed by page number.
+// The DSM access frontends cache it so the in-window fast path is one array
+// load with no MMU pointer chase; SetProt mutates the same backing array, so
+// a cached table stays coherent for the MMU's lifetime. Callers must treat
+// it as read-only — protection changes go through SetProt.
+func (m *MMU) Table() []Prot { return m.prot }
+
 // Prot returns the protection of page pg.
 func (m *MMU) Prot(pg int) Prot { return m.prot[pg] }
 
@@ -96,6 +103,18 @@ func (m *MMU) CheckWrite(addr mem.Addr) {
 		m.check(addr, true)
 	}
 }
+
+// FaultRead and FaultWrite are the out-of-line slow paths behind the
+// accessors' inlined protection checks: they re-validate the access against
+// the current protection, then run the fault machinery. Callers invoke them
+// only when the inlined fast-path check failed; single-argument forms keep
+// the callers inside the inlining budget.
+
+// FaultRead resolves a read access that failed the inlined check.
+func (m *MMU) FaultRead(addr mem.Addr) { m.check(addr, false) }
+
+// FaultWrite resolves a write access that failed the inlined check.
+func (m *MMU) FaultWrite(addr mem.Addr) { m.check(addr, true) }
 
 func (m *MMU) check(addr mem.Addr, write bool) {
 	pg := mem.PageOf(addr)

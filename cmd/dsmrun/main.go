@@ -18,6 +18,7 @@ import (
 	"ecvslrc/internal/core"
 	"ecvslrc/internal/fabric"
 	"ecvslrc/internal/run"
+	"ecvslrc/internal/sim"
 	"ecvslrc/internal/trace"
 )
 
@@ -30,6 +31,9 @@ func main() {
 	preset := flag.String("preset", "paper", "cost-model preset: "+strings.Join(fabric.PresetNames(), ", "))
 	contention := flag.Bool("contention", false, "model shared-link contention (concurrent bulk transfers queue)")
 	traceDir := flag.String("trace", "", "record an event trace and write all attribution reports to this directory (see cmd/dsmtrace for report selection)")
+	faults := flag.String("faults", "off", "fault-plan preset injected into the fabric: "+strings.Join(fabric.FaultPresetNames(), ", "))
+	faultSeed := flag.Uint64("fault-seed", 0, "override the fault plan's PRNG seed (0 keeps the preset's seed)")
+	timeout := flag.Float64("timeout", 0, "virtual-time watchdog in simulated seconds: fail with a stall diagnostic instead of running past it (0 disables)")
 	flag.Parse()
 
 	var sc apps.Scale
@@ -52,6 +56,22 @@ func main() {
 	cost, err := fabric.PresetByName(*preset)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dsmrun:", err)
+		os.Exit(2)
+	}
+	plan, err := fabric.FaultPreset(*faults)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsmrun:", err)
+		os.Exit(2)
+	}
+	if *faultSeed != 0 {
+		if plan == nil {
+			fmt.Fprintln(os.Stderr, "dsmrun: -fault-seed needs a fault plan (-faults)")
+			os.Exit(2)
+		}
+		plan.Seed = *faultSeed
+	}
+	if *timeout < 0 {
+		fmt.Fprintln(os.Stderr, "dsmrun: negative -timeout")
 		os.Exit(2)
 	}
 	if *seq {
@@ -93,7 +113,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dsmrun:", err)
 		os.Exit(1)
 	}
-	res, err := run.RunWith(a, impl, *procs, cost, run.Options{Contention: *contention, Trace: tr})
+	res, err := run.RunWith(a, impl, *procs, cost, run.Options{
+		Contention: *contention,
+		Trace:      tr,
+		Faults:     plan,
+		Timeout:    sim.Time(*timeout * float64(sim.Second)),
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dsmrun:", err)
 		os.Exit(1)
@@ -102,7 +127,15 @@ func main() {
 	if *contention {
 		variant += "+contention"
 	}
+	if plan != nil {
+		variant += "+fault=" + *faults
+	}
 	fmt.Printf("%s on %v, %d procs (%s scale, %s cost):\n  %v\n", *appName, impl, *procs, *scale, variant, res.Stats)
+	if plan != nil {
+		f := res.Faults
+		fmt.Printf("  faults: %d sent, %d dropped, %d duplicated, %d delayed; %d retransmits, %d dups dropped, %d reordered, %d acks (%d lost), recovery wait %v\n",
+			f.Sent, f.Dropped, f.Duplicated, f.Delayed, f.Retransmits, f.DupsDropped, f.OutOfOrder, f.Acks, f.AcksLost, f.RecoveryWait)
+	}
 	if tr != nil {
 		a2, err := apps.New(*appName, sc)
 		if err != nil {

@@ -10,14 +10,18 @@
 //	dsmsweep -preset modern -scale bench
 //
 // Variant axes: net=xK, cpu=xK, detect=sw|hw, diff=sw|free,
-// contention=off|on; the calibrated paper platform ("paper") is always
-// included as the comparison baseline. With -out unset, the markdown report
-// goes to stdout; with it set, sweep.csv, sweep.jsonl, sweep.md and
-// report.md are written to the directory.
+// contention=off|on, fault=off|drop1e-3|drop1e-2|chaos; the calibrated
+// paper platform ("paper") is always included as the comparison baseline.
+// With -out unset, the markdown report goes to stdout; with it set,
+// sweep.csv, sweep.jsonl, sweep.md and report.md are written to the
+// directory.
 //
-// Exit codes: 0 on success, 1 on run/emit failure, 2 on invalid flags
-// (including -variants specs, which carry the wrapped sweep.ErrSpec
-// message).
+// Failed cells do not abort the sweep: the surviving records are emitted,
+// every failed cell is listed on stderr, and the exit code is 1.
+//
+// Exit codes: 0 on success, 1 on run/emit failure (including partial
+// failures), 2 on invalid flags (including -variants specs, which carry the
+// wrapped sweep.ErrSpec message).
 package main
 
 import (
@@ -34,6 +38,7 @@ import (
 	"ecvslrc/internal/apps"
 	"ecvslrc/internal/core"
 	"ecvslrc/internal/fabric"
+	"ecvslrc/internal/sim"
 	"ecvslrc/internal/sweep"
 )
 
@@ -54,6 +59,7 @@ func cli(args []string, stdout, stderr io.Writer) int {
 	preset := fs.String("preset", "", "add one named cost preset as a variant: "+strings.Join(fabric.PresetNames(), ", "))
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "max cells simulated concurrently (records are identical for any value)")
 	out := fs.String("out", "", "artifact directory (csv, jsonl, markdown, report); empty prints markdown to stdout")
+	timeout := fs.Float64("timeout", 0, "per-cell virtual-time watchdog in simulated seconds: stalled cells fail with a diagnostic instead of hanging the sweep (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -70,7 +76,10 @@ func cli(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	g := sweep.Grid{Parallel: *parallel}
+	if *timeout < 0 {
+		return usageFail("negative -timeout")
+	}
+	g := sweep.Grid{Parallel: *parallel, Timeout: sim.Time(*timeout * float64(sim.Second))}
 	switch *scale {
 	case "test":
 		g.Scale = apps.Test
@@ -131,8 +140,22 @@ func cli(args []string, stdout, stderr io.Writer) int {
 	g.Variants = vs
 
 	recs, err := sweep.Run(g)
-	if err != nil {
+	// Per-cell failures are not fatal to emission: the surviving records are
+	// written out, then the failed cells are listed and the exit code is 1.
+	var cellFailures *sweep.CellFailures
+	if err != nil && !errors.As(err, &cellFailures) {
 		return fail(err)
+	}
+	finish := func() int {
+		if cellFailures == nil {
+			return 0
+		}
+		fmt.Fprintf(stderr, "dsmsweep: %d of %d cells failed (partial results emitted):\n",
+			len(cellFailures.Errs), len(recs)+len(cellFailures.Errs))
+		for _, e := range cellFailures.Errs {
+			fmt.Fprintf(stderr, "  %v\n", e)
+		}
+		return 1
 	}
 
 	if *out == "" {
@@ -143,7 +166,7 @@ func cli(args []string, stdout, stderr io.Writer) int {
 		if err := sweep.WriteBaselineReport(stdout, recs, sweep.BaselineName); err != nil {
 			return fail(err)
 		}
-		return 0
+		return finish()
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		return fail(err)
@@ -174,7 +197,7 @@ func cli(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	fmt.Fprintf(stdout, "dsmsweep: %d records (%d variants) -> %s\n", len(recs), len(g.Variants), *out)
-	return 0
+	return finish()
 }
 
 func splitList(s string) []string {

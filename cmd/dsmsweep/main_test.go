@@ -28,7 +28,11 @@ func TestCLIExitCodes(t *testing.T) {
 		{"bad variant value", []string{"-variants", "detect=maybe"}, 2,
 			"invalid variant spec"},
 		{"bad preset", []string{"-preset", "quantum"}, 2, "unknown cost preset"},
+		{"bad fault preset", []string{"-variants", "fault=lossy"}, 2, "invalid variant spec"},
+		{"negative timeout", []string{"-timeout", "-1"}, 2, "negative -timeout"},
 		{"good run", []string{"-scale", "test", "-procs", "2", "-apps", "IS", "-impls", "LRC-time"}, 0, ""},
+		{"faulted run", []string{"-scale", "test", "-procs", "2", "-apps", "IS", "-impls", "LRC-time",
+			"-variants", "fault=drop1e-2", "-timeout", "3600"}, 0, ""},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -41,5 +45,26 @@ func TestCLIExitCodes(t *testing.T) {
 				t.Errorf("stderr %q does not contain %q", stderr.String(), tc.stderr)
 			}
 		})
+	}
+}
+
+// TestCLIPartialFailure drives the sweep with a watchdog so tight every cell
+// stalls: the CLI must still emit the (empty) report, list the failed cells
+// on stderr and exit 1 — the satellite contract for robust sweeps.
+func TestCLIPartialFailure(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := cli([]string{"-scale", "test", "-procs", "2", "-apps", "IS",
+		"-impls", "LRC-time", "-timeout", "0.000001"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "cells failed") {
+		t.Errorf("stderr does not list failed cells: %s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "watchdog") {
+		t.Errorf("stderr does not carry the stall diagnostic: %s", stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "Sensitivity") {
+		t.Errorf("partial failure suppressed report emission: %s", stdout.String())
 	}
 }

@@ -191,6 +191,11 @@ func (n *Node) NProcs() int { return n.Base.NProcs }
 // Model implements core.DSM.
 func (n *Node) Model() core.Model { return core.EC }
 
+// handle dispatches incoming protocol messages. All EC traffic rides the
+// shared lock/barrier kinds, and like syncmgr the handlers assume
+// exactly-once in-order delivery (see the syncmgr package doc): under a
+// fault plan the fabric's reliable sublayer restores that guarantee before
+// anything reaches here.
 func (n *Node) handle(hc *fabric.HandlerCtx, m fabric.Msg) {
 	if n.locks.Handle(hc, m) || n.bars.Handle(hc, m) {
 		return

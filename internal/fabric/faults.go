@@ -1,0 +1,493 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"ecvslrc/internal/sim"
+)
+
+// ErrFaultPlan is wrapped by every FaultPlan validation failure.
+var ErrFaultPlan = errors.New("invalid fault plan")
+
+// FaultPlan is a seeded description of how the network misbehaves. Every
+// per-frame fate (drop, duplicate, delay amount, ack loss) is a pure function
+// of (Seed, directed link, sequence number, attempt, virtual send time), so a
+// run under a given plan is bit-reproducible: the same (plan, program) pair
+// always drops the same frames at the same virtual instants, regardless of
+// host scheduling or worker count.
+//
+// Enabling any plan — even an all-zero-rate one — routes every message
+// through the reliable-delivery sublayer: per-link sequence numbers,
+// receiver-side dedup and reorder buffering, cumulative acks, and timeout
+// retransmission with exponential backoff. Protocol handlers therefore still
+// observe exactly-once, in-order delivery per directed link; only the timing
+// (and the traffic counters, which include retransmissions) changes.
+type FaultPlan struct {
+	// Seed keys the fault PRNG. Two runs with the same seed and rates make
+	// identical per-frame decisions.
+	Seed uint64
+	// Drop is the probability that one transmission attempt (data frame or
+	// ack) is lost before reaching the wire.
+	Drop float64
+	// Dup is the probability that a data-frame attempt is delivered twice
+	// (the copy arrives after an extra delay).
+	Dup float64
+	// Delay is the probability that an attempt is held back; a delayed frame
+	// arrives up to DelayMax late, which is also how reordering happens: a
+	// delayed frame can be overtaken by its successors on the same link.
+	Delay float64
+	// DelayMax bounds the injected extra latency. Defaults to 2 ms (about
+	// two round trips) when Delay > 0 and DelayMax is zero.
+	DelayMax sim.Time
+	// RTO is the base retransmission timeout, doubling per retry up to
+	// 16x. Defaults to 1 ms, several times the ack round trip, so spurious
+	// retransmissions are rare at low loss rates.
+	RTO sim.Time
+	// MaxRetries bounds retransmissions per frame; past it the run fails
+	// with a diagnostic (the plan is then not recoverable). Default 12.
+	MaxRetries int
+}
+
+// withDefaults returns the plan with zero-valued tuning knobs filled in.
+func (p FaultPlan) withDefaults() FaultPlan {
+	if p.RTO <= 0 {
+		p.RTO = sim.Millisecond
+	}
+	if p.MaxRetries <= 0 {
+		p.MaxRetries = 12
+	}
+	if p.DelayMax <= 0 {
+		p.DelayMax = 2 * sim.Millisecond
+	}
+	return p
+}
+
+// Validate checks the plan's rates and knobs, wrapping ErrFaultPlan.
+func (p FaultPlan) Validate() error {
+	check := func(name string, v float64) error {
+		if v < 0 || v > 1 {
+			return fmt.Errorf("fabric: %w: %s rate %v outside [0,1]", ErrFaultPlan, name, v)
+		}
+		return nil
+	}
+	if err := check("drop", p.Drop); err != nil {
+		return err
+	}
+	if err := check("dup", p.Dup); err != nil {
+		return err
+	}
+	if err := check("delay", p.Delay); err != nil {
+		return err
+	}
+	if p.Drop >= 1 {
+		return fmt.Errorf("fabric: %w: drop rate 1 loses every attempt (unrecoverable)", ErrFaultPlan)
+	}
+	if p.DelayMax < 0 || p.RTO < 0 {
+		return fmt.Errorf("fabric: %w: negative duration", ErrFaultPlan)
+	}
+	if p.MaxRetries < 0 {
+		return fmt.Errorf("fabric: %w: negative MaxRetries", ErrFaultPlan)
+	}
+	return nil
+}
+
+// FaultPresetNames lists the named fault plans, the fault-free one first.
+func FaultPresetNames() []string { return []string{"off", "drop1e-3", "drop1e-2", "chaos"} }
+
+// FaultPreset returns the named fault plan: "off" (nil — faults disabled),
+// "drop1e-3" and "drop1e-2" (pure loss at 0.1% and 1%), or "chaos" (loss,
+// duplication and delay combined). These are the plans the dsmsweep fault
+// axis and the CI chaos job run under.
+func FaultPreset(name string) (*FaultPlan, error) {
+	switch name {
+	case "off":
+		return nil, nil
+	case "drop1e-3":
+		return &FaultPlan{Seed: 1, Drop: 1e-3}, nil
+	case "drop1e-2":
+		return &FaultPlan{Seed: 1, Drop: 1e-2}, nil
+	case "chaos":
+		return &FaultPlan{Seed: 1, Drop: 5e-3, Dup: 5e-3, Delay: 2e-2, DelayMax: 2 * sim.Millisecond}, nil
+	}
+	return nil, fmt.Errorf("fabric: %w: unknown fault preset %q (known: %s)",
+		ErrFaultPlan, name, strings.Join(FaultPresetNames(), ", "))
+}
+
+// FaultStats counts what the fault layer did to one run's traffic. All
+// quantities are deterministic for a given (plan, program) pair.
+type FaultStats struct {
+	// Sent counts data frames entering the reliable sublayer (first
+	// attempts only; retransmissions are counted separately).
+	Sent int64
+	// Dropped counts lost data-frame transmission attempts.
+	Dropped int64
+	// Duplicated counts injected duplicate deliveries.
+	Duplicated int64
+	// Delayed counts attempts held back by the delay injector.
+	Delayed int64
+	// Retransmits counts timeout-driven retransmissions.
+	Retransmits int64
+	// DupsDropped counts frames the receiver discarded as duplicates
+	// (injected duplicates plus retransmissions of already-arrived frames).
+	DupsDropped int64
+	// OutOfOrder counts frames that arrived ahead of a gap and waited in the
+	// receiver's reorder buffer.
+	OutOfOrder int64
+	// Acks counts acknowledgement frames the receivers generated; AcksLost
+	// counts the ones the fault injector discarded.
+	Acks     int64
+	AcksLost int64
+	// RecoveryWait totals, over all delivered frames, how much later each
+	// was handed to its destination than its first attempt's fault-free
+	// arrival time — the virtual-time cost of loss recovery and reordering.
+	RecoveryWait sim.Time
+}
+
+// String renders the headline recovery counters.
+func (fs FaultStats) String() string {
+	return fmt.Sprintf("sent %d, dropped %d, dup %d, delayed %d, retransmits %d, dups-dropped %d, ooo %d, acks %d (lost %d), recovery wait %v",
+		fs.Sent, fs.Dropped, fs.Duplicated, fs.Delayed, fs.Retransmits,
+		fs.DupsDropped, fs.OutOfOrder, fs.Acks, fs.AcksLost, fs.RecoveryWait)
+}
+
+// PRNG purposes: every independent decision about the same attempt hashes a
+// distinct purpose constant, so fates never correlate.
+const (
+	pDrop = iota + 1
+	pDelayHit
+	pDelayAmt
+	pDup
+	pDupDelay
+	pAckDrop
+	pAckDelayHit
+	pAckDelayAmt
+)
+
+// mix64 is the SplitMix64 finalizer: a cheap, well-distributed 64-bit hash.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// relFrame is the sender-side record of one unacknowledged data frame.
+type relFrame struct {
+	msg     Msg
+	reply   bool
+	seq     uint32
+	attempt int
+	// nominal is the frame's fault-free arrival time (first attempt's send
+	// end plus wire latency); RecoveryWait accumulates deliveries past it.
+	nominal sim.Time
+}
+
+// heldFrame is one out-of-order frame parked in a receiver's reorder buffer.
+type heldFrame struct {
+	seq     uint32
+	msg     Msg
+	reply   bool
+	nominal sim.Time
+}
+
+// relLink is the reliable-delivery state of one directed link. The sender
+// half numbers outgoing frames and tracks the unacknowledged window; the
+// receiver half enforces exactly-once in-order delivery.
+type relLink struct {
+	sendSeq    uint32
+	unacked    map[uint32]*relFrame
+	deliverSeq uint32
+	held       []heldFrame // sorted by seq
+	ackDraw    uint32      // per-link counter salting ack fate draws
+}
+
+func (lk *relLink) holds(seq uint32) bool {
+	for i := range lk.held {
+		if lk.held[i].seq == seq {
+			return true
+		}
+	}
+	return false
+}
+
+// insert places hf into the reorder buffer, keeping it sorted by seq.
+func (lk *relLink) insert(hf heldFrame) {
+	i := sort.Search(len(lk.held), func(i int) bool { return lk.held[i].seq >= hf.seq })
+	lk.held = append(lk.held, heldFrame{})
+	copy(lk.held[i+1:], lk.held[i:])
+	lk.held[i] = hf
+}
+
+// faultState is the per-network fault injector plus reliable-delivery
+// sublayer. It exists only when EnableFaults was called; the fault-free path
+// costs one nil check in transmit and stays event-for-event identical to the
+// seed fabric. Unlike the fault-free path, the sublayer allocates (frames,
+// timers, buffers) — fault mode models robustness, not allocator pressure.
+type faultState struct {
+	n      *Network
+	plan   FaultPlan
+	nprocs int
+	links  []relLink // directed, indexed from*nprocs+to
+	stats  FaultStats
+}
+
+// roll returns a deterministic uniform draw in [0,1) for one decision about
+// one attempt: a pure function of (seed, purpose, virtual time, link, seq,
+// attempt), independent of host scheduling.
+func (fs *faultState) roll(purpose int, at sim.Time, from, to int, seq uint32, attempt int) float64 {
+	x := mix64(fs.plan.Seed ^ uint64(purpose)<<56)
+	x = mix64(x ^ uint64(at))
+	x = mix64(x ^ uint64(from)<<40 ^ uint64(to)<<20 ^ uint64(seq))
+	x = mix64(x ^ uint64(attempt))
+	return float64(x>>11) / (1 << 53)
+}
+
+// rto returns the retransmission timeout for the given attempt: the base RTO
+// doubling per retry, capped at 16x.
+func (fs *faultState) rto(attempt int) sim.Time {
+	shift := attempt
+	if shift > 4 {
+		shift = 4
+	}
+	return fs.plan.RTO << uint(shift)
+}
+
+func (fs *faultState) link(from, to int) *relLink { return &fs.links[from*fs.nprocs+to] }
+
+// send routes a freshly posted flight into the reliable sublayer: assign the
+// link's next sequence number, remember the frame until it is acked, and
+// launch the first transmission attempt.
+func (fs *faultState) send(sendEnd sim.Time, fl *flight) {
+	lk := fs.link(fl.msg.From, fl.msg.To)
+	fr := &relFrame{
+		msg:     fl.msg,
+		reply:   fl.reply,
+		seq:     lk.sendSeq,
+		nominal: sendEnd + fs.n.cm.WireLatency,
+	}
+	lk.sendSeq++
+	if lk.unacked == nil {
+		lk.unacked = make(map[uint32]*relFrame)
+	}
+	lk.unacked[fr.seq] = fr
+	fs.stats.Sent++
+	fs.attempt(sendEnd, fr, fl)
+}
+
+// attempt launches one transmission attempt of fr, deciding its fate with
+// the plan PRNG. fl, when non-nil, is the already-built flight to reuse for
+// this attempt (the first one); retransmissions pass nil and get a fresh
+// slot. Whatever the fate, a retransmission timer is armed: only an ack
+// cancels the frame.
+func (fs *faultState) attempt(sendEnd sim.Time, fr *relFrame, fl *flight) {
+	n := fs.n
+	from, to := fr.msg.From, fr.msg.To
+	if fl == nil {
+		fl = n.newFlight(fr.msg)
+		fl.reply = fr.reply
+	}
+	fl.rel = true
+	fl.seq = fr.seq
+	fl.nominal = fr.nominal
+
+	if fs.plan.Drop > 0 && fs.roll(pDrop, sendEnd, from, to, fr.seq, fr.attempt) < fs.plan.Drop {
+		fs.stats.Dropped++
+		n.tr.Drop(sendEnd, from, to, fr.msg.Kind, fr.attempt)
+		n.release(fl)
+	} else {
+		var delay sim.Time
+		if fs.plan.Delay > 0 && fs.roll(pDelayHit, sendEnd, from, to, fr.seq, fr.attempt) < fs.plan.Delay {
+			delay = 1 + sim.Time(fs.roll(pDelayAmt, sendEnd, from, to, fr.seq, fr.attempt)*float64(fs.plan.DelayMax))
+			fs.stats.Delayed++
+		}
+		fs.launch(sendEnd+delay, fl)
+		if fs.plan.Dup > 0 && fs.roll(pDup, sendEnd, from, to, fr.seq, fr.attempt) < fs.plan.Dup {
+			fs.stats.Duplicated++
+			dup := n.newFlight(fr.msg)
+			dup.reply = fr.reply
+			dup.rel = true
+			dup.seq = fr.seq
+			dup.nominal = fr.nominal
+			d2 := 1 + sim.Time(fs.roll(pDupDelay, sendEnd, from, to, fr.seq, fr.attempt)*float64(fs.plan.DelayMax))
+			fs.launch(sendEnd+d2, dup)
+		}
+	}
+	n.sim.ScheduleTimer(sendEnd+fs.rto(fr.attempt), &retryTimer{fs: fs, from: from, to: to, seq: fr.seq})
+}
+
+// launch puts an attempt on the wire at time at: straight to arrival without
+// contention, or through the shared-link claim stage with it — the same two
+// event shapes as the fault-free fabric.
+func (fs *faultState) launch(at sim.Time, fl *flight) {
+	n := fs.n
+	if !n.contention {
+		n.sim.ScheduleTimer(at+n.cm.WireLatency, fl)
+		return
+	}
+	fl.claim = true
+	n.sim.ScheduleTimer(at, fl)
+}
+
+// retryTimer fires the retransmission check for one frame. A timer is armed
+// per attempt and simply does nothing when the frame was acked meanwhile.
+type retryTimer struct {
+	fs       *faultState
+	from, to int
+	seq      uint32
+}
+
+// Fire retransmits the frame if it is still unacknowledged: the sender's CPU
+// is charged for the repeated programmed I/O (landing in virtual time whether
+// the sender is computing or blocked), the traffic counters grow like any
+// real resend, and the next attempt is launched with a doubled timeout.
+func (rt *retryTimer) Fire(at sim.Time) {
+	fs := rt.fs
+	lk := fs.link(rt.from, rt.to)
+	fr := lk.unacked[rt.seq]
+	if fr == nil {
+		return // acked; the timer outlived its frame
+	}
+	if fr.attempt >= fs.plan.MaxRetries {
+		panic(fmt.Sprintf("fabric: reliable delivery gave up: %d->%d seq %d (kind %d) unacked after %d attempts",
+			rt.from, rt.to, rt.seq, fr.msg.Kind, fr.attempt+1))
+	}
+	fr.attempt++
+	fs.stats.Retransmits++
+	n := fs.n
+	total := n.account(rt.from, fr.msg.Size)
+	n.tr.Retransmit(at, rt.from, rt.to, fr.msg.Kind, fr.attempt)
+	cost := n.cm.MsgCost(total)
+	n.procs[rt.from].InjectWork(cost)
+	fs.attempt(at+cost, fr, nil)
+}
+
+// arrive handles a reliable-sublayer frame reaching its destination: discard
+// duplicates, park out-of-order frames, deliver in-order ones (draining the
+// reorder buffer behind them), and ack what we have so the sender's
+// retransmission clock stops.
+func (fs *faultState) arrive(fl *flight, at sim.Time) {
+	n := fs.n
+	m := fl.msg
+	from, to, seq := m.From, m.To, fl.seq
+	lk := fs.link(from, to)
+	switch {
+	case seq < lk.deliverSeq || lk.holds(seq):
+		fs.stats.DupsDropped++
+		n.tr.DupDrop(at, from, to, m.Kind)
+		n.release(fl)
+	case seq != lk.deliverSeq:
+		fs.stats.OutOfOrder++
+		lk.insert(heldFrame{seq: seq, msg: m, reply: fl.reply, nominal: fl.nominal})
+		n.release(fl)
+	default:
+		lk.deliverSeq++
+		fs.deliver(fl, at)
+		for len(lk.held) > 0 && lk.held[0].seq == lk.deliverSeq {
+			hf := lk.held[0]
+			copy(lk.held, lk.held[1:])
+			lk.held = lk.held[:len(lk.held)-1]
+			lk.deliverSeq++
+			nfl := n.newFlight(hf.msg)
+			nfl.reply = hf.reply
+			nfl.nominal = hf.nominal
+			fs.deliver(nfl, at)
+		}
+	}
+	// The ack carries the link's updated cumulative edge plus the specific
+	// sequence that just arrived (so a buffered out-of-order frame is acked
+	// too, stopping its retransmission).
+	fs.sendAck(at, from, to, seq)
+}
+
+// deliver hands one in-order frame to its destination — the handler for
+// requests, the waiting caller for replies — accounting the recovery delay
+// against the frame's fault-free arrival time.
+func (fs *faultState) deliver(fl *flight, at sim.Time) {
+	if at > fl.nominal {
+		fs.stats.RecoveryWait += at - fl.nominal
+	}
+	fl.rel = false
+	fl.Fire(at)
+}
+
+// ackTimer is one in-flight acknowledgement for the data link from->to:
+// below is the receiver's cumulative delivery edge (everything before it has
+// been delivered), got the specific sequence that triggered the ack.
+type ackTimer struct {
+	fs       *faultState
+	from, to int
+	below    uint32
+	got      uint32
+}
+
+// Fire lands the ack at the data sender: every frame covered by it leaves
+// the unacked window, so its pending retransmission timers become no-ops.
+func (ak *ackTimer) Fire(at sim.Time) {
+	fs := ak.fs
+	lk := fs.link(ak.from, ak.to)
+	fs.n.tr.Ack(at, ak.to, ak.from, int(ak.got))
+	for seq := range lk.unacked {
+		if seq < ak.below || seq == ak.got {
+			delete(lk.unacked, seq)
+		}
+	}
+}
+
+// sendAck emits the acknowledgement for a frame that just arrived on the
+// data link from->to. Acks are NIC-level control frames: they consume no
+// processor CPU and no sequence numbers, travel back after one wire latency,
+// are subject to the same loss and delay injection as data (a lost ack is
+// repaired by the data retransmission provoking a fresh one), and are
+// idempotent, so they need no reliability of their own.
+func (fs *faultState) sendAck(at sim.Time, from, to int, got uint32) {
+	lk := fs.link(from, to)
+	fs.stats.Acks++
+	lk.ackDraw++
+	draw := lk.ackDraw
+	if fs.plan.Drop > 0 && fs.roll(pAckDrop, at, from, to, got, int(draw)) < fs.plan.Drop {
+		fs.stats.AcksLost++
+		return
+	}
+	var delay sim.Time
+	if fs.plan.Delay > 0 && fs.roll(pAckDelayHit, at, from, to, got, int(draw)) < fs.plan.Delay {
+		delay = 1 + sim.Time(fs.roll(pAckDelayAmt, at, from, to, got, int(draw))*float64(fs.plan.DelayMax))
+	}
+	fs.n.sim.ScheduleTimer(at+fs.n.cm.WireLatency+delay,
+		&ackTimer{fs: fs, from: from, to: to, below: lk.deliverSeq, got: got})
+}
+
+// EnableFaults switches the network onto the seeded fault plan and enables
+// the reliable-delivery sublayer for every directed link. Must be called
+// before the simulation starts. The plan is validated and normalized
+// (defaults filled in); with faults off the fabric stays event-for-event
+// identical to the fault-free seed.
+func (n *Network) EnableFaults(plan FaultPlan) error {
+	if err := plan.Validate(); err != nil {
+		return err
+	}
+	np := len(n.procs)
+	n.faults = &faultState{
+		n:      n,
+		plan:   plan.withDefaults(),
+		nprocs: np,
+		links:  make([]relLink, np*np),
+	}
+	return nil
+}
+
+// FaultsEnabled reports whether a fault plan is active.
+func (n *Network) FaultsEnabled() bool { return n.faults != nil }
+
+// FaultStats returns the fault-injection and recovery counters (zero-valued
+// with faults off).
+func (n *Network) FaultStats() FaultStats {
+	if n.faults == nil {
+		return FaultStats{}
+	}
+	return n.faults.stats
+}

@@ -53,6 +53,14 @@ type flight struct {
 	msg   Msg
 	reply bool // deliver to the request's waiter instead of the handler
 	claim bool // contention: the next Fire claims the shared link first
+
+	// Reliable-sublayer fields, used only when a fault plan is active (see
+	// faults.go): rel routes the arrival through the receiver's dedup and
+	// reorder logic, seq is the frame's per-link sequence number, nominal its
+	// fault-free arrival time (for recovery-wait accounting).
+	rel     bool
+	seq     uint32
+	nominal sim.Time
 }
 
 // Fire advances the flight one stage: claim the shared link (contention
@@ -72,6 +80,12 @@ func (fl *flight) Fire(at sim.Time) {
 		}
 		n.linkFree = start + sim.Time(fl.msg.Size+MsgHeader)*n.cm.LinkPerByte
 		n.sim.ScheduleTimer(n.linkFree+n.cm.WireLatency, fl)
+		return
+	}
+	if fl.rel {
+		// Fault mode: the arrival passes through the reliable sublayer
+		// (dedup, reorder buffer, ack) before reaching the handler or waiter.
+		n.faults.arrive(fl, at)
 		return
 	}
 	if fl.reply {
@@ -122,6 +136,11 @@ type Network struct {
 	contention bool
 	linkFree   sim.Time
 	linkWait   sim.Time
+
+	// faults, when non-nil, is the seeded fault injector plus the
+	// reliable-delivery sublayer (see faults.go and EnableFaults). The
+	// fault-free path costs one nil check in transmit.
+	faults *faultState
 }
 
 // New returns a network over s for nprocs processors using cost model cm.
@@ -178,6 +197,7 @@ func (n *Network) release(fl *flight) {
 	to := fl.msg.To
 	fl.msg = Msg{}
 	fl.reply, fl.claim = false, false
+	fl.rel, fl.seq, fl.nominal = false, 0, 0
 	n.links[to].free = append(n.links[to].free, fl)
 }
 
@@ -189,6 +209,10 @@ func (n *Network) release(fl *flight) {
 // events — holds it for (size+header)*LinkPerByte, and only then starts its
 // WireLatency.
 func (n *Network) transmit(sendEnd sim.Time, fl *flight) {
+	if n.faults != nil {
+		n.faults.send(sendEnd, fl)
+		return
+	}
 	if !n.contention {
 		n.sim.ScheduleTimer(sendEnd+n.cm.WireLatency, fl)
 		return

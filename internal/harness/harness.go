@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -42,6 +43,13 @@ type Config struct {
 	// traced table runs; the per-cell traces themselves are discarded by the
 	// table entry points (use run.Options.Trace directly to keep one).
 	Trace bool
+	// Faults injects the given seeded fault plan into every cell's fabric
+	// (see fabric.FaultPlan). nil reproduces the fault-free run bit-exactly.
+	Faults *fabric.FaultPlan
+	// Timeout arms the simulator watchdog in every cell: a cell whose
+	// virtual clock would pass Timeout fails with a sim.Stalled diagnostic
+	// naming the blocked processes instead of running forever. 0 disables.
+	Timeout sim.Time
 }
 
 // ErrConfig is wrapped by every Config validation failure.
@@ -57,6 +65,14 @@ func (cfg Config) Validate() error {
 	case apps.Test, apps.Bench, apps.Paper:
 	default:
 		return fmt.Errorf("harness: %w: unknown scale %d", ErrConfig, int(cfg.Scale))
+	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(); err != nil {
+			return fmt.Errorf("harness: %w: %v", ErrConfig, err)
+		}
+	}
+	if cfg.Timeout < 0 {
+		return fmt.Errorf("harness: %w: negative timeout %v", ErrConfig, cfg.Timeout)
 	}
 	return nil
 }
@@ -79,15 +95,29 @@ func (cfg Config) parallelism() int {
 // but every index completes before ForEach returns, so callers assemble
 // deterministic output regardless of par. The sweep engine reuses this pool
 // for its grid cells.
-func ForEach(par, n int, fn func(int)) {
+//
+// A panic in fn(i) is confined to that index: the worker recovers, records
+// the panic (with its stack) against i, and moves on, so one poisoned cell
+// cannot take down the rest of a table or sweep. The recovered panics are
+// returned joined in index order; nil means every index completed normally.
+func ForEach(par, n int, fn func(int)) error {
+	errs := make([]error, n)
+	call := func(i int) {
+		defer func() {
+			if v := recover(); v != nil {
+				errs[i] = fmt.Errorf("harness: cell %d panicked: %v\n%s", i, v, debug.Stack())
+			}
+		}()
+		fn(i)
+	}
 	if par > n {
 		par = n
 	}
 	if par <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			call(i)
 		}
-		return
+		return errors.Join(errs...)
 	}
 	next := make(chan int)
 	var wg sync.WaitGroup
@@ -96,7 +126,7 @@ func ForEach(par, n int, fn func(int)) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				fn(i)
+				call(i)
 			}
 		}()
 	}
@@ -105,6 +135,7 @@ func ForEach(par, n int, fn func(int)) {
 	}
 	close(next)
 	wg.Wait()
+	return errors.Join(errs...)
 }
 
 // Row is the outcome of one (application, implementation) cell.
@@ -176,25 +207,59 @@ func cellOptions(cfg Config, app string) (run.Options, error) {
 	if ent.err != nil {
 		return run.Options{}, ent.err
 	}
-	opts := run.Options{Contention: cfg.Contention, InitImage: ent.im, Layout: ent.al}
+	opts := run.Options{
+		Contention: cfg.Contention,
+		InitImage:  ent.im,
+		Layout:     ent.al,
+		Faults:     cfg.Faults,
+		Timeout:    cfg.Timeout,
+	}
 	if cfg.Trace {
 		opts.Trace = trace.New(cfg.NProcs)
 	}
 	return opts, nil
 }
 
-// RunCell executes one cell of the evaluation matrix.
-func RunCell(cfg Config, app string, impl core.Impl) Row {
+// CellPanic is the structured error a cell reports when its run panics. The
+// panic is confined to the cell — the rest of the table or sweep completes —
+// and the error carries the full cell identity plus the recovered value and
+// stack, so a crashing configuration is diagnosable from the report alone.
+type CellPanic struct {
+	App    string
+	Impl   core.Impl
+	NProcs int
+	Value  any    // the recovered panic value
+	Stack  []byte // stack captured at recovery
+}
+
+func (cp *CellPanic) Error() string {
+	return fmt.Sprintf("harness: cell %s/%v (%d procs) panicked: %v\n%s",
+		cp.App, cp.Impl, cp.NProcs, cp.Value, cp.Stack)
+}
+
+// RunCell executes one cell of the evaluation matrix. A panic anywhere in the
+// cell's run is recovered into a *CellPanic in Row.Err rather than crashing
+// the caller.
+func RunCell(cfg Config, app string, impl core.Impl) (row Row) {
+	row = Row{App: app, Impl: impl}
+	defer func() {
+		if v := recover(); v != nil {
+			row.Err = &CellPanic{App: app, Impl: impl, NProcs: cfg.NProcs, Value: v, Stack: debug.Stack()}
+		}
+	}()
 	a, err := apps.New(app, cfg.Scale)
 	if err != nil {
-		return Row{App: app, Impl: impl, Err: err}
+		row.Err = err
+		return row
 	}
 	opts, err := cellOptions(cfg, app)
 	if err != nil {
-		return Row{App: app, Impl: impl, Err: err}
+		row.Err = err
+		return row
 	}
 	res, err := run.RunWith(a, impl, cfg.NProcs, cfg.Cost, opts)
-	return Row{App: app, Impl: impl, Result: res, Err: err}
+	row.Result, row.Err = res, err
+	return row
 }
 
 // RunSeq executes the sequential reference of one application.
@@ -271,7 +336,7 @@ func Table3(cfg Config, appNames []string) ([]Table3Result, error) {
 	seqTimes := make([]sim.Time, len(appNames))
 	seqErrs := make([]error, len(appNames))
 	rows := make([]Row, len(appNames)*len(impls))
-	ForEach(cfg.parallelism(), len(appNames)*stride, func(k int) {
+	poolErr := ForEach(cfg.parallelism(), len(appNames)*stride, func(k int) {
 		app := appNames[k/stride]
 		j := k % stride
 		if j == 0 {
@@ -280,17 +345,27 @@ func Table3(cfg Config, appNames []string) ([]Table3Result, error) {
 		}
 		rows[(k/stride)*len(impls)+j-1] = RunCell(cfg, app, impls[j-1])
 	})
-	var out []Table3Result
+	// Collect every failed cell before giving up, so one bad configuration
+	// reports the whole damage, not just its first victim.
+	errs := []error{poolErr}
 	for i, name := range appNames {
 		if seqErrs[i] != nil {
-			return nil, fmt.Errorf("harness: %s sequential: %w", name, seqErrs[i])
+			errs = append(errs, fmt.Errorf("harness: %s sequential: %w", name, seqErrs[i]))
 		}
+		for j := range impls {
+			if err := rows[i*len(impls)+j].Err; err != nil {
+				errs = append(errs, fmt.Errorf("harness: %s/%v: %w", name, impls[j], err))
+			}
+		}
+	}
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	var out []Table3Result
+	for i, name := range appNames {
 		r := Table3Result{App: name, SeqTime: seqTimes[i]}
 		for j := range impls {
 			row := rows[i*len(impls)+j]
-			if row.Err != nil {
-				return nil, row.Err
-			}
 			if impls[j].Model == core.EC {
 				r.ECImpls = append(r.ECImpls, row)
 			} else {
@@ -338,18 +413,29 @@ func implSuffix(i core.Impl) string {
 func TableModel(cfg Config, model core.Model, appNames []string) (map[string][]Row, error) {
 	impls := core.ModelImpls(model)
 	rows := make([]Row, len(appNames)*len(impls))
-	ForEach(cfg.parallelism(), len(rows), func(k int) {
+	poolErr := ForEach(cfg.parallelism(), len(rows), func(k int) {
 		rows[k] = RunCell(cfg, appNames[k/len(impls)], impls[k%len(impls)])
 	})
+	if err := errors.Join(append([]error{poolErr}, rowErrs(rows)...)...); err != nil {
+		return nil, err
+	}
 	out := make(map[string][]Row)
 	for k, row := range rows {
-		if row.Err != nil {
-			return nil, row.Err
-		}
 		name := appNames[k/len(impls)]
 		out[name] = append(out[name], row)
 	}
 	return out, nil
+}
+
+// rowErrs gathers the errors of all failed rows, wrapped with cell identity.
+func rowErrs(rows []Row) []error {
+	var errs []error
+	for _, row := range rows {
+		if row.Err != nil {
+			errs = append(errs, fmt.Errorf("harness: %s/%v: %w", row.App, row.Impl, row.Err))
+		}
+	}
+	return errs
 }
 
 // FormatTableModel renders Table 4 or Table 5.
@@ -403,14 +489,14 @@ func Micro(cfg Config) (map[string][]Row, error) {
 	names := apps.MicroNames()
 	impls := core.Implementations()
 	rows := make([]Row, len(names)*len(impls))
-	ForEach(cfg.parallelism(), len(rows), func(k int) {
+	poolErr := ForEach(cfg.parallelism(), len(rows), func(k int) {
 		rows[k] = RunCell(cfg, names[k/len(impls)], impls[k%len(impls)])
 	})
+	if err := errors.Join(append([]error{poolErr}, rowErrs(rows)...)...); err != nil {
+		return nil, err
+	}
 	out := make(map[string][]Row)
 	for k, row := range rows {
-		if row.Err != nil {
-			return nil, row.Err
-		}
 		name := names[k/len(impls)]
 		out[name] = append(out[name], row)
 	}

@@ -257,6 +257,11 @@ func (n *Node) Barrier(b core.BarrierID) {
 	n.bars.Wait(b)
 }
 
+// handle dispatches incoming protocol messages. Like syncmgr's handlers,
+// these assume exactly-once in-order delivery (see the syncmgr package doc);
+// under a fault plan the fabric's reliable sublayer restores that guarantee.
+// handleFetch in particular is not idempotent: a replayed fetch request
+// would charge the owner's CPU and the link twice for the same page.
 func (n *Node) handle(hc *fabric.HandlerCtx, m fabric.Msg) {
 	if n.locks.Handle(hc, m) || n.bars.Handle(hc, m) {
 		return

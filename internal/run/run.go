@@ -100,6 +100,21 @@ type Options struct {
 	// is observation-only — the simulated statistics are bit-identical with
 	// and without it. The tracer must be fresh and sized for nprocs.
 	Trace *trace.Tracer
+	// Faults, when non-nil, runs the fabric under the seeded fault plan with
+	// the reliable-delivery sublayer enabled (fabric.EnableFaults): messages
+	// are dropped, duplicated and delayed per the plan, and recovered via
+	// sequence numbers, acks and retransmission — all in virtual time, so
+	// the recovery cost lands in the run's statistics. Nil reproduces the
+	// fault-free fabric bit-exactly.
+	Faults *fabric.FaultPlan
+	// Timeout, when > 0, arms the simulator's virtual-time watchdog: a run
+	// whose clock would pass this limit fails with a sim.Stalled error
+	// naming every blocked process, instead of running unbounded.
+	Timeout sim.Time
+	// KeepImage asks for a copy of processor 0's final memory image in
+	// Result.Image (after verification). Equivalence tests use it to compare
+	// final images across fault plans.
+	KeepImage bool
 }
 
 // node is the common view of ec.Node and lrc.Node the runner needs.
@@ -119,6 +134,12 @@ type Result struct {
 	// shared link over the whole run (always zero with contention off) —
 	// the direct measure of what contention mode models.
 	LinkWait sim.Time
+	// Faults holds the fault-injection and recovery counters (zero-valued
+	// unless Options.Faults was set).
+	Faults fabric.FaultStats
+	// Image is a copy of processor 0's final memory image, present only when
+	// Options.KeepImage was set.
+	Image []byte
 }
 
 // Run executes app on nprocs processors under the given implementation and
@@ -142,6 +163,14 @@ func RunWith(app App, impl core.Impl, nprocs int, cm fabric.CostModel, opts Opti
 	net := fabric.New(s, cm, nprocs)
 	if opts.Contention {
 		net.EnableContention()
+	}
+	if opts.Faults != nil {
+		if err := net.EnableFaults(*opts.Faults); err != nil {
+			return Result{}, fmt.Errorf("run: %s: %w", app.Name(), err)
+		}
+	}
+	if opts.Timeout > 0 {
+		s.SetWatchdog(opts.Timeout)
 	}
 	if opts.Trace != nil {
 		if opts.Trace.NProcs() != nprocs {
@@ -205,7 +234,7 @@ func RunWith(app App, impl core.Impl, nprocs int, cm fabric.CostModel, opts Opti
 		return Result{}, fmt.Errorf("run: %s on %v: %w", app.Name(), impl, err)
 	}
 
-	res := Result{App: app.Name(), Impl: impl, NProcs: nprocs, LinkWait: net.LinkWait()}
+	res := Result{App: app.Name(), Impl: impl, NProcs: nprocs, LinkWait: net.LinkWait(), Faults: net.FaultStats()}
 	for i, n := range nodes {
 		w, ok := n.Window()
 		if !ok {
@@ -239,6 +268,9 @@ func RunWith(app App, impl core.Impl, nprocs int, cm fabric.CostModel, opts Opti
 
 	if err := app.Verify(images[0]); err != nil {
 		return Result{}, fmt.Errorf("run: %s on %v: verification: %w", app.Name(), impl, err)
+	}
+	if opts.KeepImage {
+		res.Image = append([]byte(nil), images[0].Bytes()...)
 	}
 	// The nodes are dead past this point: recycle the private images (several
 	// MB each at paper scale) for the next cell.

@@ -112,6 +112,13 @@ type Simulator struct {
 	yield   chan struct{} // killed process -> killBlocked: unwound, baton back
 	failure error         // first panic captured from a process
 	stopped bool
+
+	// watchdog, when > 0, is the virtual-time horizon past which the run is
+	// declared stalled: the first event scheduled beyond it stops the loop
+	// and Run returns a *Stalled naming every blocked process. watchdogHit
+	// records that the horizon fired.
+	watchdog    Time
+	watchdogHit bool
 }
 
 // New returns an empty simulator at time zero.
@@ -126,6 +133,14 @@ func (s *Simulator) Now() Time { return s.now }
 // called before Run; the probe only records, so probed runs are bit-identical
 // to unprobed ones.
 func (s *Simulator) SetProbe(p Probe) { s.probe = p }
+
+// SetWatchdog arms the virtual-time watchdog: if the simulation is about to
+// advance past limit, the run stops and Run returns a *Stalled error naming
+// every still-blocked process and what it waits on. Events at exactly limit
+// still fire. Zero disables the watchdog (the default). A watchdog bounds
+// livelocks and pathological slowdowns the plain deadlock detector cannot
+// see, because in those the event queue never drains.
+func (s *Simulator) SetWatchdog(limit Time) { s.watchdog = limit }
 
 // Procs returns the processes spawned so far, in spawn order.
 func (s *Simulator) Procs() []*Proc { return s.procs }
@@ -222,6 +237,12 @@ func (s *Simulator) step() (next *Proc) {
 		}
 	}
 	for s.pending() && s.failure == nil && !s.stopped {
+		if s.watchdog > 0 && s.peek().at > s.watchdog {
+			// The next event lies beyond the watchdog horizon: declare the
+			// run stalled without advancing the clock past the limit.
+			s.watchdogHit = true
+			return nil
+		}
 		ev := s.pop()
 		s.now = ev.at
 		if p := s.dispatch(&ev); p != nil {
@@ -393,6 +414,22 @@ func (d *Deadlock) Error() string {
 	return fmt.Sprintf("sim: deadlock at %v: blocked: %v", d.At, d.Blocked)
 }
 
+// Stalled is returned by Run when the virtual-time watchdog (SetWatchdog)
+// fires: the simulation was about to advance past the limit with work still
+// pending. Blocked lists every unfinished process with its wait reason
+// (lock, barrier, page fetch, ...), same format as Deadlock.
+type Stalled struct {
+	Limit   Time
+	At      Time     // virtual time reached when the watchdog fired
+	Blocked []string // names of the unfinished processes with wait reasons
+}
+
+// Error names the limit and every process still waiting when it fired.
+func (st *Stalled) Error() string {
+	return fmt.Sprintf("sim: watchdog: no progress past %v (stopped at %v): blocked: %v",
+		st.Limit, st.At, st.Blocked)
+}
+
 // Run drives the simulation until the event queue is empty or a process
 // panics. It returns nil when every spawned process has finished, a *Deadlock
 // if some are still blocked, or the captured panic as an error.
@@ -419,6 +456,9 @@ func (s *Simulator) Run() error {
 	s.killBlocked()
 	if s.failure != nil {
 		return s.failure
+	}
+	if s.watchdogHit {
+		return &Stalled{Limit: s.watchdog, At: s.now, Blocked: blocked}
 	}
 	if len(blocked) > 0 && !s.stopped {
 		return &Deadlock{At: s.now, Blocked: blocked}

@@ -172,6 +172,77 @@ func TestDeadlockDetection(t *testing.T) {
 	}
 }
 
+// TestWatchdogStallsLongRun pins the watchdog contract: a run whose clock
+// would pass the limit stops with a *Stalled naming the blocked processes
+// (here: one sleeper mid-sleep, one process parked forever), without
+// advancing past the limit.
+func TestWatchdogStallsLongRun(t *testing.T) {
+	s := New()
+	s.SetWatchdog(50 * Microsecond)
+	s.Spawn("sleeper", func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			p.Sleep(10 * Microsecond)
+		}
+	})
+	s.Spawn("parked", func(p *Proc) {
+		p.Park("a grant that never comes")
+	})
+	err := s.Run()
+	st, ok := err.(*Stalled)
+	if !ok {
+		t.Fatalf("err = %v, want *Stalled", err)
+	}
+	if st.Limit != 50*Microsecond {
+		t.Errorf("Limit = %v, want 50µs", st.Limit)
+	}
+	if st.At > 50*Microsecond {
+		t.Errorf("stopped at %v, past the %v limit", st.At, st.Limit)
+	}
+	if len(st.Blocked) != 2 {
+		t.Errorf("blocked = %v, want both processes", st.Blocked)
+	}
+	found := false
+	for _, b := range st.Blocked {
+		if strings.Contains(b, "a grant that never comes") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("blocked list does not name the wait reason: %v", st.Blocked)
+	}
+}
+
+// TestWatchdogAboveFinishIsInert pins the zero-overhead requirement: a
+// watchdog the run never reaches changes neither the result nor the timing.
+func TestWatchdogAboveFinishIsInert(t *testing.T) {
+	runIt := func(limit Time) (Time, error) {
+		s := New()
+		if limit > 0 {
+			s.SetWatchdog(limit)
+		}
+		var end Time
+		s.Spawn("worker", func(p *Proc) {
+			for i := 0; i < 10; i++ {
+				p.Sleep(10 * Microsecond)
+			}
+			end = p.Now()
+		})
+		err := s.Run()
+		return end, err
+	}
+	plain, err := runIt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guarded, err := runIt(Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != guarded {
+		t.Errorf("watchdog changed the finish time: %v vs %v", plain, guarded)
+	}
+}
+
 func TestPanicPropagates(t *testing.T) {
 	s := New()
 	s.Spawn("boom", func(p *Proc) {

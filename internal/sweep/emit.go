@@ -16,6 +16,7 @@ var csvHeader = []string{
 	"msgs", "bytes", "faults", "access_misses",
 	"lock_acquires", "read_lock_acquires", "remote_acquires", "barriers",
 	"diffs_created", "twins_made", "stamp_runs_sent", "link_wait_sec",
+	"fault", "retransmits", "dups_dropped", "recovery_wait_sec",
 }
 
 // WriteCSV emits one flat row per record, in record order.
@@ -46,6 +47,10 @@ func WriteCSV(w io.Writer, recs []Record) error {
 			strconv.FormatInt(r.Stats.TwinsMade, 10),
 			strconv.FormatInt(r.Stats.StampRunsSent, 10),
 			fmt.Sprintf("%.6f", r.LinkWait.Seconds()),
+			faultLabel(r),
+			strconv.FormatInt(r.Retransmits, 10),
+			strconv.FormatInt(r.DupsDropped, 10),
+			fmt.Sprintf("%.6f", r.RecoveryWait.Seconds()),
 		}
 		if err := cw.Write(row); err != nil {
 			return fmt.Errorf("sweep: csv: %w", err)
@@ -136,8 +141,55 @@ func WriteBaselineReport(w io.Writer, recs []Record, baseline string) error {
 			r.App, r.Impl, r.NProcs, b.Stats.Time.Seconds(), r.Stats.Time.Seconds(),
 			delta, b.Speedup, r.Speedup)
 	}
+	writeFaultDegradation(bw, recs, baseline)
 	writeVerdictFlips(bw, recs, baseline)
 	return bw.err
+}
+
+// faultLabel canonicalizes a record's fault column for reports: "off" for
+// fault-free records (whose Fault field is empty so it stays out of JSON).
+func faultLabel(r Record) string {
+	if r.Fault == "" {
+		return "off"
+	}
+	return r.Fault
+}
+
+// writeFaultDegradation renders the lossy-network degradation table: every
+// faulted cell against its baseline counterpart, with the recovery traffic
+// and the virtual time the reliable sublayer spent waiting. Silent when the
+// sweep has no faulted records.
+func writeFaultDegradation(bw *errWriter, recs []Record, baseline string) {
+	type cellKey struct {
+		app    string
+		impl   string
+		nprocs int
+	}
+	base := make(map[cellKey]Record)
+	for _, r := range recs {
+		if r.Variant == baseline {
+			base[cellKey{r.App, r.Impl, r.NProcs}] = r
+		}
+	}
+	wrote := false
+	for _, r := range recs {
+		if r.Fault == "" {
+			continue
+		}
+		b, ok := base[cellKey{r.App, r.Impl, r.NProcs}]
+		if !ok {
+			continue
+		}
+		if !wrote {
+			wrote = true
+			bw.printf("\n## Fault degradation vs `%s`\n\n", baseline)
+			bw.printf("| Variant | App | Impl | Procs | Δ time | Retransmits | Dups dropped | Recovery wait (s) |\n")
+			bw.printf("|---|---|---|---:|---:|---:|---:|---:|\n")
+		}
+		delta := 100 * (float64(r.Stats.Time) - float64(b.Stats.Time)) / float64(b.Stats.Time)
+		bw.printf("| %s | %s | %s | %d | %+.1f%% | %d | %d | %.4f |\n",
+			r.Variant, r.App, r.Impl, r.NProcs, delta, r.Retransmits, r.DupsDropped, r.RecoveryWait.Seconds())
+	}
 }
 
 // writeVerdictFlips reports where a variant changes the paper's headline

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 
 	"ecvslrc/internal/apps"
 	"ecvslrc/internal/core"
@@ -21,12 +22,18 @@ import (
 	"ecvslrc/internal/sim"
 )
 
-// Variant is one cost-model point of a sweep: a name for reports, the
-// platform constants, and whether shared-link contention is modeled.
+// Variant is one platform point of a sweep: a name for reports, the cost
+// constants, whether shared-link contention is modeled, and the fault plan
+// injected into the fabric (nil runs fault-free).
 type Variant struct {
 	Name       string
 	Cost       fabric.CostModel
 	Contention bool
+	// Fault is the fault-plan preset name ("" or "off" means fault-free);
+	// Faults is the plan itself. ParseVariantSpec fills both from the fault
+	// axis; programmatic callers may set Faults alone.
+	Fault  string
+	Faults *fabric.FaultPlan
 }
 
 // BaselineName is the canonical name of the calibrated paper platform.
@@ -49,6 +56,10 @@ type Grid struct {
 	// records are assembled in grid order, so results are identical for any
 	// worker count. <= 0 means GOMAXPROCS.
 	Parallel int
+	// Timeout arms the simulator watchdog in every cell (see
+	// harness.Config.Timeout): a cell whose virtual clock would pass it fails
+	// with a sim.Stalled diagnostic instead of hanging the sweep. 0 disables.
+	Timeout sim.Time
 }
 
 // ErrGrid is wrapped by every Grid validation failure.
@@ -87,6 +98,14 @@ func (g Grid) normalized() (Grid, error) {
 			return g, fmt.Errorf("sweep: %w: duplicate variant %q", ErrGrid, v.Name)
 		}
 		seen[v.Name] = true
+		if v.Faults != nil {
+			if err := v.Faults.Validate(); err != nil {
+				return g, fmt.Errorf("sweep: %w: variant %q: %v", ErrGrid, v.Name, err)
+			}
+		}
+	}
+	if g.Timeout < 0 {
+		return g, fmt.Errorf("sweep: %w: negative timeout %v", ErrGrid, g.Timeout)
 	}
 	cfg := harness.Config{Scale: g.Scale, NProcs: g.NProcs[0], Cost: fabric.DefaultCostModel()}
 	if err := cfg.Validate(); err != nil {
@@ -111,13 +130,43 @@ type Record struct {
 	// LinkWait is the total shared-link queueing delay of the run — the
 	// quantity contention mode exists to measure (zero with contention off).
 	LinkWait sim.Time `json:"link_wait_ns"`
+	// Fault names the variant's fault-plan preset; the counters below come
+	// from the reliable sublayer. All stay at their zero values (and out of
+	// the JSON) for fault-free variants, keeping fault-free output identical
+	// to sweeps that predate fault injection.
+	Fault        string   `json:"fault,omitempty"`
+	Retransmits  int64    `json:"retransmits,omitempty"`
+	DupsDropped  int64    `json:"dups_dropped,omitempty"`
+	RecoveryWait sim.Time `json:"recovery_wait_ns,omitempty"`
 }
+
+// CellFailures aggregates every failed cell of a sweep, in grid order. Run
+// returns it together with the records of the cells that did succeed, so
+// callers can emit partial results and still exit nonzero with the full list
+// of casualties.
+type CellFailures struct {
+	Errs []error
+}
+
+func (cf *CellFailures) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sweep: %d cell(s) failed:", len(cf.Errs))
+	for _, e := range cf.Errs {
+		b.WriteString("\n  ")
+		b.WriteString(e.Error())
+	}
+	return b.String()
+}
+
+func (cf *CellFailures) Unwrap() []error { return cf.Errs }
 
 // Run executes the grid and returns one Record per cell, in grid order:
 // variants outermost, then applications, processor counts, implementations.
 // Cells run concurrently up to g.Parallel on the harness worker pool; the
-// records are identical for any worker count. The first failing cell aborts
-// the sweep with its error.
+// records are identical for any worker count. A failing cell — error or
+// panic — does not abort the sweep: the surviving records are returned in
+// grid order together with a *CellFailures listing every casualty, so
+// callers can emit partial results and still fail loudly.
 func Run(g Grid) ([]Record, error) {
 	g, err := g.normalized()
 	if err != nil {
@@ -131,12 +180,15 @@ func Run(g Grid) ([]Record, error) {
 
 	// Sequential references, once per application: every cell of the same
 	// app shares one memoized value regardless of variant, processor count
-	// or implementation.
+	// or implementation. A failure here is fatal — every record of that app
+	// would be missing its denominator.
 	seqTimes := make([]sim.Time, len(g.Apps))
 	seqErrs := make([]error, len(g.Apps))
-	harness.ForEach(par, len(g.Apps), func(i int) {
+	if err := harness.ForEach(par, len(g.Apps), func(i int) {
 		seqTimes[i], seqErrs[i] = harness.RunSeq(baseCfg, g.Apps[i])
-	})
+	}); err != nil {
+		return nil, fmt.Errorf("sweep: sequential references: %w", err)
+	}
 	for i, err := range seqErrs {
 		if err != nil {
 			return nil, fmt.Errorf("sweep: %s sequential: %w", g.Apps[i], err)
@@ -151,13 +203,16 @@ func Run(g Grid) ([]Record, error) {
 	cells := len(g.Variants) * nApps * nProcs * nImpls
 	recs := make([]Record, cells)
 	cellErrs := make([]error, cells)
-	harness.ForEach(par, cells, func(k int) {
+	poolErr := harness.ForEach(par, cells, func(k int) {
 		ii := k % nImpls
 		ni := k / nImpls % nProcs
 		ai := k / (nImpls * nProcs) % nApps
 		vi := k / (nImpls * nProcs * nApps)
 		v, app, np, impl := g.Variants[vi], g.Apps[ai], g.NProcs[ni], g.Impls[ii]
-		cfg := harness.Config{Scale: g.Scale, NProcs: np, Cost: v.Cost, Contention: v.Contention, Parallel: 1}
+		cfg := harness.Config{
+			Scale: g.Scale, NProcs: np, Cost: v.Cost, Contention: v.Contention,
+			Faults: v.Faults, Timeout: g.Timeout, Parallel: 1,
+		}
 		row := harness.RunCell(cfg, app, impl)
 		if row.Err != nil {
 			cellErrs[k] = fmt.Errorf("sweep: %s/%s on %v, %d procs: %w", v.Name, app, impl, np, row.Err)
@@ -165,21 +220,48 @@ func Run(g Grid) ([]Record, error) {
 		}
 		seq := seqByApp[app]
 		recs[k] = Record{
-			Variant:    v.Name,
-			Contention: v.Contention,
-			App:        app,
-			Impl:       impl.String(),
-			NProcs:     np,
-			Seq:        seq,
-			Stats:      row.Stats,
-			Speedup:    float64(seq) / float64(row.Stats.Time),
-			LinkWait:   row.LinkWait,
+			Variant:      v.Name,
+			Contention:   v.Contention,
+			App:          app,
+			Impl:         impl.String(),
+			NProcs:       np,
+			Seq:          seq,
+			Stats:        row.Stats,
+			Speedup:      float64(seq) / float64(row.Stats.Time),
+			LinkWait:     row.LinkWait,
+			Fault:        v.faultName(),
+			Retransmits:  row.Faults.Retransmits,
+			DupsDropped:  row.Faults.DupsDropped,
+			RecoveryWait: row.Faults.RecoveryWait,
 		}
 	})
-	for _, err := range cellErrs {
-		if err != nil {
-			return nil, err
-		}
+	var failed []error
+	if poolErr != nil {
+		failed = append(failed, poolErr)
 	}
-	return recs, nil
+	ok := make([]Record, 0, cells)
+	for k := range recs {
+		if cellErrs[k] != nil {
+			failed = append(failed, cellErrs[k])
+			continue
+		}
+		ok = append(ok, recs[k])
+	}
+	if len(failed) > 0 {
+		return ok, &CellFailures{Errs: failed}
+	}
+	return ok, nil
+}
+
+// faultName canonicalizes the variant's fault label: "" for fault-free (so
+// the field stays out of fault-free JSON), the preset name or "custom"
+// otherwise.
+func (v Variant) faultName() string {
+	if v.Faults == nil {
+		return ""
+	}
+	if v.Fault == "" || v.Fault == "off" {
+		return "custom"
+	}
+	return v.Fault
 }

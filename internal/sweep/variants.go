@@ -34,6 +34,9 @@ func axes() []axis {
 		{name: "diff", def: "sw", values: []string{"sw", "free"},
 			apply: func(cm fabric.CostModel, _ float64) fabric.CostModel { return cm.ZeroCostDiff() }},
 		{name: "contention", def: "off", values: []string{"off", "on"}, apply: nil},
+		// Fault plans are not cost-model transforms; buildVariant resolves
+		// the preset into Variant.Faults directly.
+		{name: "fault", def: "off", values: fabric.FaultPresetNames(), apply: nil},
 	}
 }
 
@@ -46,6 +49,9 @@ func axes() []axis {
 //	detect=sw|hw  software write trapping vs free hardware dirty bits
 //	diff=sw|free  software write collection vs a free hardware diff engine
 //	contention=off|on  shared-link occupancy modeling in the fabric
+//	fault=off|drop1e-3|drop1e-2|chaos  seeded fault-plan preset injected
+//	      into the fabric (fabric.FaultPreset); recovery runs on the
+//	      reliable sublayer and its cost lands in the cell's virtual time
 //
 // Unspecified axes stay at their defaults (x1, sw, off). The all-default
 // combination is named "paper"; other variants are named by their non-default
@@ -176,6 +182,11 @@ func buildVariant(defs []axis, chosen [][]string, counts []int) Variant {
 		parts = append(parts, ax.name+"="+val)
 		if ax.name == "contention" {
 			v.Contention = true
+			continue
+		}
+		if ax.name == "fault" {
+			v.Fault = val
+			v.Faults, _ = fabric.FaultPreset(val) // val validated by canonical
 			continue
 		}
 		var k float64

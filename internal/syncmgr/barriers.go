@@ -119,7 +119,9 @@ func (m *BarrierMgr) Wait(b core.BarrierID) {
 }
 
 // Handle processes a barrier-protocol message; returns false if the message
-// is not a barrier message.
+// is not a barrier message. Relies on the package delivery contract: a
+// duplicated KindBarrierArrive would over-count st.arrived and lower the
+// barrier early, so dedup must happen below this layer.
 func (m *BarrierMgr) Handle(hc *fabric.HandlerCtx, msg fabric.Msg) bool {
 	if msg.Kind != KindBarrierArrive {
 		return false

@@ -3,6 +3,16 @@
 // managed distributed locks with manager forwarding, and centralized
 // barriers. The consistency actions differ per model and are supplied as
 // hooks, so "the various implementations share as much code as possible".
+//
+// Delivery contract: every handler in this package assumes exactly-once,
+// in-order delivery per link. The fabric provides that natively when faults
+// are off, and its reliable sublayer (fabric.FaultPlan) restores it under
+// injected loss, duplication and reordering — duplicates are dropped and
+// out-of-order frames buffered below the handler layer. Handlers are
+// therefore NOT idempotent and must not be: a replayed KindLockReq would
+// double-queue a requester and a replayed KindBarrierArrive would over-count
+// st.arrived. Keeping the dedup in one place (the sublayer) is what lets the
+// two protocol stacks stay oblivious to fault plans.
 package syncmgr
 
 import (
@@ -256,7 +266,9 @@ func (m *LockMgr) grantFromHandler(hc *fabric.HandlerCtx, st *lockState, req fab
 }
 
 // Handle processes a lock-protocol message; it returns false if the message
-// is not a lock message.
+// is not a lock message. Relies on the package delivery contract: a
+// duplicated KindLockReq would enqueue the requester twice and grant the
+// lock to a stale chase, so dedup must happen below this layer.
 func (m *LockMgr) Handle(hc *fabric.HandlerCtx, msg fabric.Msg) bool {
 	if msg.Kind != KindLockReq {
 		return false

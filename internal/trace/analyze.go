@@ -159,6 +159,19 @@ type IntervalRow struct {
 	Bytes      []int64
 }
 
+// LinkReport aggregates one directed link's fault-and-recovery history: the
+// injector's losses and the reliable sublayer's responses, attributed to the
+// data direction (acks travel the reverse path but count against the link
+// whose data they acknowledge). Only traced runs under a fault plan produce
+// these events.
+type LinkReport struct {
+	From, To    int
+	Drops       int64
+	Retransmits int64
+	Acks        int64
+	DupDrops    int64
+}
+
 // Analysis is the attribution summary of one traced run.
 type Analysis struct {
 	Meta Meta
@@ -179,6 +192,9 @@ type Analysis struct {
 	// Intervals is the message-class timeline; Classes its column names.
 	Intervals []IntervalRow
 	Classes   []string
+	// Links holds one report per directed link with fault activity, ordered
+	// by (From, To); empty for fault-free runs.
+	Links []LinkReport
 }
 
 // PatternCounts tallies the page classifications.
@@ -263,6 +279,16 @@ func Analyze(t *Tracer, meta Meta) *Analysis {
 	pages := make(map[int]*pageTally)
 	locks := make(map[int]*lockTally)
 	bars := make(map[int]*barTally)
+	links := make(map[int]*LinkReport)
+	link := func(from, to int) *LinkReport {
+		k := from<<16 | to
+		lr := links[k]
+		if lr == nil {
+			lr = &LinkReport{From: from, To: to}
+			links[k] = lr
+		}
+		return lr
+	}
 	page := func(pg int) *pageTally {
 		pt := pages[pg]
 		if pt == nil {
@@ -299,6 +325,18 @@ func Analyze(t *Tracer, meta Meta) *Analysis {
 			a.TotalBytes += r.C
 		case EvLinkWait:
 			a.LinkWait += sim.Time(r.C)
+		case EvDrop:
+			link(proc, int(r.A)).Drops++
+		case EvRetransmit:
+			link(proc, int(r.A)).Retransmits++
+		case EvAck:
+			// Proc is the data sender hearing the ack; A the receiver that
+			// generated it. Attribute to the data direction Proc -> A.
+			link(proc, int(r.A)).Acks++
+		case EvDupDrop:
+			// Proc is the receiver discarding; A the sender. Data direction
+			// is A -> Proc.
+			link(int(r.A), proc).DupDrops++
 		case EvFault:
 			page(int(r.A)).rep.Faults++
 		case EvMiss:
@@ -484,6 +522,9 @@ func Analyze(t *Tracer, meta Meta) *Analysis {
 		lt := locks[l]
 		lt.rep.Holders = lt.holders.count()
 		a.Locks = append(a.Locks, lt.rep)
+	}
+	for _, k := range sortedKeys(links) {
+		a.Links = append(a.Links, *links[k])
 	}
 	for _, b := range sortedKeys(bars) {
 		bt := bars[b]

@@ -192,6 +192,16 @@ func WriteMarkdown(w io.Writer, a *Analysis) error {
 			b.Barrier, b.Episodes, avgTime(b.ImbalanceTotal, b.Episodes), b.ImbalanceMax, last)
 	}
 
+	if len(a.Links) > 0 {
+		bw.printf("\n## Fault injection per link\n\n")
+		bw.printf("| link | drops | retransmits | acks | dup drops |\n")
+		bw.printf("|------|------:|------------:|-----:|----------:|\n")
+		for _, l := range a.Links {
+			bw.printf("| p%d→p%d | %d | %d | %d | %d |\n",
+				l.From, l.To, l.Drops, l.Retransmits, l.Acks, l.DupDrops)
+		}
+	}
+
 	bw.printf("\n## Message classes over time\n\n")
 	bw.printf("| interval |")
 	for _, c := range a.Classes {
@@ -386,6 +396,24 @@ func WriteChromeTrace(w io.Writer, t *Tracer, meta Meta) error {
 			evs = append(evs, chromeEvent{
 				Name: collectName(r), Ph: "i", Ts: us(r.At), Pid: 0, Tid: proc, S: "t",
 				Args: map[string]any{"words": r.C},
+			})
+		case EvDrop:
+			evs = append(evs, chromeEvent{
+				Name: fmt.Sprintf("drop →p%d", r.A), Ph: "i", Ts: us(r.At),
+				Pid: 0, Tid: proc, S: "t",
+				Args: map[string]any{"kind": MsgClassName(int(r.B)), "attempt": r.Aux},
+			})
+		case EvRetransmit:
+			evs = append(evs, chromeEvent{
+				Name: fmt.Sprintf("retransmit →p%d", r.A), Ph: "i", Ts: us(r.At),
+				Pid: 0, Tid: proc, S: "t",
+				Args: map[string]any{"kind": MsgClassName(int(r.B)), "attempt": r.Aux},
+			})
+		case EvDupDrop:
+			evs = append(evs, chromeEvent{
+				Name: fmt.Sprintf("dup-drop ←p%d", r.A), Ph: "i", Ts: us(r.At),
+				Pid: 0, Tid: proc, S: "t",
+				Args: map[string]any{"kind": MsgClassName(int(r.B))},
 			})
 		}
 	}

@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"ecvslrc/internal/sim"
+)
+
+// fuzzSeedTrace builds a small valid trace for the corpus, so mutations
+// explore the record-parsing paths and not just header rejection.
+func fuzzSeedTrace() []byte {
+	tr := New(2)
+	tr.Send(sim.Millisecond, 0, 1, 7, 64)
+	tr.Deliver(2*sim.Millisecond, 1, 0, 7, 64)
+	tr.Drop(3*sim.Millisecond, 0, 1, 7, 1)
+	tr.Retransmit(4*sim.Millisecond, 0, 1, 7, 2)
+	tr.Ack(5*sim.Millisecond, 1, 0, 3)
+	tr.DupDrop(6*sim.Millisecond, 0, 1, 7)
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadBinary asserts ReadBinary's hostile-input contract: it never
+// panics, classifies every malformed input as ErrCorrupt (a bytes.Reader
+// produces no other I/O errors), and every accepted input reaches a
+// serialization fixpoint — write, re-read, write again yields identical
+// bytes. (The input itself may differ from the first write: ReadBinary
+// ignores bytes past the declared record count, and WriteBinary canonicalizes
+// record order.)
+func FuzzReadBinary(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("DSMTRC"))
+	f.Add(fuzzSeedTrace())
+	corrupted := fuzzSeedTrace()
+	corrupted[24] = 0xff // first record's kind byte
+	f.Add(corrupted)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("non-I/O failure does not wrap ErrCorrupt: %v", err)
+			}
+			return
+		}
+		var out1, out2 bytes.Buffer
+		if err := tr.WriteBinary(&out1); err != nil {
+			t.Fatalf("serializing accepted trace: %v", err)
+		}
+		tr2, err := ReadBinary(bytes.NewReader(out1.Bytes()))
+		if err != nil {
+			t.Fatalf("re-reading own output: %v", err)
+		}
+		if err := tr2.WriteBinary(&out2); err != nil {
+			t.Fatalf("re-serializing: %v", err)
+		}
+		if !bytes.Equal(out1.Bytes(), out2.Bytes()) {
+			t.Fatalf("serialization is not a fixpoint: %d vs %d bytes", out1.Len(), out2.Len())
+		}
+	})
+}

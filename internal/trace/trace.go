@@ -15,6 +15,7 @@ package trace
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -88,6 +89,21 @@ const (
 	// C = range length in bytes. Every processor emits identical bindings;
 	// the analyzer deduplicates.
 	EvBind
+	// EvDrop is the fault injector losing a transmission attempt from Proc:
+	// A = destination, B = message kind, Aux = attempt number.
+	EvDrop
+	// EvRetransmit is the reliable sublayer resending a frame from Proc:
+	// A = destination, B = message kind, Aux = attempt number.
+	EvRetransmit
+	// EvAck is a reliable-delivery acknowledgement arriving back at Proc
+	// (the data sender): A = the data receiver that generated it, B = the
+	// acknowledged sequence number.
+	EvAck
+	// EvDupDrop is Proc (a receiver) discarding a duplicate frame:
+	// A = sender, B = message kind.
+	EvDupDrop
+	// evLast bounds the valid kinds for ReadBinary validation; keep it last.
+	evLast = EvDupDrop
 )
 
 // String names the kind for report tables and test failures.
@@ -131,6 +147,14 @@ func (k Kind) String() string {
 		return "bar-depart"
 	case EvBind:
 		return "bind"
+	case EvDrop:
+		return "drop"
+	case EvRetransmit:
+		return "retransmit"
+	case EvAck:
+		return "ack"
+	case EvDupDrop:
+		return "dup-drop"
 	}
 	return "?"
 }
@@ -414,6 +438,39 @@ func (t *Tracer) BarDepart(at sim.Time, proc, b int) {
 	t.emit(proc, Rec{At: at, Kind: EvBarDepart, A: int32(b)})
 }
 
+// Drop records the fault injector losing an attempt of a frame from->to.
+func (t *Tracer) Drop(at sim.Time, from, to, msgKind, attempt int) {
+	if t == nil {
+		return
+	}
+	t.emit(from, Rec{At: at, Kind: EvDrop, A: int32(to), B: int32(msgKind), Aux: uint16(attempt)})
+}
+
+// Retransmit records the reliable sublayer resending a frame from->to.
+func (t *Tracer) Retransmit(at sim.Time, from, to, msgKind, attempt int) {
+	if t == nil {
+		return
+	}
+	t.emit(from, Rec{At: at, Kind: EvRetransmit, A: int32(to), B: int32(msgKind), Aux: uint16(attempt)})
+}
+
+// Ack records a reliable-delivery acknowledgement from receiver landing at
+// sender, covering sequence number seq.
+func (t *Tracer) Ack(at sim.Time, receiver, sender, seq int) {
+	if t == nil {
+		return
+	}
+	t.emit(sender, Rec{At: at, Kind: EvAck, A: int32(receiver), B: int32(seq)})
+}
+
+// DupDrop records receiver to discarding a duplicate frame from from.
+func (t *Tracer) DupDrop(at sim.Time, from, to, msgKind int) {
+	if t == nil {
+		return
+	}
+	t.emit(to, Rec{At: at, Kind: EvDupDrop, A: int32(from), B: int32(msgKind)})
+}
+
 // Bind records an EC lock/data binding range.
 func (t *Tracer) Bind(at sim.Time, proc, lock int, base, length int) {
 	if t == nil {
@@ -494,26 +551,41 @@ func (t *Tracer) WriteBinary(w io.Writer) error {
 	return bw.Flush()
 }
 
+// ErrCorrupt is wrapped by every ReadBinary failure caused by the input
+// bytes — bad magic, impossible counts, truncation, out-of-range fields —
+// as opposed to a genuine I/O error from the underlying reader. Callers
+// (dsmtrace, fuzzers) classify with errors.Is.
+var ErrCorrupt = errors.New("corrupt trace")
+
 // ReadBinary parses a binary trace back into a Tracer whose records are all
 // attributed to their original processors (buffer order is the canonical
-// merged order filtered per processor).
+// merged order filtered per processor). It never panics on hostile input:
+// malformed bytes yield an error wrapping ErrCorrupt, and memory use is
+// bounded by the input length (the declared record count is checked against
+// the bytes actually present, never trusted for allocation).
 func ReadBinary(r io.Reader) (*Tracer, error) {
 	var hdr [16]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("trace: %w: truncated header", ErrCorrupt)
+		}
 		return nil, fmt.Errorf("trace: reading header: %w", err)
 	}
 	if string(hdr[:6]) != binMagic || hdr[6] != binVersion {
-		return nil, fmt.Errorf("trace: bad magic or version")
+		return nil, fmt.Errorf("trace: %w: bad magic or version", ErrCorrupt)
 	}
 	nprocs := int(hdr[7])
 	if nprocs < 1 {
-		return nil, fmt.Errorf("trace: bad processor count %d", nprocs)
+		return nil, fmt.Errorf("trace: %w: bad processor count %d", ErrCorrupt, nprocs)
 	}
 	n := binary.LittleEndian.Uint64(hdr[8:])
 	t := New(nprocs)
 	var buf [recWire]byte
 	for i := uint64(0); i < n; i++ {
 		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return nil, fmt.Errorf("trace: %w: header declares %d records, input ends at %d", ErrCorrupt, n, i)
+			}
 			return nil, fmt.Errorf("trace: reading record %d: %w", i, err)
 		}
 		rec := Rec{
@@ -525,8 +597,14 @@ func ReadBinary(r io.Reader) (*Tracer, error) {
 			B:    int32(binary.LittleEndian.Uint32(buf[16:])),
 			C:    int64(binary.LittleEndian.Uint64(buf[20:])),
 		}
+		if rec.Kind == EvNone || rec.Kind > evLast {
+			return nil, fmt.Errorf("trace: %w: record %d has unknown kind %d", ErrCorrupt, i, rec.Kind)
+		}
+		if rec.At < 0 {
+			return nil, fmt.Errorf("trace: %w: record %d has negative time", ErrCorrupt, i)
+		}
 		if int(rec.Proc) >= nprocs {
-			return nil, fmt.Errorf("trace: record %d names processor %d of %d", i, rec.Proc, nprocs)
+			return nil, fmt.Errorf("trace: %w: record %d names processor %d of %d", ErrCorrupt, i, rec.Proc, nprocs)
 		}
 		t.bufs[rec.Proc] = append(t.bufs[rec.Proc], rec)
 	}

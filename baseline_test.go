@@ -1,0 +1,38 @@
+package ecvslrc
+
+import (
+	"os"
+	"testing"
+
+	"ecvslrc/internal/perf"
+)
+
+// TestPerfBaselineRoundTrips guards the committed perf trajectory: the file
+// CI compares new revisions against must stay readable by the current
+// decoder, carry exact allocation attribution (it gates Mallocs counts), and
+// compare cleanly against itself. A failure here means the BENCH schema
+// moved without regenerating BENCH_baseline.json.
+func TestPerfBaselineRoundTrips(t *testing.T) {
+	f, err := os.Open("BENCH_baseline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	base, err := perf.ReadTrajectory(f)
+	if err != nil {
+		t.Fatalf("committed baseline unreadable: %v", err)
+	}
+	if !base.AllocsExact {
+		t.Error("baseline lacks exact allocation attribution; regenerate with -parallel 1")
+	}
+	if base.Meta.Scale != "bench" || len(base.Cells) == 0 {
+		t.Errorf("baseline coverage: scale=%q cells=%d", base.Meta.Scale, len(base.Cells))
+	}
+	res := perf.Compare(base, base, perf.CompareOptions{WallTol: 0.30, AllocTol: 0.05})
+	if res.Regressions != 0 {
+		t.Errorf("baseline does not compare cleanly against itself: %d regressions", res.Regressions)
+	}
+	if !res.AllocsGated {
+		t.Error("self-compare did not gate allocations")
+	}
+}

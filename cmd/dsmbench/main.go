@@ -7,12 +7,22 @@
 //
 //	dsmbench -table 3 -scale paper -procs 8
 //	dsmbench -all -scale bench
-//	dsmbench -micro
+//	dsmbench -all -micro -scale bench -parallel 1 -perf-out BENCH_head.json
+//	dsmbench -micro -cpuprofile cpu.pprof
+//
+// -perf-out writes a schema-versioned BENCH_*.json host-performance
+// trajectory (per-cell wall/alloc stats, aggregate cells/sec; see
+// internal/perf and cmd/dsmperf). Metrics are observation-only: the table
+// output stays byte-identical, and the trajectory note goes to stderr.
+//
+// Exit codes: 0 on success, 1 on run failure, 2 on invalid flags.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -20,18 +30,36 @@ import (
 	"ecvslrc/internal/apps"
 	"ecvslrc/internal/core"
 	"ecvslrc/internal/harness"
+	"ecvslrc/internal/perf"
 )
 
 func main() {
-	table := flag.Int("table", 0, "table to regenerate (2, 3, 4 or 5)")
-	all := flag.Bool("all", false, "regenerate every table")
-	micro := flag.Bool("micro", false, "run the Section 7.1 factor kernels")
-	counters := flag.Bool("counters", false, "print the Section 7.2 message/data counters")
-	scale := flag.String("scale", "paper", "problem scale: test, bench or paper")
-	procs := flag.Int("procs", 8, "number of simulated processors")
-	appsFlag := flag.String("apps", "", "comma-separated application subset, e.g. \"SOR,QS\" (default: all)")
-	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max table cells simulated concurrently (output is identical for any value)")
-	flag.Parse()
+	os.Exit(cli(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// cli is main with injectable arguments and streams, so the exit-code
+// contract is table-testable. Returns the process exit code.
+func cli(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dsmbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	table := fs.Int("table", 0, "table to regenerate (2, 3, 4 or 5)")
+	all := fs.Bool("all", false, "regenerate every table")
+	micro := fs.Bool("micro", false, "run the Section 7.1 factor kernels")
+	counters := fs.Bool("counters", false, "print the Section 7.2 message/data counters")
+	scale := fs.String("scale", "paper", "problem scale: test, bench or paper")
+	procs := fs.Int("procs", 8, "number of simulated processors")
+	appsFlag := fs.String("apps", "", "comma-separated application subset, e.g. \"SOR,QS\" (default: all)")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "max table cells simulated concurrently (output is identical for any value)")
+	perfOut := fs.String("perf-out", "", "write a BENCH_*.json host-performance trajectory to this file (per-cell alloc deltas are exact only with -parallel 1)")
+	rev := fs.String("rev", "", "revision stamp for -perf-out (default: the build's vcs.revision, else \"unknown\")")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	cfg := harness.Default()
 	cfg.NProcs = *procs
@@ -44,8 +72,8 @@ func main() {
 	case "paper":
 		cfg.Scale = apps.Paper
 	default:
-		fmt.Fprintf(os.Stderr, "dsmbench: unknown scale %q\n", *scale)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "dsmbench: unknown scale %q\n", *scale)
+		return 2
 	}
 	names := apps.Names()
 	if *appsFlag != "" {
@@ -60,85 +88,129 @@ func main() {
 				continue
 			}
 			if !known[n] {
-				fmt.Fprintf(os.Stderr, "dsmbench: unknown app %q (known: %s)\n", n, strings.Join(apps.Names(), ", "))
-				os.Exit(2)
+				fmt.Fprintf(stderr, "dsmbench: unknown app %q (known: %s)\n", n, strings.Join(apps.Names(), ", "))
+				return 2
 			}
 			names = append(names, n)
 		}
 		if len(names) == 0 {
-			fmt.Fprintf(os.Stderr, "dsmbench: -apps lists no applications\n")
-			os.Exit(2)
+			fmt.Fprintf(stderr, "dsmbench: -apps lists no applications\n")
+			return 2
 		}
+	}
+	if *perfOut != "" {
+		cfg.Perf = perf.New()
+		cfg.Perf.SetAllocsExact(*parallel == 1)
 	}
 
-	fail := func(err error) {
-		fmt.Fprintf(os.Stderr, "dsmbench: %v\n", err)
-		os.Exit(1)
+	stopProf, err := perf.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(stderr, "dsmbench: %v\n", err)
+		return 2
 	}
+	code := func() int {
+		fail := func(err error) int {
+			fmt.Fprintf(stderr, "dsmbench: %v\n", err)
+			return 1
+		}
+		if *all {
+			// The complete report (Tables 2-5, counters, micro) comes from one
+			// harness entry point so the byte-identity regression test pins
+			// exactly what this command prints.
+			out, err := harness.BenchReport(cfg, names)
+			if err != nil {
+				return fail(err)
+			}
+			fmt.Fprint(stdout, out)
+			return 0
+		}
+		did := false
+		if *table == 2 {
+			did = true
+			fmt.Fprint(stdout, harness.Table2(cfg))
+			fmt.Fprintln(stdout)
+		}
+		var t3 []harness.Table3Result
+		if *table == 3 || *counters {
+			did = true
+			rows, err := harness.Table3(cfg, names)
+			if err != nil {
+				return fail(err)
+			}
+			t3 = rows
+			if *table == 3 {
+				fmt.Fprint(stdout, harness.FormatTable3(rows))
+				fmt.Fprintln(stdout)
+			}
+		}
+		if *table == 4 {
+			did = true
+			rows, err := harness.TableModel(cfg, core.EC, names)
+			if err != nil {
+				return fail(err)
+			}
+			fmt.Fprint(stdout, harness.FormatTableModel(core.EC, rows, names))
+			fmt.Fprintln(stdout)
+		}
+		if *table == 5 {
+			did = true
+			rows, err := harness.TableModel(cfg, core.LRC, names)
+			if err != nil {
+				return fail(err)
+			}
+			fmt.Fprint(stdout, harness.FormatTableModel(core.LRC, rows, names))
+			fmt.Fprintln(stdout)
+		}
+		if *counters {
+			did = true
+			fmt.Fprint(stdout, harness.FormatCounters(t3))
+			fmt.Fprintln(stdout)
+		}
+		if *micro {
+			did = true
+			rows, err := harness.Micro(cfg)
+			if err != nil {
+				return fail(err)
+			}
+			fmt.Fprint(stdout, harness.FormatMicro(rows))
+		}
+		if !did {
+			fs.Usage()
+			return 2
+		}
+		return 0
+	}()
+	if code == 0 && *perfOut != "" {
+		meta := perf.HostMeta(*rev)
+		meta.Scale, meta.Parallel = *scale, *parallel
+		meta.Cmd = "dsmbench " + strings.Join(args, " ")
+		traj := cfg.Perf.Snapshot(meta)
+		if err := writeTrajectory(*perfOut, traj); err != nil {
+			fmt.Fprintf(stderr, "dsmbench: %v\n", err)
+			code = 1
+		} else {
+			// Stderr, so stdout stays byte-identical to the golden report.
+			fmt.Fprintf(stderr, "dsmbench: perf trajectory (%d cells, %d runs, %.1f cells/s) -> %s\n",
+				len(traj.Cells), traj.CellRuns, traj.CellsPerSec, *perfOut)
+		}
+	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintf(stderr, "dsmbench: %v\n", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	return code
+}
 
-	if *all {
-		// The complete report (Tables 2-5, counters, micro) comes from one
-		// harness entry point so the byte-identity regression test pins
-		// exactly what this command prints.
-		out, err := harness.BenchReport(cfg, names)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Print(out)
-		return
+func writeTrajectory(path string, t *perf.Trajectory) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
 	}
-	did := false
-	if *table == 2 {
-		did = true
-		fmt.Print(harness.Table2(cfg))
-		fmt.Println()
+	if err := perf.WriteTrajectory(f, t); err != nil {
+		f.Close()
+		return err
 	}
-	var t3 []harness.Table3Result
-	if *table == 3 || *counters {
-		did = true
-		rows, err := harness.Table3(cfg, names)
-		if err != nil {
-			fail(err)
-		}
-		t3 = rows
-		if *table == 3 {
-			fmt.Print(harness.FormatTable3(rows))
-			fmt.Println()
-		}
-	}
-	if *table == 4 {
-		did = true
-		rows, err := harness.TableModel(cfg, core.EC, names)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Print(harness.FormatTableModel(core.EC, rows, names))
-		fmt.Println()
-	}
-	if *table == 5 {
-		did = true
-		rows, err := harness.TableModel(cfg, core.LRC, names)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Print(harness.FormatTableModel(core.LRC, rows, names))
-		fmt.Println()
-	}
-	if *counters {
-		did = true
-		fmt.Print(harness.FormatCounters(t3))
-		fmt.Println()
-	}
-	if *micro {
-		did = true
-		rows, err := harness.Micro(cfg)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Print(harness.FormatMicro(rows))
-	}
-	if !did {
-		flag.Usage()
-		os.Exit(2)
-	}
+	return f.Close()
 }

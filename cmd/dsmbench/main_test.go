@@ -1,0 +1,111 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ecvslrc/internal/perf"
+)
+
+// TestCLIExitCodes pins the exit-code contract: 0 on success and -h, 2 on
+// every flag/usage error.
+func TestCLIExitCodes(t *testing.T) {
+	cases := []struct {
+		name   string
+		args   []string
+		code   int
+		stderr string
+	}{
+		{"help exits zero", []string{"-h"}, 0, "Usage of dsmbench"},
+		{"unknown flag", []string{"-nonsense"}, 2, ""},
+		{"bad scale", []string{"-all", "-scale", "huge"}, 2, `unknown scale "huge"`},
+		{"unknown app", []string{"-all", "-apps", "NoSuch"}, 2, `unknown app "NoSuch"`},
+		{"empty apps list", []string{"-all", "-apps", " , "}, 2, "lists no applications"},
+		{"no action", []string{"-scale", "test"}, 2, ""},
+		{"good table", []string{"-table", "3", "-scale", "test", "-procs", "2", "-apps", "SOR"}, 0, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			code := cli(tc.args, &stdout, &stderr)
+			if code != tc.code {
+				t.Errorf("exit code = %d, want %d (stderr: %s)", code, tc.code, stderr.String())
+			}
+			if tc.stderr != "" && !strings.Contains(stderr.String(), tc.stderr) {
+				t.Errorf("stderr %q does not contain %q", stderr.String(), tc.stderr)
+			}
+		})
+	}
+}
+
+// TestCLIPerfTrajectory drives -perf-out end to end: stdout must stay
+// byte-identical to an unobserved run (the trajectory note goes to stderr),
+// and the written file must parse back as an exact-allocs trajectory with
+// the requested revision stamp and one cell per table entry.
+func TestCLIPerfTrajectory(t *testing.T) {
+	base := []string{"-table", "3", "-scale", "test", "-procs", "2", "-apps", "SOR,IS", "-parallel", "1"}
+	var plainOut, plainErr strings.Builder
+	if code := cli(base, &plainOut, &plainErr); code != 0 {
+		t.Fatalf("plain run exited %d: %s", code, plainErr.String())
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_head.json")
+	var out, errw strings.Builder
+	args := append(append([]string{}, base...), "-perf-out", path, "-rev", "cafe01")
+	if code := cli(args, &out, &errw); code != 0 {
+		t.Fatalf("perf run exited %d: %s", code, errw.String())
+	}
+	if out.String() != plainOut.String() {
+		t.Error("-perf-out changed stdout; the note must go to stderr")
+	}
+	if !strings.Contains(errw.String(), "perf trajectory") {
+		t.Errorf("no trajectory note on stderr: %s", errw.String())
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	traj, err := perf.ReadTrajectory(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traj.Meta.Rev != "cafe01" || traj.Meta.Scale != "test" || traj.Meta.Parallel != 1 {
+		t.Errorf("meta = %+v", traj.Meta)
+	}
+	if !traj.AllocsExact {
+		t.Error("-parallel 1 run not marked allocs-exact")
+	}
+	// Table 3 over 2 apps: 6 impls x 2 + 2 seq references.
+	if len(traj.Cells) != 14 {
+		t.Errorf("got %d cells, want 14", len(traj.Cells))
+	}
+	if traj.CellsPerSec <= 0 || traj.WallNS <= 0 {
+		t.Errorf("aggregates empty: %.1f cells/s over %dns", traj.CellsPerSec, traj.WallNS)
+	}
+}
+
+// TestCLIProfiles checks the pprof wiring writes non-empty profile files on
+// a successful run.
+func TestCLIProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu, mem := filepath.Join(dir, "cpu.pprof"), filepath.Join(dir, "mem.pprof")
+	var out, errw strings.Builder
+	code := cli([]string{"-table", "2", "-scale", "test", "-cpuprofile", cpu, "-memprofile", mem}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit code = %d: %s", code, errw.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("profile missing: %v", err)
+			continue
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}

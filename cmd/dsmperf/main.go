@@ -1,0 +1,144 @@
+// Command dsmperf reads BENCH_*.json host-performance trajectories (written
+// by dsmbench/dsmsweep -perf-out) and compares them across revisions — the
+// repo's machine-readable perf history and the tool CI gates on.
+//
+// Usage:
+//
+//	dsmperf show BENCH_abc123.json
+//	dsmperf compare BENCH_base.json BENCH_head.json
+//	dsmperf compare -wall-tol -1 -alloc-tol 0.15 BENCH_base.json BENCH_head.json
+//
+// compare prints a markdown report (header, top wall movers, regressions,
+// coverage diff) and exits 1 when any cell regresses beyond tolerance.
+// Wall-clock gating uses each cell's min-of-N run against -wall-tol; a
+// negative -wall-tol disables it (the right setting on shared CI runners,
+// where wall clocks are noise). Allocation gating compares per-run Mallocs
+// averages against -alloc-tol and only engages when both trajectories were
+// measured with exact allocation attribution (-parallel 1); allocation
+// counts of this deterministic simulator are near-noise-free, so they catch
+// real regressions even where wall clocks cannot.
+//
+// Exit codes: 0 clean, 1 regressions found or I/O failure, 2 invalid usage.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ecvslrc/internal/perf"
+)
+
+func main() {
+	os.Exit(cli(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// cli is main with injectable arguments and streams, so the exit-code
+// contract is table-testable. Returns the process exit code.
+func cli(args []string, stdout, stderr io.Writer) int {
+	usageFail := func(format string, fargs ...any) int {
+		fmt.Fprintf(stderr, "dsmperf: "+format+"\n", fargs...)
+		fmt.Fprintln(stderr, "usage: dsmperf show FILE | dsmperf compare [-wall-tol F] [-alloc-tol F] [-top N] BASE HEAD")
+		return 2
+	}
+	if len(args) < 1 {
+		return usageFail("missing subcommand")
+	}
+	switch args[0] {
+	case "show":
+		return show(args[1:], stdout, stderr)
+	case "compare":
+		return compare(args[1:], stdout, stderr)
+	default:
+		return usageFail("unknown subcommand %q", args[0])
+	}
+}
+
+func load(path string) (*perf.Trajectory, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	t, err := perf.ReadTrajectory(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}
+
+func show(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dsmperf show", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "dsmperf: show takes exactly one trajectory file")
+		return 2
+	}
+	t, err := load(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "dsmperf: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "rev %s  go %s %s/%s  gomaxprocs %d  parallel %d  allocs-exact %v\n",
+		t.Meta.Rev, t.Meta.GoVersion, t.Meta.GOOS, t.Meta.GOARCH,
+		t.Meta.GOMAXPROCS, t.Meta.Parallel, t.AllocsExact)
+	if t.Meta.Cmd != "" {
+		fmt.Fprintf(stdout, "cmd: %s\n", t.Meta.Cmd)
+	}
+	fmt.Fprintf(stdout, "%d cells, %d runs in %.2fs: %.1f cells/s, p50 %.2fms, p99 %.2fms, occupancy %.0f%%\n",
+		len(t.Cells), t.CellRuns, float64(t.WallNS)/1e9, t.CellsPerSec,
+		float64(t.P50NS)/1e6, float64(t.P99NS)/1e6, t.Occupancy*100)
+	fmt.Fprintf(stdout, "peak heap %.1f MiB, %d mallocs (%.1f MiB allocated)\n",
+		float64(t.PeakHeapBytes)/(1<<20), t.TotalMallocs, float64(t.TotalAllocB)/(1<<20))
+	for _, c := range t.Cells {
+		fmt.Fprintf(stdout, "  %-40s %4s x%d  min %10.3fms  %12d mallocs/run\n",
+			c.Key(), c.Outcome, c.Runs, float64(c.MinWallNS)/1e6, c.Mallocs/c.Runs)
+	}
+	return 0
+}
+
+func compare(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dsmperf compare", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	wallTol := fs.Float64("wall-tol", 0.30, "fractional wall-time regression tolerance per cell (min-of-N); negative disables wall gating")
+	allocTol := fs.Float64("alloc-tol", 0.05, "fractional per-run allocation-count regression tolerance; negative disables; only enforced when both trajectories are allocs-exact")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "dsmperf: compare takes exactly two trajectory files (base, head)")
+		return 2
+	}
+	base, err := load(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "dsmperf: %v\n", err)
+		return 1
+	}
+	head, err := load(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(stderr, "dsmperf: %v\n", err)
+		return 1
+	}
+	opt := perf.CompareOptions{WallTol: *wallTol, AllocTol: *allocTol}
+	res := perf.Compare(base, head, opt)
+	if err := perf.WriteCompare(stdout, base, head, res, opt); err != nil {
+		fmt.Fprintf(stderr, "dsmperf: %v\n", err)
+		return 1
+	}
+	if res.Regressions > 0 {
+		fmt.Fprintf(stderr, "dsmperf: %d regression(s) beyond tolerance\n", res.Regressions)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ecvslrc/internal/perf"
+)
+
+// writeTraj materializes a synthetic trajectory file for CLI tests.
+func writeTraj(t *testing.T, dir, name string, cells ...perf.Cell) string {
+	t.Helper()
+	r := perf.New()
+	r.SetAllocsExact(true)
+	for _, c := range cells {
+		r.ObserveCell(c)
+	}
+	traj := r.Snapshot(perf.Meta{Rev: strings.TrimSuffix(name, ".json"), Parallel: 1})
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := perf.WriteTrajectory(f, traj); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func okCell(app string, wall, mallocs int64) perf.Cell {
+	return perf.Cell{App: app, Impl: "EC-time", NProcs: 8, Outcome: "ok",
+		Runs: 1, WallNS: wall, MinWallNS: wall, Mallocs: mallocs}
+}
+
+func TestCLIUsageErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		args   []string
+		code   int
+		stderr string
+	}{
+		{"no subcommand", nil, 2, "missing subcommand"},
+		{"unknown subcommand", []string{"frobnicate"}, 2, "unknown subcommand"},
+		{"show no file", []string{"show"}, 2, "exactly one"},
+		{"compare one file", []string{"compare", "only.json"}, 2, "exactly two"},
+		{"show missing file", []string{"show", "/no/such/file.json"}, 1, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			code := cli(tc.args, &stdout, &stderr)
+			if code != tc.code {
+				t.Errorf("exit code = %d, want %d (stderr: %s)", code, tc.code, stderr.String())
+			}
+			if tc.stderr != "" && !strings.Contains(stderr.String(), tc.stderr) {
+				t.Errorf("stderr %q does not contain %q", stderr.String(), tc.stderr)
+			}
+		})
+	}
+}
+
+func TestCLIShow(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTraj(t, dir, "BENCH_feed.json", okCell("SOR", 1_000_000, 500))
+	var stdout, stderr strings.Builder
+	if code := cli([]string{"show", path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d: %s", code, stderr.String())
+	}
+	for _, want := range []string{"rev BENCH_feed", "allocs-exact true", "SOR/EC-time/8", "1 cells"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("show output missing %q:\n%s", want, stdout.String())
+		}
+	}
+}
+
+func TestCLICompareCleanAndRegressed(t *testing.T) {
+	dir := t.TempDir()
+	base := writeTraj(t, dir, "BENCH_base.json", okCell("SOR", 1_000_000, 500), okCell("QS", 2_000_000, 700))
+
+	// Identical head: clean compare, exit 0.
+	var stdout, stderr strings.Builder
+	if code := cli([]string{"compare", base, base}, &stdout, &stderr); code != 0 {
+		t.Fatalf("self-compare exited %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "# dsmperf compare") {
+		t.Errorf("no report header:\n%s", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "## Regressions\n\nnone") {
+		t.Errorf("self-compare regression section not empty:\n%s", stdout.String())
+	}
+
+	// Allocation regression beyond 5%: exit 1 even with wall gating off.
+	head := writeTraj(t, dir, "BENCH_head.json", okCell("SOR", 1_000_000, 800), okCell("QS", 2_000_000, 700))
+	stdout.Reset()
+	stderr.Reset()
+	code := cli([]string{"compare", "-wall-tol", "-1", base, head}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("regressed compare exited %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "regression(s) beyond tolerance") {
+		t.Errorf("stderr missing regression count: %s", stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "SOR/EC-time/8") {
+		t.Errorf("report does not name the regressed cell:\n%s", stdout.String())
+	}
+
+	// Loosened tolerance lets the same pair pass.
+	stdout.Reset()
+	stderr.Reset()
+	if code := cli([]string{"compare", "-wall-tol", "-1", "-alloc-tol", "0.9", base, head}, &stdout, &stderr); code != 0 {
+		t.Errorf("loose tolerance still exited %d: %s", code, stderr.String())
+	}
+}
+
+func TestCLICompareRejectsMalformed(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	good := writeTraj(t, dir, "BENCH_ok.json", okCell("SOR", 1, 1))
+	var stdout, stderr strings.Builder
+	if code := cli([]string{"compare", bad, good}, &stdout, &stderr); code != 1 {
+		t.Errorf("malformed base accepted, exit %d", code)
+	}
+	if !strings.Contains(stderr.String(), "bad.json") {
+		t.Errorf("error does not name the offending file: %s", stderr.String())
+	}
+}

@@ -6,36 +6,68 @@
 //	dsmrun -app Water -impl LRC-diff -procs 8 -scale paper
 //	dsmrun -app QS -impl EC-time -procs 4 -scale test
 //	dsmrun -app SOR -impl LRC-diff -procs 8 -trace trace-out
+//	dsmrun -app Water -impl LRC-diff -perf -cpuprofile cpu.pprof
+//
+// -perf prints a host-side breakdown after the run (phase wall times,
+// allocation delta, peak heap — internal/perf); -cpuprofile/-memprofile
+// write standard pprof profiles. Both are observation-only: the simulated
+// statistics are identical with and without them.
+//
+// Exit codes: 0 on success, 1 on run failure, 2 on invalid flags.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"ecvslrc/internal/apps"
 	"ecvslrc/internal/core"
 	"ecvslrc/internal/fabric"
+	"ecvslrc/internal/perf"
 	"ecvslrc/internal/run"
 	"ecvslrc/internal/sim"
 	"ecvslrc/internal/trace"
 )
 
 func main() {
-	appName := flag.String("app", "SOR", "application: "+strings.Join(apps.Names(), ", "))
-	implName := flag.String("impl", "LRC-diff", "implementation: EC-ci, EC-time, EC-diff, LRC-ci, LRC-time, LRC-diff")
-	procs := flag.Int("procs", 8, "number of simulated processors")
-	scale := flag.String("scale", "paper", "problem scale: test, bench or paper")
-	seq := flag.Bool("seq", false, "also run the sequential reference")
-	preset := flag.String("preset", "paper", "cost-model preset: "+strings.Join(fabric.PresetNames(), ", "))
-	contention := flag.Bool("contention", false, "model shared-link contention (concurrent bulk transfers queue)")
-	traceDir := flag.String("trace", "", "record an event trace and write all attribution reports to this directory (see cmd/dsmtrace for report selection)")
-	faults := flag.String("faults", "off", "fault-plan preset injected into the fabric: "+strings.Join(fabric.FaultPresetNames(), ", "))
-	faultSeed := flag.Uint64("fault-seed", 0, "override the fault plan's PRNG seed (0 keeps the preset's seed)")
-	timeout := flag.Float64("timeout", 0, "virtual-time watchdog in simulated seconds: fail with a stall diagnostic instead of running past it (0 disables)")
-	flag.Parse()
+	os.Exit(cli(os.Args[1:], os.Stdout, os.Stderr))
+}
 
+// cli is main with injectable arguments and streams, so the exit-code
+// contract is table-testable. Returns the process exit code.
+func cli(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dsmrun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	appName := fs.String("app", "SOR", "application: "+strings.Join(apps.Names(), ", "))
+	implName := fs.String("impl", "LRC-diff", "implementation: EC-ci, EC-time, EC-diff, LRC-ci, LRC-time, LRC-diff")
+	procs := fs.Int("procs", 8, "number of simulated processors")
+	scale := fs.String("scale", "paper", "problem scale: test, bench or paper")
+	seq := fs.Bool("seq", false, "also run the sequential reference")
+	preset := fs.String("preset", "paper", "cost-model preset: "+strings.Join(fabric.PresetNames(), ", "))
+	contention := fs.Bool("contention", false, "model shared-link contention (concurrent bulk transfers queue)")
+	traceDir := fs.String("trace", "", "record an event trace and write all attribution reports to this directory (see cmd/dsmtrace for report selection)")
+	faults := fs.String("faults", "off", "fault-plan preset injected into the fabric: "+strings.Join(fabric.FaultPresetNames(), ", "))
+	faultSeed := fs.Uint64("fault-seed", 0, "override the fault plan's PRNG seed (0 keeps the preset's seed)")
+	timeout := fs.Float64("timeout", 0, "virtual-time watchdog in simulated seconds: fail with a stall diagnostic instead of running past it (0 disables)")
+	perfFlag := fs.Bool("perf", false, "print a host-side performance breakdown (phase wall times, allocs, peak heap) after the run")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	usageFail := func(format string, fargs ...any) int {
+		fmt.Fprintf(stderr, "dsmrun: "+format+"\n", fargs...)
+		return 2
+	}
 	var sc apps.Scale
 	switch *scale {
 	case "test":
@@ -45,47 +77,28 @@ func main() {
 	case "paper":
 		sc = apps.Paper
 	default:
-		fmt.Fprintf(os.Stderr, "dsmrun: unknown scale %q\n", *scale)
-		os.Exit(2)
+		return usageFail("unknown scale %q", *scale)
 	}
 	impl, err := core.ParseImpl(*implName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dsmrun:", err)
-		os.Exit(2)
+		return usageFail("%v", err)
 	}
 	cost, err := fabric.PresetByName(*preset)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dsmrun:", err)
-		os.Exit(2)
+		return usageFail("%v", err)
 	}
 	plan, err := fabric.FaultPreset(*faults)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dsmrun:", err)
-		os.Exit(2)
+		return usageFail("%v", err)
 	}
 	if *faultSeed != 0 {
 		if plan == nil {
-			fmt.Fprintln(os.Stderr, "dsmrun: -fault-seed needs a fault plan (-faults)")
-			os.Exit(2)
+			return usageFail("-fault-seed needs a fault plan (-faults)")
 		}
 		plan.Seed = *faultSeed
 	}
 	if *timeout < 0 {
-		fmt.Fprintln(os.Stderr, "dsmrun: negative -timeout")
-		os.Exit(2)
-	}
-	if *seq {
-		a, err := apps.New(*appName, sc)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "dsmrun:", err)
-			os.Exit(1)
-		}
-		t, err := run.RunSeq(a)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "dsmrun:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("%s sequential: %v\n", *appName, t)
+		return usageFail("negative -timeout")
 	}
 	// The trace options are validated up front, before the (potentially
 	// long) run: a bad report selection must fail like a bad flag.
@@ -93,61 +106,123 @@ func main() {
 	var tr *trace.Tracer
 	if *traceDir != "" {
 		if *procs < 1 || *procs > trace.MaxProcs {
-			fmt.Fprintf(os.Stderr, "dsmrun: traced runs support 1..%d processors, got %d\n", trace.MaxProcs, *procs)
-			os.Exit(2)
+			return usageFail("traced runs support 1..%d processors, got %d", trace.MaxProcs, *procs)
 		}
 		sel, err := trace.ParseReports("")
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "dsmrun:", err)
-			os.Exit(2)
+			return usageFail("%v", err)
 		}
 		topts = trace.Options{Reports: sel, OutDir: *traceDir}
 		if err := topts.Validate(); err != nil {
-			fmt.Fprintln(os.Stderr, "dsmrun:", err)
-			os.Exit(2)
+			return usageFail("%v", err)
 		}
 		tr = trace.New(*procs)
 	}
-	a, err := apps.New(*appName, sc)
+
+	stopProf, err := perf.StartProfiles(*cpuprofile, *memprofile)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dsmrun:", err)
-		os.Exit(1)
+		return usageFail("%v", err)
 	}
-	res, err := run.RunWith(a, impl, *procs, cost, run.Options{
-		Contention: *contention,
-		Trace:      tr,
-		Faults:     plan,
-		Timeout:    sim.Time(*timeout * float64(sim.Second)),
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dsmrun:", err)
-		os.Exit(1)
+	var reg *perf.Registry
+	if *perfFlag {
+		reg = perf.New()
+		reg.SetAllocsExact(true)
 	}
-	variant := *preset
-	if *contention {
-		variant += "+contention"
-	}
-	if plan != nil {
-		variant += "+fault=" + *faults
-	}
-	fmt.Printf("%s on %v, %d procs (%s scale, %s cost):\n  %v\n", *appName, impl, *procs, *scale, variant, res.Stats)
-	if plan != nil {
-		f := res.Faults
-		fmt.Printf("  faults: %d sent, %d dropped, %d duplicated, %d delayed; %d retransmits, %d dups dropped, %d reordered, %d acks (%d lost), recovery wait %v\n",
-			f.Sent, f.Dropped, f.Duplicated, f.Delayed, f.Retransmits, f.DupsDropped, f.OutOfOrder, f.Acks, f.AcksLost, f.RecoveryWait)
-	}
-	if tr != nil {
-		a2, err := apps.New(*appName, sc)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "dsmrun:", err)
-			os.Exit(1)
+	code := func() int {
+		fail := func(err error) int {
+			fmt.Fprintf(stderr, "dsmrun: %v\n", err)
+			return 1
 		}
-		meta := run.TraceMeta(a2, impl, *procs, *scale)
-		written, err := trace.EmitReports(topts.OutDir, topts.Reports, trace.Analyze(tr, meta), tr)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "dsmrun:", err)
-			os.Exit(1)
+		if *seq {
+			a, err := apps.New(*appName, sc)
+			if err != nil {
+				return fail(err)
+			}
+			t, err := run.RunSeq(a)
+			if err != nil {
+				return fail(err)
+			}
+			fmt.Fprintf(stdout, "%s sequential: %v\n", *appName, t)
 		}
-		fmt.Printf("  trace: %d events -> %s\n", tr.Len(), strings.Join(written, ", "))
+		a, err := apps.New(*appName, sc)
+		if err != nil {
+			return fail(err)
+		}
+		cs := reg.StartCell("", *appName, impl.String(), *procs)
+		res, err := run.RunWith(a, impl, *procs, cost, run.Options{
+			Contention: *contention,
+			Trace:      tr,
+			Faults:     plan,
+			Timeout:    sim.Time(*timeout * float64(sim.Second)),
+			Perf:       reg,
+		})
+		if err != nil {
+			cs.End(perf.OutcomeErr)
+			return fail(err)
+		}
+		cs.End(perf.OutcomeOK)
+		variant := *preset
+		if *contention {
+			variant += "+contention"
+		}
+		if plan != nil {
+			variant += "+fault=" + *faults
+		}
+		fmt.Fprintf(stdout, "%s on %v, %d procs (%s scale, %s cost):\n  %v\n", *appName, impl, *procs, *scale, variant, res.Stats)
+		if plan != nil {
+			f := res.Faults
+			fmt.Fprintf(stdout, "  faults: %d sent, %d dropped, %d duplicated, %d delayed; %d retransmits, %d dups dropped, %d reordered, %d acks (%d lost), recovery wait %v\n",
+				f.Sent, f.Dropped, f.Duplicated, f.Delayed, f.Retransmits, f.DupsDropped, f.OutOfOrder, f.Acks, f.AcksLost, f.RecoveryWait)
+		}
+		if tr != nil {
+			a2, err := apps.New(*appName, sc)
+			if err != nil {
+				return fail(err)
+			}
+			meta := run.TraceMeta(a2, impl, *procs, *scale)
+			ph := reg.StartPhase("trace_emit")
+			written, err := trace.EmitReports(topts.OutDir, topts.Reports, trace.Analyze(tr, meta), tr)
+			ph.End()
+			if err != nil {
+				return fail(err)
+			}
+			fmt.Fprintf(stdout, "  trace: %d events -> %s\n", tr.Len(), strings.Join(written, ", "))
+		}
+		if reg != nil {
+			printPerf(stdout, reg)
+		}
+		return 0
+	}()
+	if err := stopProf(); err != nil {
+		fmt.Fprintf(stderr, "dsmrun: %v\n", err)
+		if code == 0 {
+			code = 1
+		}
 	}
+	return code
+}
+
+// printPerf renders the host-side breakdown: phase wall times in declared
+// order, then the cell's totals.
+func printPerf(w io.Writer, reg *perf.Registry) {
+	traj := reg.Snapshot(perf.Meta{Parallel: 1})
+	counters := traj.Counters
+	var phases []string
+	for name := range counters {
+		if strings.HasPrefix(name, "phase_") {
+			phases = append(phases, name)
+		}
+	}
+	sort.Strings(phases)
+	fmt.Fprintf(w, "  perf:")
+	for _, name := range phases {
+		label := strings.TrimSuffix(strings.TrimPrefix(name, "phase_"), "_ns")
+		fmt.Fprintf(w, " %s %.1fms |", label, float64(counters[name])/1e6)
+	}
+	if len(traj.Cells) > 0 {
+		c := traj.Cells[0]
+		fmt.Fprintf(w, " wall %.1fms | %d mallocs (%.1f MiB)",
+			float64(c.WallNS)/1e6, c.Mallocs, float64(c.AllocBytes)/(1<<20))
+	}
+	fmt.Fprintf(w, " | peak heap %.1f MiB\n", float64(traj.PeakHeapBytes)/(1<<20))
 }

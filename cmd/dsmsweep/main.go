@@ -16,6 +16,13 @@
 // sweep.csv, sweep.jsonl, sweep.md and report.md are written to the
 // directory.
 //
+// -progress streams per-cell completion heartbeats (wall time, running
+// cells/sec, ETA) to stderr; -perf-out writes a schema-versioned
+// BENCH_*.json host-performance trajectory (see internal/perf and
+// cmd/dsmperf); -cpuprofile/-memprofile write standard pprof profiles. All
+// are observation-only: the emitted records are identical with and without
+// them.
+//
 // Failed cells do not abort the sweep: the surviving records are emitted,
 // every failed cell is listed on stderr, and the exit code is 1.
 //
@@ -38,6 +45,7 @@ import (
 	"ecvslrc/internal/apps"
 	"ecvslrc/internal/core"
 	"ecvslrc/internal/fabric"
+	"ecvslrc/internal/perf"
 	"ecvslrc/internal/sim"
 	"ecvslrc/internal/sweep"
 )
@@ -60,6 +68,11 @@ func cli(args []string, stdout, stderr io.Writer) int {
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "max cells simulated concurrently (records are identical for any value)")
 	out := fs.String("out", "", "artifact directory (csv, jsonl, markdown, report); empty prints markdown to stdout")
 	timeout := fs.Float64("timeout", 0, "per-cell virtual-time watchdog in simulated seconds: stalled cells fail with a diagnostic instead of hanging the sweep (0 disables)")
+	progress := fs.Bool("progress", false, "stream per-cell completion heartbeats (wall time, running cells/sec, ETA) to stderr")
+	perfOut := fs.String("perf-out", "", "write a BENCH_*.json host-performance trajectory to this file (per-cell alloc deltas are exact only with -parallel 1)")
+	rev := fs.String("rev", "", "revision stamp for -perf-out (default: the build's vcs.revision, else \"unknown\")")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -67,10 +80,6 @@ func cli(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	fail := func(err error) int {
-		fmt.Fprintf(stderr, "dsmsweep: %v\n", err)
-		return 1
-	}
 	usageFail := func(format string, fargs ...any) int {
 		fmt.Fprintf(stderr, "dsmsweep: "+format+"\n", fargs...)
 		return 2
@@ -138,6 +147,57 @@ func cli(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	g.Variants = vs
+	if *perfOut != "" {
+		g.Perf = perf.New()
+		g.Perf.SetAllocsExact(*parallel == 1)
+	}
+	if *progress {
+		g.Progress = perf.ProgressEmitter(stderr)
+	}
+
+	stopProf, err := perf.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(stderr, "dsmsweep: %v\n", err)
+		return 2
+	}
+	code := sweepRun(g, *out, recsEmitEnv{stdout: stdout, stderr: stderr})
+	if *perfOut != "" {
+		meta := perf.HostMeta(*rev)
+		meta.Scale, meta.Parallel = *scale, *parallel
+		meta.Cmd = "dsmsweep " + strings.Join(args, " ")
+		traj := g.Perf.Snapshot(meta)
+		if err := writeTrajectory(*perfOut, traj); err != nil {
+			fmt.Fprintf(stderr, "dsmsweep: %v\n", err)
+			if code == 0 {
+				code = 1
+			}
+		} else {
+			fmt.Fprintf(stderr, "dsmsweep: perf trajectory (%d cells, %d runs, %.1f cells/s) -> %s\n",
+				len(traj.Cells), traj.CellRuns, traj.CellsPerSec, *perfOut)
+		}
+	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintf(stderr, "dsmsweep: %v\n", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	return code
+}
+
+// recsEmitEnv carries the output streams into the run/emit stage.
+type recsEmitEnv struct {
+	stdout, stderr io.Writer
+}
+
+// sweepRun executes the grid and emits artifacts; split from cli so the
+// profiling/trajectory epilogue runs on every exit path.
+func sweepRun(g sweep.Grid, out string, env recsEmitEnv) int {
+	stdout, stderr := env.stdout, env.stderr
+	fail := func(err error) int {
+		fmt.Fprintf(stderr, "dsmsweep: %v\n", err)
+		return 1
+	}
 
 	recs, err := sweep.Run(g)
 	// Per-cell failures are not fatal to emission: the surviving records are
@@ -158,7 +218,7 @@ func cli(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	if *out == "" {
+	if out == "" {
 		if err := sweep.WriteMarkdown(stdout, recs); err != nil {
 			return fail(err)
 		}
@@ -168,11 +228,11 @@ func cli(args []string, stdout, stderr io.Writer) int {
 		}
 		return finish()
 	}
-	if err := os.MkdirAll(*out, 0o755); err != nil {
+	if err := os.MkdirAll(out, 0o755); err != nil {
 		return fail(err)
 	}
 	emit := func(name string, write func(f *os.File) error) error {
-		path := filepath.Join(*out, name)
+		path := filepath.Join(out, name)
 		f, err := os.Create(path)
 		if err != nil {
 			return err
@@ -196,7 +256,7 @@ func cli(args []string, stdout, stderr io.Writer) int {
 			return fail(err)
 		}
 	}
-	fmt.Fprintf(stdout, "dsmsweep: %d records (%d variants) -> %s\n", len(recs), len(g.Variants), *out)
+	fmt.Fprintf(stdout, "dsmsweep: %d records (%d variants) -> %s\n", len(recs), len(g.Variants), out)
 	return finish()
 }
 
@@ -209,4 +269,16 @@ func splitList(s string) []string {
 		}
 	}
 	return out
+}
+
+func writeTrajectory(path string, t *perf.Trajectory) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := perf.WriteTrajectory(f, t); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,8 +1,12 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"ecvslrc/internal/perf"
 )
 
 // TestCLIExitCodes pins the exit-code contract the CI smoke steps rely on:
@@ -66,5 +70,61 @@ func TestCLIPartialFailure(t *testing.T) {
 	}
 	if !strings.Contains(stdout.String(), "Sensitivity") {
 		t.Errorf("partial failure suppressed report emission: %s", stdout.String())
+	}
+}
+
+// TestCLIProgressAndPerfOut drives the observability flags end to end: with
+// -progress the heartbeats stream to stderr (stdout stays the report), and
+// -perf-out writes a parseable trajectory covering every unit of the grid.
+func TestCLIProgressAndPerfOut(t *testing.T) {
+	base := []string{"-scale", "test", "-procs", "2", "-apps", "SOR,IS",
+		"-impls", "EC-time,LRC-diff", "-parallel", "1"}
+	var plainOut, plainErr strings.Builder
+	if code := cli(base, &plainOut, &plainErr); code != 0 {
+		t.Fatalf("plain run exited %d: %s", code, plainErr.String())
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_sweep.json")
+	args := append(append([]string{}, base...), "-progress", "-perf-out", path, "-rev", "beef02")
+	var out, errw strings.Builder
+	if code := cli(args, &out, &errw); code != 0 {
+		t.Fatalf("observed run exited %d: %s", code, errw.String())
+	}
+	if out.String() != plainOut.String() {
+		t.Error("-progress/-perf-out changed stdout")
+	}
+	// 2 seq refs + 1 baseline variant x 2 apps x 1 nprocs x 2 impls = 6 units.
+	beats := 0
+	for _, line := range strings.Split(errw.String(), "\n") {
+		if strings.Contains(line, "cells/s") && strings.Contains(line, "ETA") {
+			beats++
+		}
+	}
+	if beats != 6 {
+		t.Errorf("got %d heartbeats, want 6:\n%s", beats, errw.String())
+	}
+	if !strings.Contains(errw.String(), "6/6") {
+		t.Errorf("no final 6/6 heartbeat:\n%s", errw.String())
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	traj, err := perf.ReadTrajectory(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traj.Meta.Rev != "beef02" || !traj.AllocsExact {
+		t.Errorf("meta = %+v exact=%v", traj.Meta, traj.AllocsExact)
+	}
+	if len(traj.Cells) != 6 {
+		t.Errorf("got %d cells, want 6", len(traj.Cells))
+	}
+	for _, c := range traj.Cells {
+		if c.Impl != "seq" && c.Variant == "" {
+			t.Errorf("cell %v missing variant label", c.Key())
+		}
 	}
 }

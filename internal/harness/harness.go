@@ -13,11 +13,13 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"ecvslrc/internal/apps"
 	"ecvslrc/internal/core"
 	"ecvslrc/internal/fabric"
 	"ecvslrc/internal/mem"
+	"ecvslrc/internal/perf"
 	"ecvslrc/internal/run"
 	"ecvslrc/internal/sim"
 	"ecvslrc/internal/trace"
@@ -50,6 +52,16 @@ type Config struct {
 	// virtual clock would pass Timeout fails with a sim.Stalled diagnostic
 	// naming the blocked processes instead of running forever. 0 disables.
 	Timeout sim.Time
+	// Perf, when non-nil, attributes host-side performance to every cell:
+	// wall-clock time, runtime.MemStats allocation deltas and peak heap per
+	// (app, impl, nprocs, variant), plus the run-phase timers (internal/perf).
+	// Metrics are observation-only — host clocks, never virtual time — so
+	// the tables are byte-identical with metrics on; nil costs nothing.
+	Perf *perf.Registry
+	// Variant labels this configuration's cost variant in the perf record
+	// (the sweep engine sets it to the variant name; "" for the calibrated
+	// paper platform). Purely a metrics label — it changes no behavior.
+	Variant string
 }
 
 // ErrConfig is wrapped by every Config validation failure.
@@ -213,6 +225,7 @@ func cellOptions(cfg Config, app string) (run.Options, error) {
 		Layout:     ent.al,
 		Faults:     cfg.Faults,
 		Timeout:    cfg.Timeout,
+		Perf:       cfg.Perf,
 	}
 	if cfg.Trace {
 		opts.Trace = trace.New(cfg.NProcs)
@@ -230,22 +243,51 @@ type CellPanic struct {
 	NProcs int
 	Value  any    // the recovered panic value
 	Stack  []byte // stack captured at recovery
+	// Elapsed is the cell's host wall time up to the panic, measured when a
+	// perf registry is attached (Config.Perf; zero otherwise). It makes a
+	// slow-then-crashing cell distinguishable from a fast one.
+	Elapsed time.Duration
 }
 
 func (cp *CellPanic) Error() string {
-	return fmt.Sprintf("harness: cell %s/%v (%d procs) panicked: %v\n%s",
-		cp.App, cp.Impl, cp.NProcs, cp.Value, cp.Stack)
+	after := ""
+	if cp.Elapsed > 0 {
+		after = fmt.Sprintf(" after %v", cp.Elapsed.Round(time.Microsecond))
+	}
+	return fmt.Sprintf("harness: cell %s/%v (%d procs) panicked%s: %v\n%s",
+		cp.App, cp.Impl, cp.NProcs, after, cp.Value, cp.Stack)
+}
+
+// outcomeOf classifies a cell error for the perf record.
+func outcomeOf(err error) perf.Outcome {
+	switch {
+	case err == nil:
+		return perf.OutcomeOK
+	default:
+		var cp *CellPanic
+		if errors.As(err, &cp) {
+			return perf.OutcomePanic
+		}
+		return perf.OutcomeErr
+	}
 }
 
 // RunCell executes one cell of the evaluation matrix. A panic anywhere in the
 // cell's run is recovered into a *CellPanic in Row.Err rather than crashing
-// the caller.
+// the caller. With Config.Perf attached, the cell's wall time and allocation
+// deltas are recorded whatever the outcome — the panic path is attributed
+// its elapsed time too.
 func RunCell(cfg Config, app string, impl core.Impl) (row Row) {
 	row = Row{App: app, Impl: impl}
+	cs := cfg.Perf.StartCell(cfg.Variant, app, impl.String(), cfg.NProcs)
 	defer func() {
 		if v := recover(); v != nil {
-			row.Err = &CellPanic{App: app, Impl: impl, NProcs: cfg.NProcs, Value: v, Stack: debug.Stack()}
+			row.Err = &CellPanic{
+				App: app, Impl: impl, NProcs: cfg.NProcs, Value: v,
+				Stack: debug.Stack(), Elapsed: cs.Elapsed(),
+			}
 		}
+		cs.End(outcomeOf(row.Err))
 	}()
 	a, err := apps.New(app, cfg.Scale)
 	if err != nil {
@@ -262,8 +304,17 @@ func RunCell(cfg Config, app string, impl core.Impl) (row Row) {
 	return row
 }
 
-// RunSeq executes the sequential reference of one application.
-func RunSeq(cfg Config, app string) (sim.Time, error) {
+// RunSeq executes the sequential reference of one application. With
+// Config.Perf attached it is attributed like a cell, under impl "seq".
+func RunSeq(cfg Config, app string) (t sim.Time, err error) {
+	cs := cfg.Perf.StartCell(cfg.Variant, app, "seq", 1)
+	defer func() {
+		if v := recover(); v != nil {
+			cs.End(perf.OutcomePanic)
+			panic(v) // ForEach's per-index recovery attributes it
+		}
+		cs.End(outcomeOf(err))
+	}()
 	a, err := apps.New(app, cfg.Scale)
 	if err != nil {
 		return 0, err

@@ -8,6 +8,7 @@ import (
 	"ecvslrc/internal/apps"
 	"ecvslrc/internal/core"
 	"ecvslrc/internal/fabric"
+	"ecvslrc/internal/perf"
 	"ecvslrc/internal/run"
 )
 
@@ -52,6 +53,38 @@ func TestBenchReportWithTracingMatchesSeedGolden(t *testing.T) {
 	}
 	if got != string(want) {
 		t.Errorf("BenchReport with tracing enabled drifted from the seed golden (%d vs %d bytes): a trace hook is perturbing the simulation", len(got), len(want))
+	}
+}
+
+// TestBenchReportWithMetricsMatchesSeedGolden is the same invariant for the
+// host-side perf layer: a live registry on every cell reads host clocks and
+// MemStats only, so the simulated report must not move by a byte. It also
+// sanity-checks the registry actually observed the sweep (cells recorded,
+// phase counters non-zero) so a silently-disconnected registry can't fake a
+// pass.
+func TestBenchReportWithMetricsMatchesSeedGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench-scale full sweep")
+	}
+	want, err := os.ReadFile("testdata/bench_all_micro.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := perf.New()
+	cfg := Config{Scale: apps.Bench, NProcs: 8, Cost: fabric.DefaultCostModel(), Perf: reg}
+	got, err := BenchReport(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("BenchReport with metrics enabled drifted from the seed golden (%d vs %d bytes): the perf layer is perturbing the simulation", len(got), len(want))
+	}
+	snap := reg.Snapshot(perf.Meta{Parallel: 1})
+	if len(snap.Cells) == 0 || snap.CellRuns == 0 {
+		t.Error("registry attached but observed no cells")
+	}
+	if snap.Counters["phase_simulate_ns"] <= 0 {
+		t.Error("no simulate-phase time attributed")
 	}
 }
 

@@ -1,0 +1,56 @@
+package perf
+
+import (
+	"runtime"
+	"runtime/debug"
+	"testing"
+)
+
+// BenchmarkPerfDisabled drives every hot-path entry point against the nil
+// registry — the disabled layer every cell pays when metrics are off. The
+// CI alloc guard asserts 0 allocs/op: disabled metrics must be a pointer
+// check, never a clock read or an allocation.
+func BenchmarkPerfDisabled(b *testing.B) {
+	var r *Registry
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs := r.StartCell("", "app", "impl", 8)
+		_ = cs.Elapsed()
+		cs.End(OutcomeOK)
+		ph := r.StartPhase("simulate")
+		ph.End()
+		r.Counter("c").Add(1)
+		r.Gauge("g").SetMax(int64(i))
+		r.Histogram("h", WallBuckets).Observe(int64(i))
+	}
+}
+
+// TestDisabledRegistryAllocs is the strict in-process form of the
+// BenchmarkPerfDisabled guard: a window of disabled-path operations must
+// perform zero heap allocations, measured as a runtime Mallocs delta with
+// GC pinned off (the same discipline as the trace and fabric nil-path
+// tests).
+func TestDisabledRegistryAllocs(t *testing.T) {
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	var r *Registry
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < 1000; i++ {
+		cs := r.StartCell("", "app", "impl", 8)
+		_ = cs.Elapsed()
+		_ = cs.Active()
+		cs.End(OutcomePanic)
+		ph := r.StartPhase("init")
+		ph.End()
+		r.Counter("c").Add(1)
+		r.Gauge("g").SetMax(int64(i))
+		r.Histogram("h", WallBuckets).Observe(int64(i))
+		r.ObserveCell(Cell{})
+		r.SetAllocsExact(true)
+	}
+	runtime.ReadMemStats(&m1)
+	if delta := m1.Mallocs - m0.Mallocs; delta != 0 {
+		t.Errorf("9000 disabled-path operations allocated %d objects, want 0", delta)
+	}
+}

@@ -1,0 +1,124 @@
+package perf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func traj(exact bool, cells ...Cell) *Trajectory {
+	r := New()
+	r.SetAllocsExact(exact)
+	for _, c := range cells {
+		r.ObserveCell(c)
+	}
+	return r.Snapshot(Meta{Rev: "test", Parallel: 1})
+}
+
+func cell(app string, minWall, mallocs int64) Cell {
+	return Cell{App: app, Impl: "EC-time", NProcs: 8, Outcome: "ok",
+		Runs: 1, WallNS: minWall, MinWallNS: minWall, Mallocs: mallocs}
+}
+
+func TestCompareClean(t *testing.T) {
+	base := traj(true, cell("SOR", 1000, 100), cell("QS", 2000, 200))
+	head := traj(true, cell("SOR", 1050, 100), cell("QS", 1900, 200))
+	res := Compare(base, head, CompareOptions{WallTol: 0.30, AllocTol: 0.05})
+	if res.Regressions != 0 {
+		t.Fatalf("clean compare found %d regressions: %+v", res.Regressions, res.Deltas)
+	}
+	if !res.AllocsGated {
+		t.Error("exact trajectories did not gate allocs")
+	}
+	if len(res.Deltas) != 2 {
+		t.Fatalf("got %d deltas, want 2", len(res.Deltas))
+	}
+	// Worst wall ratio leads.
+	if res.Deltas[0].Key.App != "SOR" {
+		t.Errorf("deltas not sorted worst-first: %v", res.Deltas[0].Key)
+	}
+}
+
+func TestCompareWallRegression(t *testing.T) {
+	base := traj(true, cell("SOR", 1000, 100))
+	head := traj(true, cell("SOR", 1500, 100))
+	res := Compare(base, head, CompareOptions{WallTol: 0.30, AllocTol: 0.05})
+	if res.Regressions != 1 || !res.Deltas[0].WallRegressed {
+		t.Errorf("1.5x wall at 30%% tolerance not flagged: %+v", res.Deltas[0])
+	}
+	// Disabled wall gating lets the same delta pass.
+	res = Compare(base, head, CompareOptions{WallTol: -1, AllocTol: 0.05})
+	if res.Regressions != 0 {
+		t.Errorf("wall gating disabled but still flagged: %+v", res.Deltas[0])
+	}
+}
+
+func TestCompareAllocRegression(t *testing.T) {
+	base := traj(true, cell("SOR", 1000, 100))
+	head := traj(true, cell("SOR", 1000, 120))
+	res := Compare(base, head, CompareOptions{WallTol: -1, AllocTol: 0.05})
+	if res.Regressions != 1 || !res.Deltas[0].AllocRegressed {
+		t.Errorf("1.2x allocs at 5%% tolerance not flagged: %+v", res.Deltas[0])
+	}
+	// Inexact measurements must never gate on allocs.
+	inexact := traj(false, cell("SOR", 1000, 120))
+	res = Compare(base, inexact, CompareOptions{WallTol: -1, AllocTol: 0.05})
+	if res.AllocsGated || res.Regressions != 0 {
+		t.Errorf("inexact head still gated allocs: gated=%v regressions=%d", res.AllocsGated, res.Regressions)
+	}
+}
+
+func TestCompareOutcomeAndCoverage(t *testing.T) {
+	base := traj(true, cell("SOR", 1000, 100), cell("QS", 1000, 100))
+	sick := cell("SOR", 1000, 100)
+	sick.Outcome = "panic"
+	head := traj(true, sick, cell("Water", 1000, 100))
+	res := Compare(base, head, CompareOptions{WallTol: -1, AllocTol: -1})
+	// Two regressions: SOR ok->panic, QS lost from head.
+	if res.Regressions != 2 {
+		t.Errorf("regressions = %d, want 2: %+v", res.Regressions, res)
+	}
+	if len(res.OnlyBase) != 1 || res.OnlyBase[0].App != "QS" {
+		t.Errorf("OnlyBase = %v", res.OnlyBase)
+	}
+	if len(res.OnlyHead) != 1 || res.OnlyHead[0].App != "Water" {
+		t.Errorf("OnlyHead = %v", res.OnlyHead)
+	}
+	if !res.Deltas[0].OutcomeChanged {
+		t.Errorf("outcome change not flagged: %+v", res.Deltas[0])
+	}
+}
+
+func TestWriteCompareReport(t *testing.T) {
+	base := traj(true, cell("SOR", 1000, 100))
+	head := traj(true, cell("SOR", 1500, 120))
+	opt := CompareOptions{WallTol: 0.30, AllocTol: 0.05}
+	res := Compare(base, head, opt)
+	var buf bytes.Buffer
+	if err := WriteCompare(&buf, base, head, res, opt); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# dsmperf compare",
+		"Top wall movers",
+		"## Regressions",
+		"SOR/EC-time/8",
+		"1.50x",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCellKeyString(t *testing.T) {
+	k := CellKey{App: "SOR", Impl: "EC-time", NProcs: 8}
+	if k.String() != "SOR/EC-time/8" {
+		t.Errorf("bare key = %s", k)
+	}
+	k.Variant = "net-x4"
+	if k.String() != "net-x4/SOR/EC-time/8" {
+		t.Errorf("variant key = %s", k)
+	}
+}

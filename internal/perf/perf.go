@@ -1,0 +1,443 @@
+// Package perf is the host-side observability layer: counters, gauges,
+// fixed-bucket histograms, phase timers and per-cell spans measuring the
+// *host* running the simulator — wall-clock time, allocation counts, heap
+// footprint — as opposed to internal/trace, which observes the *simulated*
+// machine in virtual time.
+//
+// The layer is observation-only by construction:
+//
+//   - Every entry point is nil-safe: a nil *Registry (and the nil Counter /
+//     Gauge / Histogram handles and zero-valued CellSpan / Phase it hands
+//     out) turns every operation into a pointer check — no clock reads, no
+//     runtime.MemStats, no allocation. The disabled path is pinned at zero
+//     allocations by BenchmarkPerfDisabled and TestDisabledRegistryAllocs.
+//   - Nothing here reads virtual time. Metrics come from host clocks and the
+//     Go runtime, so simulated statistics are byte-identical with metrics on
+//     (TestBenchReportWithMetricsMatchesSeedGolden pins the full report).
+//
+// All handles are safe for concurrent use: counters, gauges and histogram
+// buckets are atomics, and the per-cell record list is mutex-guarded, so a
+// registry can be shared by every worker of a parallel harness sweep.
+package perf
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically-increasing atomic counter. The nil Counter
+// (from a nil Registry) accepts Add and reports zero.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by d. No-op on the nil Counter.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Value returns the current count; zero on the nil Counter.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value with a set-to-maximum operation
+// (used for peak-heap tracking). The nil Gauge accepts everything.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v. No-op on the nil Gauge.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// SetMax raises the gauge to v if v exceeds the current value.
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value; zero on the nil Gauge.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket histogram: bounds are ascending upper bounds,
+// observations beyond the last bound land in an overflow bucket. Buckets and
+// the sum are atomics, so concurrent Observe calls are race-free and the
+// totals are deterministic for a deterministic observation set.
+type Histogram struct {
+	bounds  []int64
+	buckets []atomic.Int64 // len(bounds)+1; last is overflow
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// Observe records v. No-op on the nil Histogram.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations; zero on the nil Histogram.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// WallBuckets is the default bucket layout for host wall-time histograms:
+// exponential upper bounds from 100µs to 100s, in nanoseconds.
+var WallBuckets = []int64{
+	100e3, 1e6, 10e6, 100e6, 1e9, 10e9, 100e9,
+}
+
+// Outcome classifies how a cell run ended.
+type Outcome string
+
+// Cell outcomes. Severity orders panic > err > ok; merged cells keep the
+// worst outcome seen.
+const (
+	OutcomeOK    Outcome = "ok"
+	OutcomeErr   Outcome = "err"
+	OutcomePanic Outcome = "panic"
+)
+
+func outcomeRank(o Outcome) int {
+	switch o {
+	case OutcomePanic:
+		return 2
+	case OutcomeErr:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Cell is the host-side performance record of one evaluation-matrix cell,
+// attributed by (variant, app, impl, nprocs). Repeated runs of the same cell
+// (Table 3 and Table 4 both run SOR/EC-time, say) merge: Runs counts them,
+// WallNS / Mallocs / AllocBytes accumulate, MinWallNS keeps the fastest run
+// (the least-noisy wall estimator, benchmarking's min-of-N).
+type Cell struct {
+	Variant string `json:"variant,omitempty"`
+	App     string `json:"app"`
+	Impl    string `json:"impl"`
+	NProcs  int    `json:"nprocs"`
+	Outcome string `json:"outcome"`
+	Runs    int64  `json:"runs"`
+	// WallNS is the summed host wall-clock time of all runs; MinWallNS the
+	// fastest single run.
+	WallNS    int64 `json:"wall_ns"`
+	MinWallNS int64 `json:"min_wall_ns"`
+	// Mallocs and AllocBytes are summed runtime.MemStats deltas across the
+	// cell's runs. Exact only when cells run one at a time (see
+	// Trajectory.AllocsExact); under parallel workers concurrent cells bleed
+	// into each other's windows.
+	Mallocs    int64 `json:"mallocs"`
+	AllocBytes int64 `json:"alloc_bytes"`
+}
+
+// Key is the cell's merge/compare identity.
+func (c Cell) Key() CellKey {
+	return CellKey{Variant: c.Variant, App: c.App, Impl: c.Impl, NProcs: c.NProcs}
+}
+
+// CellKey identifies a cell across trajectories.
+type CellKey struct {
+	Variant string
+	App     string
+	Impl    string
+	NProcs  int
+}
+
+// Registry collects every metric of one measurement session. The zero value
+// is not useful; use New. A nil *Registry is the disabled layer: every
+// method is a no-op returning nil/zero handles.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+
+	cells map[CellKey]*Cell
+	walls []int64 // every individual cell-run wall time, for exact quantiles
+
+	firstStart  time.Time
+	lastEnd     time.Time
+	allocsExact bool
+}
+
+// New returns an empty enabled registry.
+func New() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		cells:    make(map[CellKey]*Cell),
+	}
+}
+
+// SetAllocsExact records whether per-cell allocation deltas are exact —
+// true only when the caller runs cells strictly one at a time (parallel 1).
+// The flag lands in the trajectory; dsmperf only gates on allocation counts
+// when both sides are exact.
+func (r *Registry) SetAllocsExact(exact bool) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.allocsExact = exact
+	r.mu.Unlock()
+}
+
+// Counter returns the named counter, creating it on first use. Nil registry
+// returns the nil Counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Nil registry
+// returns the nil Gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bounds
+// on first use (later bounds are ignored). Nil registry returns the nil
+// Histogram.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{bounds: bounds, buckets: make([]atomic.Int64, len(bounds)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Phase times one named phase of a run; obtain it from StartPhase and call
+// End when the phase completes. The elapsed time accumulates into the
+// counter "phase_<name>_ns", so phases aggregate across cells.
+type Phase struct {
+	c     *Counter
+	start time.Time
+}
+
+// StartPhase starts timing the named phase. On the nil registry it returns
+// the zero Phase, whose End is a pointer check — no clock is read.
+func (r *Registry) StartPhase(name string) Phase {
+	if r == nil {
+		return Phase{}
+	}
+	return Phase{c: r.Counter("phase_" + name + "_ns"), start: time.Now()}
+}
+
+// End stops the phase and accumulates its wall time.
+func (p Phase) End() {
+	if p.c == nil {
+		return
+	}
+	p.c.Add(int64(time.Since(p.start)))
+}
+
+// CellSpan measures one cell run: host wall time plus runtime.MemStats
+// deltas (Mallocs, TotalAlloc) between StartCell and End, with the peak
+// observed HeapAlloc folded into the "peak_heap_bytes" gauge at both edges.
+type CellSpan struct {
+	r        *Registry
+	cell     Cell
+	start    time.Time
+	mallocs0 uint64
+	alloc0   uint64
+}
+
+// StartCell opens a measurement span for the identified cell. On the nil
+// registry it returns the zero CellSpan: End and Elapsed become pointer
+// checks, and no clock or MemStats read happens.
+func (r *Registry) StartCell(variant, app, impl string, nprocs int) CellSpan {
+	if r == nil {
+		return CellSpan{}
+	}
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	r.Gauge("peak_heap_bytes").SetMax(int64(m.HeapAlloc))
+	return CellSpan{
+		r:        r,
+		cell:     Cell{Variant: variant, App: app, Impl: impl, NProcs: nprocs},
+		start:    time.Now(),
+		mallocs0: m.Mallocs,
+		alloc0:   m.TotalAlloc,
+	}
+}
+
+// Active reports whether the span measures anything (false for spans from a
+// nil registry).
+func (cs CellSpan) Active() bool { return cs.r != nil }
+
+// Elapsed returns the host wall time since StartCell; zero on an inactive
+// span.
+func (cs CellSpan) Elapsed() time.Duration {
+	if cs.r == nil {
+		return 0
+	}
+	return time.Since(cs.start)
+}
+
+// End closes the span with the given outcome and records the cell. Slow
+// cells that die are still attributed their elapsed time: the harness calls
+// End(OutcomePanic) from its recovery path, so a slow-then-crashing cell is
+// distinguishable from a fast one in the perf record.
+func (cs CellSpan) End(outcome Outcome) {
+	if cs.r == nil {
+		return
+	}
+	end := time.Now()
+	wall := end.Sub(cs.start)
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	cs.r.Gauge("peak_heap_bytes").SetMax(int64(m.HeapAlloc))
+	cs.r.Histogram("cell_wall_ns", WallBuckets).Observe(int64(wall))
+
+	c := cs.cell
+	c.Outcome = string(outcome)
+	c.Runs = 1
+	c.WallNS = int64(wall)
+	c.MinWallNS = int64(wall)
+	c.Mallocs = int64(m.Mallocs - cs.mallocs0)
+	c.AllocBytes = int64(m.TotalAlloc - cs.alloc0)
+
+	cs.r.mu.Lock()
+	cs.r.mergeLocked(c)
+	cs.r.walls = append(cs.r.walls, int64(wall))
+	if cs.r.firstStart.IsZero() || cs.start.Before(cs.r.firstStart) {
+		cs.r.firstStart = cs.start
+	}
+	if end.After(cs.r.lastEnd) {
+		cs.r.lastEnd = end
+	}
+	cs.r.mu.Unlock()
+}
+
+// ObserveCell records a pre-measured cell (merging with any existing record
+// of the same identity). It exists for synthetic attribution — tests and
+// callers that measure cells through means other than CellSpan. Runs of a
+// multi-run cell contribute their average wall to the quantile pool.
+func (r *Registry) ObserveCell(c Cell) {
+	if r == nil {
+		return
+	}
+	if c.Runs <= 0 {
+		c.Runs = 1
+	}
+	if c.MinWallNS == 0 {
+		c.MinWallNS = c.WallNS / c.Runs
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.mergeLocked(c)
+	avg := c.WallNS / c.Runs
+	for i := int64(0); i < c.Runs; i++ {
+		r.walls = append(r.walls, avg)
+	}
+}
+
+// mergeLocked folds one cell record into the registry. Caller holds r.mu.
+func (r *Registry) mergeLocked(c Cell) {
+	key := c.Key()
+	cur := r.cells[key]
+	if cur == nil {
+		cc := c
+		r.cells[key] = &cc
+		return
+	}
+	cur.Runs += c.Runs
+	cur.WallNS += c.WallNS
+	cur.Mallocs += c.Mallocs
+	cur.AllocBytes += c.AllocBytes
+	if c.MinWallNS < cur.MinWallNS {
+		cur.MinWallNS = c.MinWallNS
+	}
+	if outcomeRank(Outcome(c.Outcome)) > outcomeRank(Outcome(cur.Outcome)) {
+		cur.Outcome = c.Outcome
+	}
+}
+
+// Counters returns a point-in-time copy of every named counter.
+func (r *Registry) Counters() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	return out
+}
+
+// Gauges returns a point-in-time copy of every named gauge.
+func (r *Registry) Gauges() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.gauges))
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	return out
+}

@@ -1,0 +1,203 @@
+package perf
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := New()
+	c := r.Counter("c")
+	c.Add(3)
+	c.Add(4)
+	if got := c.Value(); got != 7 {
+		t.Errorf("counter = %d, want 7", got)
+	}
+	if r.Counter("c") != c {
+		t.Error("second Counter lookup returned a different handle")
+	}
+	g := r.Gauge("g")
+	g.Set(10)
+	g.SetMax(5)
+	if got := g.Value(); got != 10 {
+		t.Errorf("SetMax(5) lowered gauge to %d", got)
+	}
+	g.SetMax(20)
+	if got := g.Value(); got != 20 {
+		t.Errorf("gauge = %d, want 20", got)
+	}
+	h := r.Histogram("h", []int64{10, 100})
+	for _, v := range []int64{5, 50, 500} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 3 {
+		t.Errorf("histogram count = %d, want 3", got)
+	}
+	snap := r.Snapshot(Meta{})
+	hs := snap.Histograms[0]
+	if want := []int64{1, 1, 1}; len(hs.Buckets) != 3 || hs.Buckets[0] != want[0] || hs.Buckets[1] != want[1] || hs.Buckets[2] != want[2] {
+		t.Errorf("buckets = %v, want %v", hs.Buckets, want)
+	}
+	if hs.SumNS != 555 {
+		t.Errorf("histogram sum = %d, want 555", hs.SumNS)
+	}
+}
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	r.Counter("c").Add(1)
+	r.Gauge("g").SetMax(1)
+	r.Histogram("h", WallBuckets).Observe(1)
+	r.SetAllocsExact(true)
+	r.ObserveCell(Cell{App: "a", Impl: "b"})
+	ph := r.StartPhase("x")
+	ph.End()
+	cs := r.StartCell("", "a", "b", 1)
+	if cs.Active() {
+		t.Error("nil registry produced an active span")
+	}
+	if cs.Elapsed() != 0 {
+		t.Error("inactive span reports elapsed time")
+	}
+	cs.End(OutcomeOK)
+	snap := r.Snapshot(Meta{Rev: "x"})
+	if snap.SchemaVersion != Schema || len(snap.Cells) != 0 || snap.Meta.Rev != "x" {
+		t.Errorf("nil snapshot = %+v", snap)
+	}
+}
+
+func TestCellSpanMeasures(t *testing.T) {
+	r := New()
+	cs := r.StartCell("v", "SOR", "EC-time", 8)
+	if !cs.Active() {
+		t.Fatal("span inactive on live registry")
+	}
+	time.Sleep(2 * time.Millisecond)
+	if cs.Elapsed() < time.Millisecond {
+		t.Errorf("Elapsed = %v, want >= 1ms", cs.Elapsed())
+	}
+	_ = make([]byte, 1<<16) // guarantee at least one allocation in the window
+	cs.End(OutcomeOK)
+	snap := r.Snapshot(Meta{Parallel: 1})
+	if len(snap.Cells) != 1 {
+		t.Fatalf("got %d cells, want 1", len(snap.Cells))
+	}
+	c := snap.Cells[0]
+	if c.Variant != "v" || c.App != "SOR" || c.Impl != "EC-time" || c.NProcs != 8 {
+		t.Errorf("cell identity = %+v", c.Key())
+	}
+	if c.Outcome != "ok" || c.Runs != 1 {
+		t.Errorf("outcome/runs = %s/%d", c.Outcome, c.Runs)
+	}
+	if c.WallNS < int64(time.Millisecond) || c.MinWallNS != c.WallNS {
+		t.Errorf("wall = %d, min = %d", c.WallNS, c.MinWallNS)
+	}
+	if c.Mallocs < 1 {
+		t.Errorf("mallocs = %d, want >= 1", c.Mallocs)
+	}
+	if snap.PeakHeapBytes <= 0 {
+		t.Error("no peak heap recorded")
+	}
+	if snap.CellRuns != 1 || snap.WallNS <= 0 || snap.CellsPerSec <= 0 {
+		t.Errorf("aggregates: runs=%d wall=%d cps=%f", snap.CellRuns, snap.WallNS, snap.CellsPerSec)
+	}
+	if snap.Occupancy <= 0 || snap.Occupancy > 1.01 {
+		t.Errorf("occupancy = %f", snap.Occupancy)
+	}
+	if snap.P50NS == 0 || snap.P99NS < snap.P50NS {
+		t.Errorf("quantiles p50=%d p99=%d", snap.P50NS, snap.P99NS)
+	}
+}
+
+// TestCellMerge pins the multi-run merge rule: runs accumulate, min wall
+// keeps the fastest run, the worst outcome wins.
+func TestCellMerge(t *testing.T) {
+	r := New()
+	r.ObserveCell(Cell{App: "SOR", Impl: "EC-time", NProcs: 8, Outcome: "ok", Runs: 1, WallNS: 300, MinWallNS: 300, Mallocs: 10})
+	r.ObserveCell(Cell{App: "SOR", Impl: "EC-time", NProcs: 8, Outcome: "panic", Runs: 1, WallNS: 100, MinWallNS: 100, Mallocs: 30})
+	r.ObserveCell(Cell{App: "SOR", Impl: "EC-time", NProcs: 4, Outcome: "ok", Runs: 1, WallNS: 50, MinWallNS: 50})
+	snap := r.Snapshot(Meta{})
+	if len(snap.Cells) != 2 {
+		t.Fatalf("got %d cells, want 2 (one merged, one distinct)", len(snap.Cells))
+	}
+	// Sorted by nprocs: the 4-proc cell first.
+	m := snap.Cells[1]
+	if m.Runs != 2 || m.WallNS != 400 || m.MinWallNS != 100 || m.Mallocs != 40 {
+		t.Errorf("merged cell = %+v", m)
+	}
+	if m.Outcome != "panic" {
+		t.Errorf("merged outcome = %s, want panic (worst wins)", m.Outcome)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	ws := []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if q := quantile(ws, 0.50); q != 5 {
+		t.Errorf("p50 = %d, want 5", q)
+	}
+	if q := quantile(ws, 0.99); q != 10 {
+		t.Errorf("p99 = %d, want 10", q)
+	}
+	if q := quantile(nil, 0.5); q != 0 {
+		t.Errorf("empty quantile = %d", q)
+	}
+}
+
+// TestRegistryConcurrentUse hammers one registry from many goroutines (the
+// parallel-harness shape) and checks totals are exact. Run under -race in
+// CI.
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	const workers, perWorker = 8, 200
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("n").Add(1)
+				r.Gauge("peak").SetMax(int64(w*1000 + i))
+				r.Histogram("h", WallBuckets).Observe(int64(i))
+				cs := r.StartCell("", "app", "impl", w)
+				cs.End(OutcomeOK)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("n").Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Gauge("peak").Value(); got != 7199 {
+		t.Errorf("max gauge = %d, want 7199", got)
+	}
+	snap := r.Snapshot(Meta{Parallel: workers})
+	if snap.CellRuns != workers*perWorker {
+		t.Errorf("cell runs = %d, want %d", snap.CellRuns, workers*perWorker)
+	}
+	if len(snap.Cells) != workers {
+		t.Errorf("distinct cells = %d, want %d", len(snap.Cells), workers)
+	}
+}
+
+func TestProgressEmitter(t *testing.T) {
+	var buf bytes.Buffer
+	p := ProgressEmitter(&buf)
+	p(1, 4, "paper/SOR/EC-time/8", 50*time.Millisecond)
+	p(2, 4, "paper/SOR/LRC-diff/8", 10*time.Millisecond)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d heartbeat lines, want 2:\n%s", len(lines), buf.String())
+	}
+	if !strings.Contains(lines[0], "1/4 paper/SOR/EC-time/8") {
+		t.Errorf("first heartbeat = %q", lines[0])
+	}
+	for _, l := range lines {
+		if !strings.Contains(l, "cells/s") || !strings.Contains(l, "ETA") {
+			t.Errorf("heartbeat missing rate/ETA: %q", l)
+		}
+	}
+}

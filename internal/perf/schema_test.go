@@ -1,0 +1,93 @@
+package perf
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// syntheticTrajectory builds a fully deterministic trajectory: cells are
+// injected pre-measured (ObserveCell), so no host clock or MemStats value
+// leaks into the encoding. The span-derived aggregates (wall_ns,
+// cells_per_sec, occupancy) stay zero by construction.
+func syntheticTrajectory() *Trajectory {
+	r := New()
+	r.SetAllocsExact(true)
+	r.ObserveCell(Cell{Variant: "paper", App: "SOR", Impl: "EC-time", NProcs: 8,
+		Outcome: "ok", Runs: 2, WallNS: 3_000_000, MinWallNS: 1_400_000, Mallocs: 2400, AllocBytes: 96_000})
+	r.ObserveCell(Cell{Variant: "paper", App: "SOR", Impl: "LRC-diff", NProcs: 8,
+		Outcome: "ok", Runs: 1, WallNS: 2_000_000, MinWallNS: 2_000_000, Mallocs: 5000, AllocBytes: 128_000})
+	r.ObserveCell(Cell{App: "Water", Impl: "seq", NProcs: 1,
+		Outcome: "err", Runs: 1, WallNS: 500_000, MinWallNS: 500_000, Mallocs: 100, AllocBytes: 4_096})
+	r.Counter("phase_simulate_ns").Add(4_200_000)
+	r.Counter("phase_init_ns").Add(300_000)
+	r.Gauge("peak_heap_bytes").SetMax(64 << 20)
+	r.Histogram("cell_wall_ns", WallBuckets).Observe(1_400_000)
+	r.Histogram("cell_wall_ns", WallBuckets).Observe(2_000_000)
+	meta := Meta{
+		Rev: "deadbeef", GoVersion: "go1.99", GOOS: "linux", GOARCH: "amd64",
+		GOMAXPROCS: 8, NumCPU: 8, Parallel: 1, Scale: "bench",
+		Cmd: "dsmbench -all -micro -scale bench -parallel 1 -perf-out BENCH_deadbeef.json",
+	}
+	return r.Snapshot(meta)
+}
+
+// TestTrajectorySchemaGolden pins the BENCH_*.json encoding byte for byte.
+// A diff here is a schema change: bump Schema and document it in DESIGN.md
+// ("Host observability") before regenerating with -run TestTrajectorySchemaGolden -update-golden...
+// i.e. delete the golden and re-run this test to print the new encoding.
+func TestTrajectorySchemaGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrajectory(&buf, syntheticTrajectory()); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("testdata/bench_schema.golden")
+	if err != nil {
+		t.Fatalf("golden missing (%v); new encoding:\n%s", err, buf.String())
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("BENCH encoding drifted from the schema golden (%d vs %d bytes). If the schema deliberately changed, bump perf.Schema, document it in DESIGN.md and regenerate the golden.\ngot:\n%s",
+			buf.Len(), len(want), buf.String())
+	}
+}
+
+// TestTrajectoryRoundTrip pins Write -> Read as the identity on the decoded
+// value.
+func TestTrajectoryRoundTrip(t *testing.T) {
+	orig := syntheticTrajectory()
+	var buf bytes.Buffer
+	if err := WriteTrajectory(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrajectory(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, got) {
+		t.Errorf("round trip diverged:\norig: %+v\ngot:  %+v", orig, got)
+	}
+}
+
+func TestReadTrajectoryRejects(t *testing.T) {
+	cases := map[string]string{
+		"not json":       "{",
+		"schema zero":    `{"schema":0,"cells":[]}`,
+		"future schema":  `{"schema":99,"cells":[]}`,
+		"empty identity": `{"schema":1,"cells":[{"app":"","impl":"x","nprocs":1,"runs":1}]}`,
+		"zero runs":      `{"schema":1,"cells":[{"app":"a","impl":"x","nprocs":1,"runs":0}]}`,
+		"duplicate cell": `{"schema":1,"cells":[{"app":"a","impl":"x","nprocs":1,"runs":1},{"app":"a","impl":"x","nprocs":1,"runs":1}]}`,
+	}
+	for name, in := range cases {
+		_, err := ReadTrajectory(strings.NewReader(in))
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			continue
+		}
+		if !errors.Is(err, ErrTrajectory) {
+			t.Errorf("%s: error does not wrap ErrTrajectory: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+// Trajectory is the BENCH_*.json perf record: a schema-versioned snapshot of
+// one measurement session, designed to be committed, diffed across revisions
+// (cmd/dsmperf) and gated on in CI. Encoding is deterministic: cells are
+// sorted by identity, counters/gauges are maps (encoding/json sorts keys),
+// and every field is either host metadata or derived from the registry.
+
+package perf
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"sort"
+)
+
+// Schema is the current trajectory schema version. Bump it — and document
+// the change in DESIGN.md's "Host observability" chapter — whenever a field
+// changes meaning or is removed; adding fields is backward compatible and
+// does not bump.
+const Schema = 1
+
+// ErrTrajectory is wrapped by every trajectory decode/validation failure.
+var ErrTrajectory = errors.New("invalid perf trajectory")
+
+// Meta identifies the build and host a trajectory was measured on.
+type Meta struct {
+	// Rev is the git revision the measured binary was built from.
+	Rev       string `json:"rev"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// GOMAXPROCS and NumCPU describe the host parallelism available to the
+	// measurement; Parallel is how many cells actually ran concurrently.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	NumCPU     int `json:"num_cpu"`
+	Parallel   int `json:"parallel"`
+	// Scale and Cmd record what was measured (problem scale, command line).
+	Scale string `json:"scale,omitempty"`
+	Cmd   string `json:"cmd,omitempty"`
+}
+
+// HostMeta fills Meta from the running binary and host. rev overrides the
+// revision stamp; empty falls back to the build's vcs.revision, then
+// "unknown".
+func HostMeta(rev string) Meta {
+	if rev == "" {
+		rev = vcsRevision()
+	}
+	if rev == "" {
+		rev = "unknown"
+	}
+	return Meta{
+		Rev:        rev,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+}
+
+// vcsRevision returns the vcs.revision build setting, if the binary carries
+// one ("" otherwise — e.g. `go run` from a dirty tree omits it).
+func vcsRevision() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" {
+			return s.Value
+		}
+	}
+	return ""
+}
+
+// HistogramSnapshot is one histogram's frozen state.
+type HistogramSnapshot struct {
+	Name string `json:"name"`
+	// Bounds are ascending upper bounds; Buckets has len(Bounds)+1 entries,
+	// the last counting observations beyond the final bound.
+	Bounds  []int64 `json:"bounds"`
+	Buckets []int64 `json:"buckets"`
+	Count   int64   `json:"count"`
+	SumNS   int64   `json:"sum"`
+}
+
+// Trajectory is the complete perf record of one measurement session.
+type Trajectory struct {
+	SchemaVersion int  `json:"schema"`
+	Meta          Meta `json:"meta"`
+	// AllocsExact reports whether per-cell allocation deltas are exact
+	// (cells ran one at a time). dsmperf only gates on allocations when
+	// both compared trajectories are exact.
+	AllocsExact bool `json:"allocs_exact"`
+	// WallNS is the host wall-clock span from the first cell start to the
+	// last cell end; CellRuns the number of individual cell runs;
+	// CellsPerSec the aggregate throughput over that span.
+	WallNS      int64   `json:"wall_ns"`
+	CellRuns    int64   `json:"cell_runs"`
+	CellsPerSec float64 `json:"cells_per_sec"`
+	// P50NS / P99NS are exact quantiles over every individual cell-run wall
+	// time (not histogram approximations).
+	P50NS int64 `json:"p50_ns"`
+	P99NS int64 `json:"p99_ns"`
+	// Occupancy is busy-worker utilization: total cell wall time divided by
+	// (span x parallel). 1.0 means every worker was simulating the whole
+	// time.
+	Occupancy     float64             `json:"occupancy"`
+	PeakHeapBytes int64               `json:"peak_heap_bytes"`
+	TotalMallocs  int64               `json:"total_mallocs"`
+	TotalAllocB   int64               `json:"total_alloc_bytes"`
+	Counters      map[string]int64    `json:"counters,omitempty"`
+	Gauges        map[string]int64    `json:"gauges,omitempty"`
+	Histograms    []HistogramSnapshot `json:"histograms,omitempty"`
+	Cells         []Cell              `json:"cells"`
+}
+
+// Snapshot freezes the registry into a trajectory. Cells are sorted by
+// (variant, app, impl, nprocs); quantiles are exact over every recorded
+// run. A nil registry yields an empty (but valid) trajectory.
+func (r *Registry) Snapshot(meta Meta) *Trajectory {
+	t := &Trajectory{SchemaVersion: Schema, Meta: meta, Cells: []Cell{}}
+	if r == nil {
+		return t
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	t.AllocsExact = r.allocsExact
+	for _, c := range r.cells {
+		t.Cells = append(t.Cells, *c)
+		t.CellRuns += c.Runs
+		t.TotalMallocs += c.Mallocs
+		t.TotalAllocB += c.AllocBytes
+	}
+	sort.Slice(t.Cells, func(i, j int) bool {
+		a, b := t.Cells[i], t.Cells[j]
+		if a.Variant != b.Variant {
+			return a.Variant < b.Variant
+		}
+		if a.App != b.App {
+			return a.App < b.App
+		}
+		if a.Impl != b.Impl {
+			return a.Impl < b.Impl
+		}
+		return a.NProcs < b.NProcs
+	})
+
+	if !r.firstStart.IsZero() {
+		t.WallNS = r.lastEnd.Sub(r.firstStart).Nanoseconds()
+	}
+	var busy int64
+	for _, w := range r.walls {
+		busy += w
+	}
+	if t.WallNS > 0 {
+		t.CellsPerSec = float64(t.CellRuns) / (float64(t.WallNS) / 1e9)
+		if meta.Parallel > 0 {
+			t.Occupancy = float64(busy) / (float64(t.WallNS) * float64(meta.Parallel))
+		}
+	}
+	if len(r.walls) > 0 {
+		ws := append([]int64(nil), r.walls...)
+		sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
+		t.P50NS = quantile(ws, 0.50)
+		t.P99NS = quantile(ws, 0.99)
+	}
+
+	if len(r.counters) > 0 {
+		t.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			t.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		t.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			t.Gauges[name] = g.Value()
+		}
+	}
+	t.PeakHeapBytes = t.Gauges["peak_heap_bytes"]
+	names := make([]string, 0, len(r.hists))
+	for name := range r.hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := r.hists[name]
+		hs := HistogramSnapshot{
+			Name:    name,
+			Bounds:  append([]int64(nil), h.bounds...),
+			Buckets: make([]int64, len(h.buckets)),
+			Count:   h.count.Load(),
+			SumNS:   h.sum.Load(),
+		}
+		for i := range h.buckets {
+			hs.Buckets[i] = h.buckets[i].Load()
+		}
+		t.Histograms = append(t.Histograms, hs)
+	}
+	return t
+}
+
+// quantile returns the q-quantile of the ascending-sorted slice, by
+// nearest-rank (the convention used for benchmark latency percentiles).
+func quantile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// WriteTrajectory encodes t deterministically (indented JSON, sorted cells
+// and map keys, trailing newline).
+func WriteTrajectory(w io.Writer, t *Trajectory) error {
+	b, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadTrajectory decodes and validates a trajectory. Unknown schema versions
+// and malformed cells fail with errors wrapping ErrTrajectory.
+func ReadTrajectory(r io.Reader) (*Trajectory, error) {
+	var t Trajectory
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("perf: %w: %v", ErrTrajectory, err)
+	}
+	if t.SchemaVersion < 1 || t.SchemaVersion > Schema {
+		return nil, fmt.Errorf("perf: %w: schema %d (this build reads 1..%d)",
+			ErrTrajectory, t.SchemaVersion, Schema)
+	}
+	seen := make(map[CellKey]bool, len(t.Cells))
+	for _, c := range t.Cells {
+		if c.App == "" || c.Impl == "" {
+			return nil, fmt.Errorf("perf: %w: cell with empty identity %+v", ErrTrajectory, c.Key())
+		}
+		if c.Runs < 1 {
+			return nil, fmt.Errorf("perf: %w: cell %v has %d runs", ErrTrajectory, c.Key(), c.Runs)
+		}
+		if seen[c.Key()] {
+			return nil, fmt.Errorf("perf: %w: duplicate cell %v", ErrTrajectory, c.Key())
+		}
+		seen[c.Key()] = true
+	}
+	return &t, nil
+}

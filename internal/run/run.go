@@ -12,6 +12,7 @@ import (
 	"ecvslrc/internal/lrc"
 	"ecvslrc/internal/mem"
 	"ecvslrc/internal/nodebase"
+	"ecvslrc/internal/perf"
 	"ecvslrc/internal/sim"
 	"ecvslrc/internal/trace"
 )
@@ -115,6 +116,13 @@ type Options struct {
 	// Result.Image (after verification). Equivalence tests use it to compare
 	// final images across fault plans.
 	KeepImage bool
+	// Perf, when non-nil, accumulates host-side phase timings for this run
+	// into the registry's "phase_init_ns" (layout replay, image seeding,
+	// node construction), "phase_simulate_ns" (the event loop) and
+	// "phase_verify_ns" (stats aggregation + verification) counters. Phases
+	// read host clocks only — simulated statistics are identical with and
+	// without a registry; nil costs nothing (internal/perf).
+	Perf *perf.Registry
 }
 
 // node is the common view of ec.Node and lrc.Node the runner needs.
@@ -153,6 +161,7 @@ func RunWith(app App, impl core.Impl, nprocs int, cm fabric.CostModel, opts Opti
 	if !impl.Valid() {
 		return Result{}, fmt.Errorf("run: invalid implementation %v", impl)
 	}
+	ph := opts.Perf.StartPhase("init")
 	al := layout(app, opts)
 	initIm, cached, err := initialImage(app, al, opts)
 	if err != nil {
@@ -230,9 +239,13 @@ func RunWith(app App, impl core.Impl, nprocs int, cm fabric.CostModel, opts Opti
 	if !cached {
 		mem.RecycleImage(initIm)
 	}
+	ph.End()
+	ph = opts.Perf.StartPhase("simulate")
 	if err := s.Run(); err != nil {
 		return Result{}, fmt.Errorf("run: %s on %v: %w", app.Name(), impl, err)
 	}
+	ph.End()
+	ph = opts.Perf.StartPhase("verify")
 
 	res := Result{App: app.Name(), Impl: impl, NProcs: nprocs, LinkWait: net.LinkWait(), Faults: net.FaultStats()}
 	for i, n := range nodes {
@@ -277,6 +290,7 @@ func RunWith(app App, impl core.Impl, nprocs int, cm fabric.CostModel, opts Opti
 	for _, im := range images {
 		mem.RecycleImage(im)
 	}
+	ph.End()
 	return res, nil
 }
 

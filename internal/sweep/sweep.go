@@ -14,11 +14,14 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"ecvslrc/internal/apps"
 	"ecvslrc/internal/core"
 	"ecvslrc/internal/fabric"
 	"ecvslrc/internal/harness"
+	"ecvslrc/internal/perf"
 	"ecvslrc/internal/sim"
 )
 
@@ -60,6 +63,19 @@ type Grid struct {
 	// harness.Config.Timeout): a cell whose virtual clock would pass it fails
 	// with a sim.Stalled diagnostic instead of hanging the sweep. 0 disables.
 	Timeout sim.Time
+	// Perf, when non-nil, attributes host-side performance (wall time,
+	// allocation deltas, peak heap) to every cell of the grid, labeled with
+	// the variant name, plus the grid's aggregate throughput and latency
+	// quantiles at Snapshot time (internal/perf). Observation-only: the
+	// records are byte-identical with and without it.
+	Perf *perf.Registry
+	// Progress, when non-nil, is invoked once after every completed unit of
+	// work — each sequential reference and each grid cell — with the running
+	// completion count, the total, the cell's label and its host wall time.
+	// Calls may come from concurrent workers; perf.ProgressEmitter returns a
+	// serializing implementation that streams heartbeats with throughput and
+	// ETA. Observation-only: records do not depend on it.
+	Progress func(done, total int, cell string, wall time.Duration)
 }
 
 // ErrGrid is wrapped by every Grid validation failure.
@@ -176,7 +192,22 @@ func Run(g Grid) ([]Record, error) {
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
-	baseCfg := harness.Config{Scale: g.Scale, NProcs: g.NProcs[0], Parallel: par, Cost: fabric.DefaultCostModel()}
+	baseCfg := harness.Config{Scale: g.Scale, NProcs: g.NProcs[0], Parallel: par, Cost: fabric.DefaultCostModel(), Perf: g.Perf}
+
+	// Progress accounting: every sequential reference and every grid cell is
+	// one unit. The callback gets a monotone completion count; wall times are
+	// measured here (host clock) only when someone is listening.
+	total := len(g.Apps) + len(g.Variants)*len(g.Apps)*len(g.NProcs)*len(g.Impls)
+	var done atomic.Int64
+	report := func(cell string, start time.Time) {
+		g.Progress(int(done.Add(1)), total, cell, time.Since(start))
+	}
+	startClock := func() (t time.Time) {
+		if g.Progress != nil {
+			t = time.Now()
+		}
+		return t
+	}
 
 	// Sequential references, once per application: every cell of the same
 	// app shares one memoized value regardless of variant, processor count
@@ -185,7 +216,11 @@ func Run(g Grid) ([]Record, error) {
 	seqTimes := make([]sim.Time, len(g.Apps))
 	seqErrs := make([]error, len(g.Apps))
 	if err := harness.ForEach(par, len(g.Apps), func(i int) {
+		t0 := startClock()
 		seqTimes[i], seqErrs[i] = harness.RunSeq(baseCfg, g.Apps[i])
+		if g.Progress != nil {
+			report(g.Apps[i]+"/seq", t0)
+		}
 	}); err != nil {
 		return nil, fmt.Errorf("sweep: sequential references: %w", err)
 	}
@@ -212,8 +247,13 @@ func Run(g Grid) ([]Record, error) {
 		cfg := harness.Config{
 			Scale: g.Scale, NProcs: np, Cost: v.Cost, Contention: v.Contention,
 			Faults: v.Faults, Timeout: g.Timeout, Parallel: 1,
+			Perf: g.Perf, Variant: v.Name,
 		}
+		t0 := startClock()
 		row := harness.RunCell(cfg, app, impl)
+		if g.Progress != nil {
+			report(fmt.Sprintf("%s/%s/%v/%d", v.Name, app, impl, np), t0)
+		}
 		if row.Err != nil {
 			cellErrs[k] = fmt.Errorf("sweep: %s/%s on %v, %d procs: %w", v.Name, app, impl, np, row.Err)
 			return

@@ -2,12 +2,15 @@ package sweep
 
 import (
 	"reflect"
+	"sync"
 	"testing"
+	"time"
 
 	"ecvslrc/internal/apps"
 	"ecvslrc/internal/core"
 	"ecvslrc/internal/fabric"
 	"ecvslrc/internal/harness"
+	"ecvslrc/internal/perf"
 )
 
 func testGrid(parallel int) Grid {
@@ -138,5 +141,79 @@ func TestSweepContentionSlowsCells(t *testing.T) {
 	}
 	if slower == 0 {
 		t.Error("contention=on slowed no cell at all")
+	}
+}
+
+// TestSweepProgressAndPerf runs a parallel grid with both observers attached
+// and checks the accounting: the progress callback fires exactly once per
+// unit of work (each seq reference plus each cell), the done counter covers
+// 1..total as a set, and the perf registry labels every cell with its
+// variant name — while the records themselves stay identical to an
+// unobserved run.
+func TestSweepProgressAndPerf(t *testing.T) {
+	g := testGrid(4)
+	g.Impls = core.Implementations()[:2]
+	plain, err := Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := perf.New()
+	var mu sync.Mutex
+	seen := make(map[int]string)
+	var wantTotal int
+	g.Perf = reg
+	g.Progress = func(done, total int, cell string, wall time.Duration) {
+		mu.Lock()
+		defer mu.Unlock()
+		if prev, dup := seen[done]; dup {
+			t.Errorf("done=%d reported twice (%q, %q)", done, prev, cell)
+		}
+		seen[done] = cell
+		wantTotal = total
+		if wall < 0 {
+			t.Errorf("negative wall time for %q", cell)
+		}
+	}
+	observed, err := Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, observed) {
+		t.Error("progress/perf observation changed the sweep records")
+	}
+
+	// 2 seq refs + 2 variants (baseline + spec) x 2 apps x 2 nprocs x
+	// 2 impls = 18 units.
+	if wantTotal != 18 {
+		t.Errorf("reported total = %d, want 18", wantTotal)
+	}
+	if len(seen) != wantTotal {
+		t.Fatalf("got %d progress calls, want %d", len(seen), wantTotal)
+	}
+	for d := 1; d <= wantTotal; d++ {
+		if _, ok := seen[d]; !ok {
+			t.Errorf("done=%d never reported", d)
+		}
+	}
+
+	snap := reg.Snapshot(perf.Meta{Parallel: 4})
+	var variantCells, seqCells int
+	for _, c := range snap.Cells {
+		switch {
+		case c.Impl == "seq":
+			seqCells++
+			if c.Variant != "" {
+				t.Errorf("seq cell carries variant %q", c.Variant)
+			}
+		default:
+			variantCells++
+			if c.Variant == "" {
+				t.Errorf("cell %v missing variant label", c.Key())
+			}
+		}
+	}
+	if seqCells != 2 || variantCells != 16 {
+		t.Errorf("perf cells: seq=%d variant=%d, want 2/16", seqCells, variantCells)
 	}
 }

@@ -64,17 +64,12 @@ func cli(args []string, stdout, stderr io.Writer) int {
 	cfg := harness.Default()
 	cfg.NProcs = *procs
 	cfg.Parallel = *parallel
-	switch *scale {
-	case "test":
-		cfg.Scale = apps.Test
-	case "bench":
-		cfg.Scale = apps.Bench
-	case "paper":
-		cfg.Scale = apps.Paper
-	default:
-		fmt.Fprintf(stderr, "dsmbench: unknown scale %q\n", *scale)
+	sc, err := apps.ParseScale(*scale)
+	if err != nil {
+		fmt.Fprintf(stderr, "dsmbench: %v\n", err)
 		return 2
 	}
+	cfg.Scale = sc
 	names := apps.Names()
 	if *appsFlag != "" {
 		known := make(map[string]bool, len(names))

@@ -7,6 +7,7 @@
 //	dsmrun -app QS -impl EC-time -procs 4 -scale test
 //	dsmrun -app SOR -impl LRC-diff -procs 8 -trace trace-out
 //	dsmrun -app Water -impl LRC-diff -perf -cpuprofile cpu.pprof
+//	dsmrun -app Water -impl LRC-diff -procs 256 -scale large -gc -fanin 16 -topo clos:radix=16
 //
 // -perf prints a host-side breakdown after the run (phase wall times,
 // allocation delta, peak heap — internal/perf); -cpuprofile/-memprofile
@@ -31,6 +32,7 @@ import (
 	"ecvslrc/internal/perf"
 	"ecvslrc/internal/run"
 	"ecvslrc/internal/sim"
+	"ecvslrc/internal/sweep"
 	"ecvslrc/internal/trace"
 )
 
@@ -46,7 +48,7 @@ func cli(args []string, stdout, stderr io.Writer) int {
 	appName := fs.String("app", "SOR", "application: "+strings.Join(apps.Names(), ", "))
 	implName := fs.String("impl", "LRC-diff", "implementation: EC-ci, EC-time, EC-diff, LRC-ci, LRC-time, LRC-diff")
 	procs := fs.Int("procs", 8, "number of simulated processors")
-	scale := fs.String("scale", "paper", "problem scale: test, bench or paper")
+	scale := fs.String("scale", "paper", "problem scale: "+strings.Join(apps.ScaleNames(), ", "))
 	seq := fs.Bool("seq", false, "also run the sequential reference")
 	preset := fs.String("preset", "paper", "cost-model preset: "+strings.Join(fabric.PresetNames(), ", "))
 	contention := fs.Bool("contention", false, "model shared-link contention (concurrent bulk transfers queue)")
@@ -54,6 +56,9 @@ func cli(args []string, stdout, stderr io.Writer) int {
 	faults := fs.String("faults", "off", "fault-plan preset injected into the fabric: "+strings.Join(fabric.FaultPresetNames(), ", "))
 	faultSeed := fs.Uint64("fault-seed", 0, "override the fault plan's PRNG seed (0 keeps the preset's seed)")
 	timeout := fs.Float64("timeout", 0, "virtual-time watchdog in simulated seconds: fail with a stall diagnostic instead of running past it (0 disables)")
+	gc := fs.Bool("gc", false, "collect LRC notice history at barriers (provably invisible to statistics and results)")
+	fanin := fs.Int("fanin", 0, "barrier fan-in: arrange barrier episodes as a radix-r tree (0 = flat, r >= 2 = tree)")
+	topo := fs.String("topo", "flat", "interconnect: \"flat\" or \"clos:radix=K[:taper=T][:stages=N]\" (folded-Clos switch fabric)")
 	perfFlag := fs.Bool("perf", false, "print a host-side performance breakdown (phase wall times, allocs, peak heap) after the run")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -68,16 +73,9 @@ func cli(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "dsmrun: "+format+"\n", fargs...)
 		return 2
 	}
-	var sc apps.Scale
-	switch *scale {
-	case "test":
-		sc = apps.Test
-	case "bench":
-		sc = apps.Bench
-	case "paper":
-		sc = apps.Paper
-	default:
-		return usageFail("unknown scale %q", *scale)
+	sc, err := apps.ParseScale(*scale)
+	if err != nil {
+		return usageFail("%v", err)
 	}
 	impl, err := core.ParseImpl(*implName)
 	if err != nil {
@@ -99,6 +97,16 @@ func cli(args []string, stdout, stderr io.Writer) int {
 	}
 	if *timeout < 0 {
 		return usageFail("negative -timeout")
+	}
+	if *fanin < 0 {
+		return usageFail("negative -fanin")
+	}
+	topology, err := sweep.ParseTopologySpec(*topo)
+	if err != nil {
+		return usageFail("%v", err)
+	}
+	if topology != nil && plan != nil {
+		return usageFail("-topo cannot combine with -faults: retransmission timing is calibrated against the flat link")
 	}
 	// The trace options are validated up front, before the (potentially
 	// long) run: a bad report selection must fail like a bad flag.
@@ -150,11 +158,14 @@ func cli(args []string, stdout, stderr io.Writer) int {
 		}
 		cs := reg.StartCell("", *appName, impl.String(), *procs)
 		res, err := run.RunWith(a, impl, *procs, cost, run.Options{
-			Contention: *contention,
-			Trace:      tr,
-			Faults:     plan,
-			Timeout:    sim.Time(*timeout * float64(sim.Second)),
-			Perf:       reg,
+			Contention:   *contention,
+			Trace:        tr,
+			Faults:       plan,
+			Timeout:      sim.Time(*timeout * float64(sim.Second)),
+			Perf:         reg,
+			NoticeGC:     *gc,
+			BarrierFanIn: *fanin,
+			Topology:     topology,
 		})
 		if err != nil {
 			cs.End(perf.OutcomeErr)
@@ -168,11 +179,24 @@ func cli(args []string, stdout, stderr io.Writer) int {
 		if plan != nil {
 			variant += "+fault=" + *faults
 		}
+		if topology != nil {
+			variant += "+topo=" + topology.String()
+		}
+		if *fanin >= 2 {
+			variant += fmt.Sprintf("+fanin=%d", *fanin)
+		}
+		if *gc {
+			variant += "+gc"
+		}
 		fmt.Fprintf(stdout, "%s on %v, %d procs (%s scale, %s cost):\n  %v\n", *appName, impl, *procs, *scale, variant, res.Stats)
 		if plan != nil {
 			f := res.Faults
 			fmt.Fprintf(stdout, "  faults: %d sent, %d dropped, %d duplicated, %d delayed; %d retransmits, %d dups dropped, %d reordered, %d acks (%d lost), recovery wait %v\n",
 				f.Sent, f.Dropped, f.Duplicated, f.Delayed, f.Retransmits, f.DupsDropped, f.OutOfOrder, f.Acks, f.AcksLost, f.RecoveryWait)
+		}
+		if res.GC != nil {
+			fmt.Fprintf(stdout, "  gc: %d passes, %d records + %d diffs pruned, %d notice bytes live at exit\n",
+				res.GC.Collections, res.GC.RecordsPruned, res.GC.DiffsPruned, res.NoticeBytes)
 		}
 		if tr != nil {
 			a2, err := apps.New(*appName, sc)

@@ -10,8 +10,11 @@
 //	dsmsweep -preset modern -scale bench
 //
 // Variant axes: net=xK, cpu=xK, detect=sw|hw, diff=sw|free,
-// contention=off|on, fault=off|drop1e-3|drop1e-2|chaos; the calibrated
-// paper platform ("paper") is always included as the comparison baseline.
+// contention=off|on, fault=off|drop1e-3|drop1e-2|chaos,
+// topo=flat|clos:radix=K[:taper=T][:stages=N]; the calibrated paper
+// platform ("paper") is always included as the comparison baseline. At
+// -scale large every cell defaults to LRC notice GC and a fan-in-16
+// barrier tree (override with -fanin 1 for flat barriers).
 // With -out unset, the markdown report goes to stdout; with it set,
 // sweep.csv, sweep.jsonl, sweep.md and report.md are written to the
 // directory.
@@ -59,13 +62,14 @@ func main() {
 func cli(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("dsmsweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	scale := fs.String("scale", "bench", "problem scale: test, bench or paper")
+	scale := fs.String("scale", "bench", "problem scale: "+strings.Join(apps.ScaleNames(), ", "))
 	procsFlag := fs.String("procs", "8", "comma-separated processor counts, e.g. \"4,8\"")
 	appsFlag := fs.String("apps", "", "comma-separated application subset (default: all)")
 	implsFlag := fs.String("impls", "", "comma-separated implementation subset, e.g. \"EC-time,LRC-diff\" (default: all six)")
 	variants := fs.String("variants", "", "variant spec, e.g. \"net=x2,x4 detect=sw,hw\" (default: baseline only)")
 	preset := fs.String("preset", "", "add one named cost preset as a variant: "+strings.Join(fabric.PresetNames(), ", "))
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "max cells simulated concurrently (records are identical for any value)")
+	fanin := fs.Int("fanin", 0, "barrier fan-in for every cell: radix-r arrival tree (0 = scale default, 1 = force flat, r >= 2 = tree)")
 	out := fs.String("out", "", "artifact directory (csv, jsonl, markdown, report); empty prints markdown to stdout")
 	timeout := fs.Float64("timeout", 0, "per-cell virtual-time watchdog in simulated seconds: stalled cells fail with a diagnostic instead of hanging the sweep (0 disables)")
 	progress := fs.Bool("progress", false, "stream per-cell completion heartbeats (wall time, running cells/sec, ETA) to stderr")
@@ -88,17 +92,15 @@ func cli(args []string, stdout, stderr io.Writer) int {
 	if *timeout < 0 {
 		return usageFail("negative -timeout")
 	}
-	g := sweep.Grid{Parallel: *parallel, Timeout: sim.Time(*timeout * float64(sim.Second))}
-	switch *scale {
-	case "test":
-		g.Scale = apps.Test
-	case "bench":
-		g.Scale = apps.Bench
-	case "paper":
-		g.Scale = apps.Paper
-	default:
-		return usageFail("unknown scale %q", *scale)
+	if *fanin < 0 {
+		return usageFail("negative -fanin")
 	}
+	g := sweep.Grid{Parallel: *parallel, Timeout: sim.Time(*timeout * float64(sim.Second)), BarrierFanIn: *fanin}
+	sc, err := apps.ParseScale(*scale)
+	if err != nil {
+		return usageFail("%v", err)
+	}
+	g.Scale = sc
 	for _, s := range splitList(*procsFlag) {
 		np, err := strconv.Atoi(s)
 		if err != nil {

@@ -68,16 +68,9 @@ func cli(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	var sc apps.Scale
-	switch *scale {
-	case "test":
-		sc = apps.Test
-	case "bench":
-		sc = apps.Bench
-	case "paper":
-		sc = apps.Paper
-	default:
-		return usageFail("unknown scale %q", *scale)
+	sc, err := apps.ParseScale(*scale)
+	if err != nil {
+		return usageFail("%v", err)
 	}
 	impl, err := core.ParseImpl(*implName)
 	if err != nil {

@@ -9,6 +9,7 @@ package apps
 
 import (
 	"fmt"
+	"strings"
 
 	"ecvslrc/internal/run"
 	"ecvslrc/internal/sim"
@@ -24,6 +25,14 @@ const (
 	Bench
 	// Paper is the data-set size of Table 2.
 	Paper
+	// Large is the scaled-machine tier: problem sizes chosen so 256-1024
+	// simulated processors each have real work while the per-node memory
+	// image stays small (every node replicates the full shared image, so
+	// image bytes multiply by the processor count). Cells at this scale
+	// default to LRC notice garbage collection and tree barrier fan-in
+	// (see internal/harness); 8-proc output at the other tiers is
+	// unaffected.
+	Large
 )
 
 func (s Scale) String() string {
@@ -32,9 +41,31 @@ func (s Scale) String() string {
 		return "test"
 	case Bench:
 		return "bench"
+	case Large:
+		return "large"
 	default:
 		return "paper"
 	}
+}
+
+// ScaleNames lists the valid -scale flag spellings, in tier order. It is the
+// single source of truth for CLI flag parsing and config error messages.
+func ScaleNames() []string { return []string{"test", "bench", "paper", "large"} }
+
+// ParseScale maps a -scale flag spelling to its Scale. The error names every
+// valid spelling, so CLIs can print it verbatim.
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "test":
+		return Test, nil
+	case "bench":
+		return Bench, nil
+	case "paper":
+		return Paper, nil
+	case "large":
+		return Large, nil
+	}
+	return 0, fmt.Errorf("apps: unknown scale %q (valid: %s)", s, strings.Join(ScaleNames(), ", "))
 }
 
 // Factory builds a fresh application instance at the given scale. Instances

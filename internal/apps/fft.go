@@ -55,6 +55,11 @@ func newFFT(s Scale) *FFT {
 		f.n1, f.n2, f.n3, f.iters = 16, 16, 32, 2
 	case Bench:
 		f.n1, f.n2, f.n3, f.iters = 32, 32, 32, 3
+	case Large:
+		// The kernel bands both n1 and n2, so only min(n1,n2) processors get
+		// work: past 64 procs 3D-FFT saturates by construction — a documented
+		// scaling finding (the transpose, not the butterflies, is the wall).
+		f.n1, f.n2, f.n3, f.iters = 64, 64, 8, 2
 	default: // Paper: 64x64x32 (Table 2)
 		f.n1, f.n2, f.n3, f.iters = 64, 64, 32, 6
 	}
@@ -321,14 +326,21 @@ func fftProgram[D core.Accessor](f *FFT, d D) {
 		d.WriteF64(base+8, imag(v))
 	}
 
-	acquireOwn := func(lock func(q, p int) core.LockID) {
+	// rdim is the dimension the reader p is banded over (n2 for lockA blocks,
+	// n1 for lockB blocks): past np > rdim the tail processors' bands are
+	// empty and their locks were never bound, so they must be skipped.
+	acquireOwn := func(lock func(q, p int) core.LockID, rdim int) {
 		for p := 0; p < np; p++ {
-			d.Acquire(lock(me, p))
+			if lo, hi := band(rdim, np, p); hi > lo {
+				d.Acquire(lock(me, p))
+			}
 		}
 	}
-	releaseOwn := func(lock func(q, p int) core.LockID) {
+	releaseOwn := func(lock func(q, p int) core.LockID, rdim int) {
 		for p := 0; p < np; p++ {
-			d.Release(lock(me, p))
+			if lo, hi := band(rdim, np, p); hi > lo {
+				d.Release(lock(me, p))
+			}
 		}
 	}
 
@@ -338,7 +350,7 @@ func fftProgram[D core.Accessor](f *FFT, d D) {
 		// EC, I hold my A-block locks exclusively while writing (they stay
 		// owned locally, so reacquisition is free).
 		if ec && iHi > iLo {
-			acquireOwn(f.lockA)
+			acquireOwn(f.lockA, a.n2)
 		}
 		for i := iLo; i < iHi; i++ {
 			for j := 0; j < a.n2; j++ {
@@ -363,7 +375,7 @@ func fftProgram[D core.Accessor](f *FFT, d D) {
 			}
 		}
 		if ec && iHi > iLo {
-			releaseOwn(f.lockA)
+			releaseOwn(f.lockA, a.n2)
 		}
 		d.Barrier(0)
 
@@ -373,7 +385,7 @@ func fftProgram[D core.Accessor](f *FFT, d D) {
 		// paper scale) block via the update protocol; under LRC it is one
 		// page fault per page.
 		if ec && jHi > jLo {
-			acquireOwn(f.lockB)
+			acquireOwn(f.lockB, a.n1)
 		}
 		for q := 0; q < np; q++ {
 			qLo, qHi := band(a.n1, np, q)
@@ -407,7 +419,7 @@ func fftProgram[D core.Accessor](f *FFT, d D) {
 			}
 		}
 		if ec && jHi > jLo {
-			releaseOwn(f.lockB)
+			releaseOwn(f.lockB, a.n1)
 		}
 		d.Barrier(1)
 
@@ -416,7 +428,7 @@ func fftProgram[D core.Accessor](f *FFT, d D) {
 		if it < a.iters-1 {
 			scale := complex(1/float64(a.elems()), 0)
 			if ec && iHi > iLo {
-				acquireOwn(f.lockA)
+				acquireOwn(f.lockA, a.n2)
 			}
 			for q := 0; q < np; q++ {
 				pLo, pHi := band(a.n2, np, q)
@@ -436,7 +448,7 @@ func fftProgram[D core.Accessor](f *FFT, d D) {
 			}
 			d.Compute(sim.Time((iHi-iLo)*a.n2*a.n3) * 100 * sim.Nanosecond)
 			if ec && iHi > iLo {
-				releaseOwn(f.lockA)
+				releaseOwn(f.lockA, a.n2)
 			}
 			d.Barrier(2)
 		}

@@ -40,6 +40,10 @@ func newIS(s Scale) *IS {
 		a.n, a.bmax, a.rounds = 4096, 128, 3
 	case Bench:
 		a.n, a.bmax, a.rounds = 1<<16, 1<<9, 5
+	case Large:
+		// 256 keys per processor at 1024 procs; the shared bucket array is
+		// the scaling stress (every processor merges all Bmax buckets).
+		a.n, a.bmax, a.rounds = 1<<18, 1<<10, 3
 	default: // Paper: N = 2^20, Bmax = 2^9, 10 rankings (Table 2)
 		a.n, a.bmax, a.rounds = 1<<20, 1<<9, 10
 	}

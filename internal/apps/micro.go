@@ -69,6 +69,8 @@ func newMicro(s Scale, k microKind) *Micro {
 		m.rounds = 4
 	case Bench:
 		m.rounds = 16
+	case Large:
+		m.rounds = 32
 	default:
 		m.rounds = 64
 	}

@@ -52,6 +52,10 @@ func newQS(s Scale) *QS {
 		a.n, a.cutoff = 4096, 256
 	case Bench:
 		a.n, a.cutoff = 1<<15, 1024
+	case Large:
+		// ~256 leaf tasks against the 512-slot queue (the Paper ratio); the
+		// centralized queue lock is the scaling stress.
+		a.n, a.cutoff = 1<<17, 512
 	default: // Paper: 262,144 integers, cutoff 1024 (Table 2)
 		a.n, a.cutoff = 1<<18, 1024
 	}

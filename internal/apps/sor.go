@@ -41,6 +41,7 @@ type SOR struct {
 	// row is private (SOR+). A flat table: rowBase runs on every element
 	// access of the stencil.
 	sharedOf     []int32
+	bandCounts   []int // processor counts whose band boundaries Layout pre-shares
 	nShared      int
 	stride       int // cached sharedStride (SOR+)
 	expected     [][]float32
@@ -55,8 +56,22 @@ func newSOR(s Scale, plus bool) *SOR {
 		a.rows, a.cols, a.iters = 48, 64, 4
 	case Bench:
 		a.rows, a.cols, a.iters = 256, 256, 8
+	case Large:
+		// 1024 interior rows: one full row per processor at 1024 procs,
+		// narrow columns so the replicated per-node image stays small.
+		a.rows, a.cols, a.iters = 1026, 64, 4
 	default: // Paper: 1000x1000 floats (Table 2)
 		a.rows, a.cols, a.iters = 1000, 1000, 50
+	}
+	// Band-boundary precompute set for SOR+'s Layout: the historical tiers
+	// share boundaries for every processor count 1..64 (kept verbatim so the
+	// shared-row numbering and the seed golden stay byte-identical); Large
+	// additionally supports the power-of-two counts of the scaled machine.
+	for p := 1; p <= 64; p++ {
+		a.bandCounts = append(a.bandCounts, p)
+	}
+	if s == Large {
+		a.bandCounts = append(a.bandCounts, 128, 256, 512, 1024)
 	}
 	a.sharedOf = make([]int32, a.rows)
 	for i := range a.sharedOf {
@@ -128,9 +143,10 @@ func (a *SOR) Layout(al *mem.Allocator) {
 	// SOR+ shares only the band-boundary rows. The band split must match
 	// Program's; it depends only on row count and processor count, so we
 	// precompute for every plausible processor count by sharing the first
-	// and last row of every band for 1..64 processors. Redundant rows
-	// collapse via the map.
-	for p := 1; p <= 64; p++ {
+	// and last row of every band (1..64 everywhere; Large adds the scaled
+	// machine's power-of-two counts — see newSOR). Redundant rows collapse
+	// via the map.
+	for _, p := range a.bandCounts {
 		for q := 0; q < p; q++ {
 			lo, hi := band(a.rows-2, p, q)
 			for _, r := range []int{lo + 1, hi} {

@@ -58,6 +58,10 @@ func newWater(s Scale, split bool) *Water {
 		a.m, a.steps = 37, 2
 	case Bench:
 		a.m, a.steps = 125, 3
+	case Large:
+		// One molecule per processor at 1024 procs; the O(m^2/2) pair phase
+		// still gives every processor real work at 256.
+		a.m, a.steps = 1024, 2
 	default: // Paper: 343 molecules, 5 iterations (Table 2)
 		a.m, a.steps = 343, 5
 	}

@@ -691,5 +691,11 @@ func (nilBarrierHooks) MakeDeparture(core.BarrierID, int) (fabric.Payload, int, 
 }
 func (nilBarrierHooks) ApplyDeparture(core.BarrierID, fabric.Payload) sim.Time { return 0 }
 
+// SetBarrierFanIn arranges barrier episodes as a radix-r arrival/departure
+// tree (see syncmgr.BarrierMgr.SetFanIn). EC barriers carry no consistency
+// payload, so only the message pattern changes. r < 2 keeps the flat
+// protocol; must be called before the simulation starts.
+func (n *Node) SetBarrierFanIn(r int) { n.bars.SetFanIn(r) }
+
 var _ core.DSM = (*Node)(nil)
 var _ syncmgr.LockHooks = (*lockHooks)(nil)

@@ -470,6 +470,9 @@ func (n *Network) EnableFaults(plan FaultPlan) error {
 	if err := plan.Validate(); err != nil {
 		return err
 	}
+	if n.topo != nil {
+		return fmt.Errorf("fabric: fault plan cannot be combined with a topology")
+	}
 	np := len(n.procs)
 	n.faults = &faultState{
 		n:      n,

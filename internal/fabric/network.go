@@ -73,6 +73,11 @@ func (fl *flight) Fire(at sim.Time) {
 		fl.claim = false
 		start := at
 		n.tr.LinkClaim(at, fl.msg.From, fl.msg.To, fl.msg.Size+MsgHeader)
+		if n.topo != nil {
+			done := n.claimTopo(start, fl.msg.From, fl.msg.To, fl.msg.Size+MsgHeader)
+			n.sim.ScheduleTimer(done+n.wireLatency(fl.msg.From, fl.msg.To), fl)
+			return
+		}
 		if n.linkFree > start {
 			n.linkWait += n.linkFree - start
 			n.tr.LinkWait(at, fl.msg.From, n.linkFree-start)
@@ -141,6 +146,11 @@ type Network struct {
 	// reliable-delivery sublayer (see faults.go and EnableFaults). The
 	// fault-free path costs one nil check in transmit.
 	faults *faultState
+
+	// topo, when non-nil, is the folded-Clos switch model (see topology.go
+	// and EnableTopology): per-level latency and, with contention, per-
+	// subtree tapered bandwidth instead of one machine-wide link.
+	topo *topoState
 }
 
 // New returns a network over s for nprocs processors using cost model cm.
@@ -214,6 +224,10 @@ func (n *Network) transmit(sendEnd sim.Time, fl *flight) {
 		return
 	}
 	if !n.contention {
+		if n.topo != nil {
+			n.sim.ScheduleTimer(sendEnd+n.wireLatency(fl.msg.From, fl.msg.To), fl)
+			return
+		}
 		n.sim.ScheduleTimer(sendEnd+n.cm.WireLatency, fl)
 		return
 	}

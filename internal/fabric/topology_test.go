@@ -1,0 +1,165 @@
+package fabric
+
+import (
+	"strings"
+	"testing"
+
+	"ecvslrc/internal/sim"
+)
+
+func TestTopologyValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		topo Topology
+		want string // substring of the error, "" for valid
+	}{
+		{"valid-minimal", Topology{Radix: 2, Taper: 1}, ""},
+		{"valid-full", Topology{Radix: 8, Taper: 4, StageLatency: sim.Microsecond, ForcedStages: 3}, ""},
+		{"radix-one", Topology{Radix: 1, Taper: 1}, "radix 1 < 2"},
+		{"radix-zero", Topology{Radix: 0, Taper: 1}, "radix 0 < 2"},
+		{"radix-negative", Topology{Radix: -4, Taper: 1}, "radix -4 < 2"},
+		{"taper-below-one", Topology{Radix: 4, Taper: 0.5}, "taper 0.5 outside"},
+		{"taper-above-radix", Topology{Radix: 4, Taper: 4.5}, "taper 4.5 outside"},
+		{"taper-zero", Topology{Radix: 4, Taper: 0}, "taper 0 outside"},
+		{"negative-stage-latency", Topology{Radix: 4, Taper: 1, StageLatency: -1}, "negative stage latency"},
+		{"stages-negative", Topology{Radix: 4, Taper: 1, ForcedStages: -1}, "stages -1 outside"},
+		{"stages-too-many", Topology{Radix: 2, Taper: 1, ForcedStages: 17}, "stages 17 outside"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.topo.Validate()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestTopologyStages(t *testing.T) {
+	cases := []struct {
+		topo   Topology
+		nprocs int
+		want   int
+	}{
+		{Topology{Radix: 2, Taper: 1}, 8, 3},
+		{Topology{Radix: 2, Taper: 1}, 9, 4},
+		{Topology{Radix: 4, Taper: 1}, 64, 3},
+		{Topology{Radix: 16, Taper: 1}, 8, 1},
+		{Topology{Radix: 16, Taper: 1}, 1024, 3},
+		{Topology{Radix: 2, Taper: 1, ForcedStages: 5}, 8, 5},
+	}
+	for _, tc := range cases {
+		if got := tc.topo.Stages(tc.nprocs); got != tc.want {
+			t.Errorf("%+v.Stages(%d) = %d, want %d", tc.topo, tc.nprocs, got, tc.want)
+		}
+	}
+}
+
+func TestTopologyString(t *testing.T) {
+	cases := []struct {
+		topo Topology
+		want string
+	}{
+		{Topology{Radix: 8, Taper: 1}, "clos:radix=8"},
+		{Topology{Radix: 8, Taper: 2}, "clos:radix=8:taper=2"},
+		{Topology{Radix: 4, Taper: 1, ForcedStages: 2}, "clos:radix=4:stages=2"},
+		{Topology{Radix: 4, Taper: 4, ForcedStages: 1}, "clos:radix=4:taper=4:stages=1"},
+	}
+	for _, tc := range cases {
+		if got := tc.topo.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+// TestTopologyLatencyClimbsLCA pins the per-stage latency model: a message
+// pays 2*level*StageLatency of wire time, where level is the lowest common
+// switch of the endpoints.
+func TestTopologyLatencyClimbsLCA(t *testing.T) {
+	for _, tc := range []struct {
+		to   int
+		want sim.Time // wire component
+	}{
+		{1, 100 * sim.Microsecond}, // same first-level switch: up 1, down 1
+		{2, 200 * sim.Microsecond}, // siblings' parent: up 2, down 2
+		{5, 300 * sim.Microsecond}, // across the root of an 8-leaf radix-2 tree
+	} {
+		s := sim.New()
+		n := New(s, flatCost(), 8)
+		if err := n.EnableTopology(Topology{Radix: 2, Taper: 1, StageLatency: 50 * sim.Microsecond}); err != nil {
+			t.Fatal(err)
+		}
+		var arriveAt sim.Time
+		p0 := s.Spawn("p0", func(p *sim.Proc) {
+			n.Send(p, tc.to, 7, 8, Payload{})
+		})
+		procs := []*sim.Proc{p0}
+		for i := 1; i < 8; i++ {
+			procs = append(procs, s.Spawn("p", func(p *sim.Proc) {}))
+		}
+		for i, p := range procs {
+			i, p := i, p
+			n.Attach(p, func(hc *HandlerCtx, m Msg) {
+				if i != tc.to {
+					t.Errorf("processor %d got a message addressed to %d", i, tc.to)
+				}
+				arriveAt = hc.Now() - n.cm.HandlerFixed
+			})
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		// 100µs programmed send, then the switch traversal.
+		if want := 100*sim.Microsecond + tc.want; arriveAt != want {
+			t.Errorf("to=%d: arrival = %v, want %v", tc.to, arriveAt, want)
+		}
+	}
+}
+
+// TestTopologyTaperSerializes pins tapered contention: with Taper == Radix
+// every level runs at single-link speed, so two transfers crossing the same
+// top-level switch serialize; with Taper == 1 (full bisection) the level's
+// aggregate capacity scales and the same transfers overlap, strictly faster.
+func TestTopologyTaperSerializes(t *testing.T) {
+	finish := func(taper float64) sim.Time {
+		s := sim.New()
+		cm := flatCost()
+		cm.LinkPerByte = 100 * sim.Nanosecond
+		n := New(s, cm, 4)
+		n.EnableContention()
+		if err := n.EnableTopology(Topology{Radix: 2, Taper: taper, StageLatency: 50 * sim.Microsecond}); err != nil {
+			t.Fatal(err)
+		}
+		var last sim.Time
+		mk := func(from, to int) *sim.Proc {
+			return s.Spawn("sender", func(p *sim.Proc) {
+				if from == p.ID() {
+					n.Send(p, to, 7, 4096, Payload{})
+				}
+			})
+		}
+		procs := []*sim.Proc{mk(0, 2), mk(1, 3), mk(2, 0), mk(3, 0)}
+		for _, p := range procs {
+			n.Attach(p, func(hc *HandlerCtx, m Msg) {
+				if hc.Now() > last {
+					last = hc.Now()
+				}
+			})
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return last
+	}
+	serial := finish(2) // taper == radix: single-link speed at every level
+	overlap := finish(1)
+	if overlap >= serial {
+		t.Errorf("full-bisection finish %v not faster than tapered %v", overlap, serial)
+	}
+}

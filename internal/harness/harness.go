@@ -62,6 +62,23 @@ type Config struct {
 	// (the sweep engine sets it to the variant name; "" for the calibrated
 	// paper platform). Purely a metrics label — it changes no behavior.
 	Variant string
+	// NoticeGC enables LRC notice-history garbage collection in every cell
+	// (run.Options.NoticeGC). Collection is provably invisible to Stats and
+	// final memory images (TestNoticeGCEquivalence), so it additionally
+	// defaults ON at apps.Large scale, where an uncollected 256-1024 processor
+	// run holds O(intervals x procs) history per node.
+	NoticeGC bool
+	// BarrierFanIn arranges barrier episodes as a radix-r tree (r >= 2; see
+	// syncmgr.BarrierMgr.SetFanIn). 0 picks the scale default: flat at the
+	// golden-pinned scales, 16 at apps.Large (a flat 1024-way barrier
+	// serializes the whole machine through one handler). 1 forces the flat
+	// protocol at any scale.
+	BarrierFanIn int
+	// Topology, when non-nil, replaces every cell's flat shared link with
+	// the folded-Clos switch model (fabric.Topology). Nil keeps the flat
+	// calibrated fabric. Mutually exclusive with Faults: the reliable
+	// sublayer's retransmission timing is calibrated against the flat link.
+	Topology *fabric.Topology
 }
 
 // ErrConfig is wrapped by every Config validation failure.
@@ -74,9 +91,10 @@ func (cfg Config) Validate() error {
 		return fmt.Errorf("harness: %w: nprocs %d < 1", ErrConfig, cfg.NProcs)
 	}
 	switch cfg.Scale {
-	case apps.Test, apps.Bench, apps.Paper:
+	case apps.Test, apps.Bench, apps.Paper, apps.Large:
 	default:
-		return fmt.Errorf("harness: %w: unknown scale %d", ErrConfig, int(cfg.Scale))
+		return fmt.Errorf("harness: %w: unknown scale %d (valid: %s)",
+			ErrConfig, int(cfg.Scale), strings.Join(apps.ScaleNames(), ", "))
 	}
 	if cfg.Faults != nil {
 		if err := cfg.Faults.Validate(); err != nil {
@@ -85,6 +103,17 @@ func (cfg Config) Validate() error {
 	}
 	if cfg.Timeout < 0 {
 		return fmt.Errorf("harness: %w: negative timeout %v", ErrConfig, cfg.Timeout)
+	}
+	if cfg.BarrierFanIn < 0 {
+		return fmt.Errorf("harness: %w: negative barrier fan-in %d", ErrConfig, cfg.BarrierFanIn)
+	}
+	if cfg.Topology != nil {
+		if err := cfg.Topology.Validate(); err != nil {
+			return fmt.Errorf("harness: %w: %v", ErrConfig, err)
+		}
+		if cfg.Faults != nil {
+			return fmt.Errorf("harness: %w: topology and fault injection are mutually exclusive", ErrConfig)
+		}
 	}
 	return nil
 }
@@ -220,12 +249,26 @@ func cellOptions(cfg Config, app string) (run.Options, error) {
 		return run.Options{}, ent.err
 	}
 	opts := run.Options{
-		Contention: cfg.Contention,
-		InitImage:  ent.im,
-		Layout:     ent.al,
-		Faults:     cfg.Faults,
-		Timeout:    cfg.Timeout,
-		Perf:       cfg.Perf,
+		Contention:   cfg.Contention,
+		InitImage:    ent.im,
+		Layout:       ent.al,
+		Faults:       cfg.Faults,
+		Timeout:      cfg.Timeout,
+		Perf:         cfg.Perf,
+		NoticeGC:     cfg.NoticeGC,
+		BarrierFanIn: cfg.BarrierFanIn,
+		Topology:     cfg.Topology,
+	}
+	// The large machine gets the scaling machinery by default: notice GC is
+	// equivalence-pinned (TestNoticeGCEquivalence), and a flat 256-1024-way
+	// barrier funnels the whole machine through one manager handler. The
+	// golden-pinned scales (test/bench/paper) keep everything off unless
+	// asked. BarrierFanIn == 1 explicitly forces the flat protocol.
+	if cfg.Scale == apps.Large {
+		opts.NoticeGC = true
+		if opts.BarrierFanIn == 0 {
+			opts.BarrierFanIn = 16
+		}
 	}
 	if cfg.Trace {
 		opts.Trace = trace.New(cfg.NProcs)
@@ -356,6 +399,15 @@ func Table2(cfg Config) string {
 			"Barnes-Hut": "64 bodies, 2 iterations",
 			"IS":         "N = 4096, Bmax = 128, 3 rankings",
 			"3D-FFT":     "16x16x32",
+		},
+		apps.Large: {
+			"SOR":        "1026x64 floats, 4 iterations",
+			"SOR+":       "1026x64 floats (boundary rows shared), 4 iterations",
+			"QS":         "131,072 integers, cutoff 512",
+			"Water":      "1,024 molecules, 2 iterations",
+			"Barnes-Hut": "2,048 bodies, 2 iterations",
+			"IS":         "N = 2^18, Bmax = 2^10, 3 rankings",
+			"3D-FFT":     "64x64x8",
 		},
 	}
 	var b strings.Builder

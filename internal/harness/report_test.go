@@ -3,6 +3,7 @@ package harness
 import (
 	"errors"
 	"os"
+	"strings"
 	"testing"
 
 	"ecvslrc/internal/apps"
@@ -93,19 +94,42 @@ func TestConfigValidate(t *testing.T) {
 	if err := good.Validate(); err != nil {
 		t.Errorf("valid config rejected: %v", err)
 	}
-	bad := []Config{
-		{Scale: apps.Test, NProcs: 0},
-		{Scale: apps.Scale(99), NProcs: 4},
+	// Each rejection names the offending value and — for enumerated fields —
+	// the accepted ones, so a bad -scale flag is self-diagnosing.
+	bad := []struct {
+		name string
+		cfg  Config
+		want string // substring of the error message
+	}{
+		{"zero-procs", Config{Scale: apps.Test, NProcs: 0}, "nprocs 0 < 1"},
+		{"unknown-scale", Config{Scale: apps.Scale(99), NProcs: 4},
+			"unknown scale 99 (valid: test, bench, paper, large)"},
+		{"negative-scale", Config{Scale: apps.Scale(-1), NProcs: 4},
+			"unknown scale -1 (valid: test, bench, paper, large)"},
+		{"negative-timeout", Config{Scale: apps.Test, NProcs: 4, Timeout: -1},
+			"negative timeout"},
+		{"negative-fanin", Config{Scale: apps.Test, NProcs: 4, BarrierFanIn: -2},
+			"negative barrier fan-in -2"},
+		{"bad-topology", Config{Scale: apps.Test, NProcs: 4, Topology: &fabric.Topology{Radix: 1, Taper: 1}},
+			"radix 1 < 2"},
+		{"topology-with-faults", Config{Scale: apps.Test, NProcs: 4,
+			Topology: &fabric.Topology{Radix: 4, Taper: 1},
+			Faults:   &fabric.FaultPlan{Seed: 1}},
+			"mutually exclusive"},
 	}
-	for _, cfg := range bad {
-		err := cfg.Validate()
-		if err == nil {
-			t.Errorf("config %+v accepted", cfg)
-			continue
-		}
-		if !errors.Is(err, ErrConfig) {
-			t.Errorf("error does not wrap ErrConfig: %v", err)
-		}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if err == nil {
+				t.Fatalf("config %+v accepted", tc.cfg)
+			}
+			if !errors.Is(err, ErrConfig) {
+				t.Errorf("error does not wrap ErrConfig: %v", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err.Error(), tc.want)
+			}
+		})
 	}
 	if _, err := BenchReport(Config{Scale: apps.Test, NProcs: 0}, nil); !errors.Is(err, ErrConfig) {
 		t.Errorf("BenchReport did not propagate config error: %v", err)

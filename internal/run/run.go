@@ -123,6 +123,26 @@ type Options struct {
 	// read host clocks only — simulated statistics are identical with and
 	// without a registry; nil costs nothing (internal/perf).
 	Perf *perf.Registry
+	// NoticeGC enables LRC notice-history garbage collection at barrier
+	// quiescent points (internal/lrc's GC). Collection is provably invisible
+	// to the protocol: core.Stats and final memory images are identical with
+	// it on or off (TestNoticeGCEquivalence pins this); only host memory
+	// changes. Ignored for EC implementations. Off by default at the
+	// golden-pinned scales; the harness turns it on at apps.Large.
+	NoticeGC bool
+	// BarrierFanIn selects the barrier communication shape: 0 picks the
+	// protocol default (flat fan-in, every processor messaging the manager),
+	// 1 forces flat, and r >= 2 arranges the processors into an implicit
+	// radix-r tree rooted at the manager, making barrier traffic at any one
+	// node O(r + log n) instead of O(n). Tree fan-in changes the message
+	// pattern (and therefore Stats), so it is opt-in and off at the
+	// golden-pinned scales; equivalence of the final memory images is pinned
+	// by TestTreeBarrierEquivalence.
+	BarrierFanIn int
+	// Topology, when non-nil, replaces the fabric's flat shared link with a
+	// folded-Clos switch model: per-stage latency and per-level contention
+	// capacity (fabric.Topology). Nil reproduces the flat fabric bit-exactly.
+	Topology *fabric.Topology
 }
 
 // node is the common view of ec.Node and lrc.Node the runner needs.
@@ -148,6 +168,14 @@ type Result struct {
 	// Image is a copy of processor 0's final memory image, present only when
 	// Options.KeepImage was set.
 	Image []byte
+	// GC is the notice-history collection report, present only when
+	// Options.NoticeGC ran (LRC implementations).
+	GC *lrc.GCReport
+	// NoticeBytes is the final machine-wide LRC notice-history footprint in
+	// wire bytes (interval records on every node plus stored diffs at their
+	// writers). Zero for EC runs. With GC off this is what grows without
+	// bound; the memory-bound regression tests compare it against GC-on.
+	NoticeBytes int64
 }
 
 // Run executes app on nprocs processors under the given implementation and
@@ -172,6 +200,11 @@ func RunWith(app App, impl core.Impl, nprocs int, cm fabric.CostModel, opts Opti
 	net := fabric.New(s, cm, nprocs)
 	if opts.Contention {
 		net.EnableContention()
+	}
+	if opts.Topology != nil {
+		if err := net.EnableTopology(*opts.Topology); err != nil {
+			return Result{}, fmt.Errorf("run: %s: %w", app.Name(), err)
+		}
 	}
 	if opts.Faults != nil {
 		if err := net.EnableFaults(*opts.Faults); err != nil {
@@ -199,6 +232,10 @@ func RunWith(app App, impl core.Impl, nprocs int, cm fabric.CostModel, opts Opti
 	nodes := make([]node, nprocs)
 	images := make([]*mem.Image, nprocs)
 	starts := make([]func(), nprocs)
+	var lrcNodes []*lrc.Node
+	if impl.Model == core.LRC {
+		lrcNodes = make([]*lrc.Node, 0, nprocs)
+	}
 	for i := 0; i < nprocs; i++ {
 		i := i
 		p := s.Spawn(fmt.Sprintf("%s/p%d", app.Name(), i), func(p *sim.Proc) {
@@ -227,12 +264,20 @@ func RunWith(app App, impl core.Impl, nprocs int, cm fabric.CostModel, opts Opti
 			}
 			n.Im.CopyFrom(initIm)
 			nodes[i], images[i] = n, n.Im
+			lrcNodes = append(lrcNodes, n)
 			if sa != nil {
 				starts[i] = func() { n.StatsBegin(); sa.ProgramLRC(n) }
 			} else {
 				starts[i] = func() { n.StatsBegin(); app.Program(n) }
 			}
 		}
+		if opts.BarrierFanIn >= 2 {
+			nodes[i].(interface{ SetBarrierFanIn(int) }).SetBarrierFanIn(opts.BarrierFanIn)
+		}
+	}
+	var gc *lrc.GC
+	if opts.NoticeGC && impl.Model == core.LRC {
+		gc = lrc.NewGC(lrcNodes)
 	}
 	// Every node holds its own copy now; recycle the template's buffer
 	// (cached templates stay with their owner).
@@ -278,6 +323,13 @@ func RunWith(app App, impl core.Impl, nprocs int, cm fabric.CostModel, opts Opti
 		}
 	}
 	res.Stats.Time = end - start
+	for _, n := range lrcNodes {
+		res.NoticeBytes += n.NoticeHistoryBytes()
+	}
+	if gc != nil {
+		rep := gc.Report()
+		res.GC = &rep
+	}
 
 	if err := app.Verify(images[0]); err != nil {
 		return Result{}, fmt.Errorf("run: %s on %v: verification: %w", app.Name(), impl, err)

@@ -37,6 +37,12 @@ type Variant struct {
 	// axis; programmatic callers may set Faults alone.
 	Fault  string
 	Faults *fabric.FaultPlan
+	// Topo is the canonical topology spec ("" or "flat" means the calibrated
+	// flat link); Topology is the resolved switch geometry. ParseVariantSpec
+	// fills both from the topo axis; programmatic callers may set Topology
+	// alone. Mutually exclusive with Faults.
+	Topo     string
+	Topology *fabric.Topology
 }
 
 // BaselineName is the canonical name of the calibrated paper platform.
@@ -59,6 +65,10 @@ type Grid struct {
 	// records are assembled in grid order, so results are identical for any
 	// worker count. <= 0 means GOMAXPROCS.
 	Parallel int
+	// BarrierFanIn arranges every cell's barrier episodes as a radix-r tree
+	// (see harness.Config.BarrierFanIn). 0 picks the scale default (flat
+	// below apps.Large, 16 there); 1 forces the flat protocol.
+	BarrierFanIn int
 	// Timeout arms the simulator watchdog in every cell (see
 	// harness.Config.Timeout): a cell whose virtual clock would pass it fails
 	// with a sim.Stalled diagnostic instead of hanging the sweep. 0 disables.
@@ -119,9 +129,20 @@ func (g Grid) normalized() (Grid, error) {
 				return g, fmt.Errorf("sweep: %w: variant %q: %v", ErrGrid, v.Name, err)
 			}
 		}
+		if v.Topology != nil {
+			if err := v.Topology.Validate(); err != nil {
+				return g, fmt.Errorf("sweep: %w: variant %q: %v", ErrGrid, v.Name, err)
+			}
+			if v.Faults != nil {
+				return g, fmt.Errorf("sweep: %w: variant %q combines a topology with a fault plan", ErrGrid, v.Name)
+			}
+		}
 	}
 	if g.Timeout < 0 {
 		return g, fmt.Errorf("sweep: %w: negative timeout %v", ErrGrid, g.Timeout)
+	}
+	if g.BarrierFanIn < 0 {
+		return g, fmt.Errorf("sweep: %w: negative barrier fan-in %d", ErrGrid, g.BarrierFanIn)
 	}
 	cfg := harness.Config{Scale: g.Scale, NProcs: g.NProcs[0], Cost: fabric.DefaultCostModel()}
 	if err := cfg.Validate(); err != nil {
@@ -154,6 +175,10 @@ type Record struct {
 	Retransmits  int64    `json:"retransmits,omitempty"`
 	DupsDropped  int64    `json:"dups_dropped,omitempty"`
 	RecoveryWait sim.Time `json:"recovery_wait_ns,omitempty"`
+	// Topo names the variant's switch topology in canonical spec form; empty
+	// (and out of the JSON) for the flat calibrated link, keeping flat-fabric
+	// output identical to sweeps that predate the topology model.
+	Topo string `json:"topo,omitempty"`
 }
 
 // CellFailures aggregates every failed cell of a sweep, in grid order. Run
@@ -247,7 +272,8 @@ func Run(g Grid) ([]Record, error) {
 		cfg := harness.Config{
 			Scale: g.Scale, NProcs: np, Cost: v.Cost, Contention: v.Contention,
 			Faults: v.Faults, Timeout: g.Timeout, Parallel: 1,
-			Perf: g.Perf, Variant: v.Name,
+			Perf: g.Perf, Variant: v.Name, Topology: v.Topology,
+			BarrierFanIn: g.BarrierFanIn,
 		}
 		t0 := startClock()
 		row := harness.RunCell(cfg, app, impl)
@@ -273,6 +299,7 @@ func Run(g Grid) ([]Record, error) {
 			Retransmits:  row.Faults.Retransmits,
 			DupsDropped:  row.Faults.DupsDropped,
 			RecoveryWait: row.Faults.RecoveryWait,
+			Topo:         v.topoName(),
 		}
 	})
 	var failed []error
@@ -304,4 +331,13 @@ func (v Variant) faultName() string {
 		return "custom"
 	}
 	return v.Fault
+}
+
+// topoName canonicalizes the variant's topology label: "" for the flat link
+// (so the field stays out of flat-fabric JSON), the canonical spec otherwise.
+func (v Variant) topoName() string {
+	if v.Topology == nil {
+		return ""
+	}
+	return v.Topology.String()
 }

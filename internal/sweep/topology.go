@@ -1,0 +1,71 @@
+package sweep
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ecvslrc/internal/fabric"
+)
+
+// ParseTopologySpec parses one value of the topo= variant axis. "flat" keeps
+// the calibrated flat shared link and returns a nil topology;
+// "clos:radix=K[:taper=T][:stages=N]" selects a folded-Clos switch fabric
+// (fabric.Topology) with switch radix K, per-level bandwidth taper T
+// (default 1 = full bisection) and an optional forced stage count N
+// (default derives ceil(log_K nprocs)). Key order is free; duplicate and
+// unknown keys are rejected, and the resulting geometry must pass
+// fabric.Topology.Validate (radix >= 2, taper in [1, radix], stages in
+// [0, 16]). Errors wrap ErrSpec.
+func ParseTopologySpec(spec string) (*fabric.Topology, error) {
+	if spec == "flat" {
+		return nil, nil
+	}
+	parts := strings.Split(spec, ":")
+	if parts[0] != "clos" {
+		return nil, fmt.Errorf("sweep: %w: topology %q is neither \"flat\" nor \"clos:radix=K[:taper=T][:stages=N]\"",
+			ErrSpec, spec)
+	}
+	t := &fabric.Topology{Taper: 1}
+	seen := make(map[string]bool)
+	for _, kv := range parts[1:] {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok || val == "" {
+			return nil, fmt.Errorf("sweep: %w: topology %q: %q is not key=value", ErrSpec, spec, kv)
+		}
+		if seen[key] {
+			return nil, fmt.Errorf("sweep: %w: topology %q: key %q given twice", ErrSpec, spec, key)
+		}
+		seen[key] = true
+		switch key {
+		case "radix":
+			k, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: %w: topology %q: radix %q is not an integer", ErrSpec, spec, val)
+			}
+			t.Radix = k
+		case "taper":
+			k, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: %w: topology %q: taper %q is not a number", ErrSpec, spec, val)
+			}
+			t.Taper = k
+		case "stages":
+			k, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: %w: topology %q: stages %q is not an integer", ErrSpec, spec, val)
+			}
+			t.ForcedStages = k
+		default:
+			return nil, fmt.Errorf("sweep: %w: topology %q: unknown key %q (known: radix, taper, stages)",
+				ErrSpec, spec, key)
+		}
+	}
+	if !seen["radix"] {
+		return nil, fmt.Errorf("sweep: %w: topology %q: radix is required", ErrSpec, spec)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("sweep: %w: %v", ErrSpec, err)
+	}
+	return t, nil
+}

@@ -20,7 +20,8 @@ type axis struct {
 	def     string // default value, elided from variant names
 	values  []string
 	apply   func(cm fabric.CostModel, val float64) fabric.CostModel
-	numeric bool // values are scale factors like "x2" (or bare "2")
+	numeric bool                          // values are scale factors like "x2" (or bare "2")
+	canon   func(string) (string, error) // custom validation/canonicalization (topo specs)
 }
 
 func axes() []axis {
@@ -37,7 +38,24 @@ func axes() []axis {
 		// Fault plans are not cost-model transforms; buildVariant resolves
 		// the preset into Variant.Faults directly.
 		{name: "fault", def: "off", values: fabric.FaultPresetNames(), apply: nil},
+		// Switch topologies are not cost-model transforms either;
+		// buildVariant resolves the spec into Variant.Topology directly.
+		{name: "topo", def: "flat", apply: nil, canon: canonTopologySpec},
 	}
+}
+
+// canonTopologySpec validates a topo= axis value and returns the canonical
+// spelling rendered by fabric.Topology.String (defaults elided, fixed key
+// order), so "clos:taper=1:radix=8" and "clos:radix=8" name the same variant.
+func canonTopologySpec(v string) (string, error) {
+	t, err := ParseTopologySpec(v)
+	if err != nil {
+		return "", err
+	}
+	if t == nil {
+		return "flat", nil
+	}
+	return t.String(), nil
 }
 
 // ParseVariantSpec expands a sensitivity spec into the cross product of its
@@ -52,6 +70,9 @@ func axes() []axis {
 //	fault=off|drop1e-3|drop1e-2|chaos  seeded fault-plan preset injected
 //	      into the fabric (fabric.FaultPreset); recovery runs on the
 //	      reliable sublayer and its cost lands in the cell's virtual time
+//	topo=flat|clos:radix=K[:taper=T][:stages=N]  interconnect model: the
+//	      calibrated flat link or a folded-Clos switch fabric
+//	      (ParseTopologySpec); mutually exclusive with fault presets
 //
 // Unspecified axes stay at their defaults (x1, sw, off). The all-default
 // combination is named "paper"; other variants are named by their non-default
@@ -110,7 +131,16 @@ func ParseVariantSpec(spec string) ([]Variant, error) {
 	var out []Variant
 	counts := make([]int, len(defs))
 	for {
-		out = append(out, buildVariant(defs, chosen, counts))
+		v := buildVariant(defs, chosen, counts)
+		if v.Faults != nil && v.Topology != nil {
+			// The reliable sublayer's retransmission timing is calibrated
+			// against the flat link (fabric.EnableTopology rejects the
+			// combination), so refuse the cross product up front instead of
+			// failing cell by cell.
+			return nil, fmt.Errorf("sweep: %w: fault=%s cannot combine with topo=%s; sweep them separately",
+				ErrSpec, v.Fault, v.Topo)
+		}
+		out = append(out, v)
 		// Odometer increment over the per-axis value lists.
 		i := len(defs) - 1
 		for ; i >= 0; i-- {
@@ -140,6 +170,9 @@ func ParseVariantSpec(spec string) ([]Variant, error) {
 // canonical validates one axis value and returns its canonical spelling
 // ("2" becomes "x2"; enumerated values must match exactly).
 func (ax axis) canonical(v string) (string, error) {
+	if ax.canon != nil {
+		return ax.canon(v)
+	}
 	if ax.numeric {
 		k, err := ax.factor(v)
 		if err != nil {
@@ -187,6 +220,11 @@ func buildVariant(defs []axis, chosen [][]string, counts []int) Variant {
 		if ax.name == "fault" {
 			v.Fault = val
 			v.Faults, _ = fabric.FaultPreset(val) // val validated by canonical
+			continue
+		}
+		if ax.name == "topo" {
+			v.Topo = val
+			v.Topology, _ = ParseTopologySpec(val) // val validated by canonical
 			continue
 		}
 		var k float64

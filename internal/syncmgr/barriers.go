@@ -35,10 +35,21 @@ type BarrierHooks interface {
 	ApplyDeparture(b core.BarrierID, payload fabric.Payload) (work sim.Time)
 }
 
+// TreeBarrierHooks is the optional extension a BarrierHooks implementation
+// provides to ride a fan-in tree (SetFanIn): MergeSubtreeArrival folds the
+// child arrivals buffered by AbsorbArrival into this node's own arrival,
+// producing the single arrival message for the node's whole subtree. Hooks
+// that do not implement it (EC: barriers move no data) send their own
+// arrival unchanged.
+type TreeBarrierHooks interface {
+	MergeSubtreeArrival(b core.BarrierID, own fabric.Payload) (payload fabric.Payload, size int, work sim.Time)
+}
+
 type barrierState struct {
-	arrived int
-	reqs    []fabric.Msg // remote arrival requests awaiting departure
-	local   *sim.Waiter  // manager's own arrival, if waiting
+	arrived    int
+	reqs       []fabric.Msg // remote arrival requests awaiting departure
+	local      *sim.Waiter  // manager's own arrival, if waiting
+	ownArrived bool         // tree mode: this node's program reached the barrier
 }
 
 // BarrierMgr implements centralized barriers for one processor (Section 6:
@@ -53,6 +64,25 @@ type BarrierMgr struct {
 	barriers map[core.BarrierID]*barrierState
 	cnt      *Counters
 	tr       *trace.Tracer
+	fanin    int // >= 2: implicit radix-fanin arrival/departure tree
+}
+
+// SetFanIn arranges every barrier episode as an implicit radix-r tree rooted
+// at the barrier's manager instead of the flat all-to-one exchange. Ranks are
+// processor ids rotated so the manager is rank 0; rank k's parent is rank
+// (k-1)/r and its children are ranks rk+1..rk+r. Each node waits for its
+// children's subtree arrivals, merges them with its own (TreeBarrierHooks),
+// sends one arrival up, and fans the departure back out to its children. The
+// flat protocol serializes O(nprocs) messages through one handler — the
+// dominant term at 256-1024 processors — where the tree pays O(log_r nprocs)
+// chained hops. r < 2 keeps the flat protocol. Must be called before the
+// simulation starts; message contents differ from the flat exchange, so
+// runs with fan-in are a distinct experiment, not a byte-identical one.
+func (m *BarrierMgr) SetFanIn(r int) {
+	if r < 2 {
+		r = 0
+	}
+	m.fanin = r
 }
 
 // SetTracer attaches the event tracer (nil-safe, observation-only): each
@@ -85,8 +115,91 @@ func (m *BarrierMgr) state(b core.BarrierID) *barrierState {
 	return st
 }
 
+// treeRank is this processor's rank in barrier b's tree: ids rotated so the
+// manager is rank 0.
+func (m *BarrierMgr) treeRank(b core.BarrierID) int {
+	return (m.self - m.ManagerOf(b) + m.nprocs) % m.nprocs
+}
+
+// treeParent is the processor id of this node's tree parent for barrier b.
+func (m *BarrierMgr) treeParent(b core.BarrierID) int {
+	k := (m.treeRank(b) - 1) / m.fanin
+	return (m.ManagerOf(b) + k) % m.nprocs
+}
+
+// treeChildren is how many direct children this node has in barrier b's tree.
+func (m *BarrierMgr) treeChildren(b core.BarrierID) int {
+	lo := m.treeRank(b)*m.fanin + 1
+	if lo >= m.nprocs {
+		return 0
+	}
+	hi := lo + m.fanin
+	if hi > m.nprocs {
+		hi = m.nprocs
+	}
+	return hi - lo
+}
+
+// waitTree is Wait under SetFanIn: block until the subtree below this node
+// has arrived, send one merged arrival up, and fan the departure back down.
+// Departures to children are always built in this node's program context
+// (after its own departure applied), never in handler context.
+func (m *BarrierMgr) waitTree(b core.BarrierID) {
+	m.cnt.Barriers++
+	payload, size, work := m.hooks.MakeArrival(b)
+	payload.Kind, payload.A = fabric.PayloadBarrier, int32(b)
+	m.p.Sleep(work)
+	m.tr.BarArrive(m.p.Now(), m.self, int(b))
+
+	root := m.self == m.ManagerOf(b)
+	st := m.state(b)
+	st.ownArrived = true
+	if root {
+		// The root absorbs its own arrival exactly like the flat manager.
+		m.p.Sleep(m.hooks.AbsorbArrival(b, m.self, payload))
+	}
+	if st.arrived < m.treeChildren(b) {
+		if st.local != nil {
+			panic(fmt.Sprintf("syncmgr: barrier %d node arrived twice", b))
+		}
+		st.local = sim.NewWaiter(m.p)
+		st.local.Wait("barrier")
+		st.local = nil
+	}
+
+	// The whole subtree is in. Claim the buffered child requests and reset
+	// the state before blocking upward, so next-episode arrivals (which can
+	// reach us only after our departures below) start from a clean slate.
+	reqs := st.reqs
+	st.reqs, st.arrived, st.ownArrived = nil, 0, false
+
+	if !root {
+		up, usize, uwork := payload, size, sim.Time(0)
+		if th, ok := m.hooks.(TreeBarrierHooks); ok {
+			up, usize, uwork = th.MergeSubtreeArrival(b, payload)
+			up.Kind, up.A = fabric.PayloadBarrier, int32(b)
+		}
+		m.p.Sleep(uwork)
+		reply := m.net.Call(m.p, m.treeParent(b), KindBarrierArrive, usize, up)
+		m.p.Sleep(m.hooks.ApplyDeparture(b, reply.Payload))
+	} else {
+		m.p.Sleep(m.hooks.PrepareDepartures(b))
+	}
+	m.tr.BarDepart(m.p.Now(), m.self, int(b))
+	for _, req := range reqs {
+		dp, dsize, dwork := m.hooks.MakeDeparture(b, req.From)
+		dp.Kind, dp.A = fabric.PayloadBarrier, int32(b)
+		m.p.Sleep(dwork)
+		m.net.ReplyFrom(m.p, req, KindBarrierDepart, dsize, dp)
+	}
+}
+
 // Wait blocks until all processors have arrived at barrier b.
 func (m *BarrierMgr) Wait(b core.BarrierID) {
+	if m.fanin >= 2 && m.nprocs > 1 {
+		m.waitTree(b)
+		return
+	}
 	m.cnt.Barriers++
 	payload, size, work := m.hooks.MakeArrival(b)
 	payload.Kind, payload.A = fabric.PayloadBarrier, int32(b)
@@ -131,6 +244,16 @@ func (m *BarrierMgr) Handle(hc *fabric.HandlerCtx, msg fabric.Msg) bool {
 	hc.Work(m.hooks.AbsorbArrival(b, msg.From, msg.Payload))
 	st.arrived++
 	st.reqs = append(st.reqs, msg)
+	if m.fanin >= 2 {
+		// Tree mode: arrivals are subtree arrivals from direct children. The
+		// handler only buffers; when the last child completes the subtree and
+		// this node's own program already arrived, wake it to carry the
+		// merged arrival upward (or, at the root, to lower the barrier).
+		if st.ownArrived && st.arrived == m.treeChildren(b) && st.local != nil {
+			st.local.Deliver(nil, hc.Now())
+		}
+		return true
+	}
 	if st.arrived == m.nprocs {
 		m.depart(b, st, hc)
 	}

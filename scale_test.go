@@ -1,0 +1,287 @@
+package ecvslrc
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"ecvslrc/internal/apps"
+	"ecvslrc/internal/core"
+	"ecvslrc/internal/fabric"
+	"ecvslrc/internal/harness"
+	"ecvslrc/internal/perf"
+	"ecvslrc/internal/run"
+)
+
+// scaleProcs are the processor counts the scale-equivalence suite pins:
+// the paper's 8 plus two octaves toward the large machine.
+var scaleProcs = []int{8, 32, 64}
+
+// TestNoticeGCEquivalence pins the tentpole invariant of notice-history
+// garbage collection: for every application and implementation, at 8/32/64
+// processors, a run with GC on yields core.Stats deeply equal to the run
+// with GC off and a byte-identical final memory image. Collection happens at
+// barrier quiescent points and does zero protocol work, so any divergence
+// means the kill floor freed an interval some processor still needed.
+func TestNoticeGCEquivalence(t *testing.T) {
+	cm := fabric.DefaultCostModel()
+	collected := false
+	for _, name := range apps.Names() {
+		for _, impl := range core.Implementations() {
+			for _, nprocs := range scaleProcs {
+				impl, nprocs, name := impl, nprocs, name
+				t.Run(name+"/"+impl.String()+"/"+itoa(nprocs), func(t *testing.T) {
+					off := mustRun(t, name, impl, nprocs, cm, run.Options{KeepImage: true})
+					on := mustRun(t, name, impl, nprocs, cm, run.Options{KeepImage: true, NoticeGC: true})
+					if !reflect.DeepEqual(off.Stats, on.Stats) {
+						t.Errorf("stats diverge with notice GC:\n  off: %+v\n  on:  %+v", off.Stats, on.Stats)
+					}
+					if !bytes.Equal(off.Image, on.Image) {
+						t.Errorf("final memory images diverge with notice GC")
+					}
+					if impl.Model == core.LRC {
+						if on.GC == nil {
+							t.Fatalf("LRC run with NoticeGC has no GC report")
+						}
+						if on.GC.Violations != 0 {
+							t.Errorf("GC recorded %d floor violations", on.GC.Violations)
+						}
+						if on.NoticeBytes > off.NoticeBytes {
+							t.Errorf("GC-on notice history (%d bytes) exceeds GC-off (%d bytes)",
+								on.NoticeBytes, off.NoticeBytes)
+						}
+						if on.GC.RecordsPruned > 0 {
+							collected = true
+						}
+					} else if on.GC != nil {
+						t.Errorf("EC run produced a notice-GC report")
+					}
+				})
+			}
+		}
+	}
+	if !collected {
+		t.Errorf("notice GC never pruned a record across the whole matrix; the equivalence is vacuous")
+	}
+}
+
+// TestGCNeverResurrects drives lock-heavy and barrier-heavy cells with GC on
+// and asserts the collector's runtime soundness counters: at least a few
+// collection passes actually pruned history, and no fetch window ever
+// reached below a responder's kill floor, nor was a pruned record
+// re-absorbed anywhere (a collected interval must never come back).
+func TestGCNeverResurrects(t *testing.T) {
+	cm := fabric.DefaultCostModel()
+	for _, name := range []string{"Water", "QS", "SOR", "IS"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			res := mustRun(t, name, core.Impl{Model: core.LRC, Trap: core.Twinning, Collect: core.Diffs},
+				32, cm, run.Options{NoticeGC: true})
+			gc := res.GC
+			if gc == nil {
+				t.Fatal("no GC report")
+			}
+			if gc.Violations != 0 {
+				t.Fatalf("%d floor violations: a collected interval was needed again", gc.Violations)
+			}
+			if gc.Collections < 2 {
+				t.Fatalf("only %d collection passes; the cell has too few barriers to test GC", gc.Collections)
+			}
+			if gc.RecordsPruned == 0 {
+				t.Errorf("collector ran %d passes but never pruned a record", gc.Collections)
+			}
+			for _, s := range gc.Samples {
+				if s.After > s.Before {
+					t.Errorf("collection grew the notice history: %+v", s)
+				}
+			}
+		})
+	}
+}
+
+// TestTreeBarrierEquivalence pins the tree fan-in contract: arranging
+// barrier arrivals/departures as a radix-4 tree changes message shapes and
+// timing (it is a different experiment, not a byte-identical one) but every
+// app must still verify against its sequential reference (mustRun checks
+// this), synchronize the same number of barrier episodes, and — for apps
+// whose result does not depend on lock grant order — compute a byte-
+// identical final memory image. Water and QS are excluded from the image
+// check only: their images legitimately vary with lock acquisition order
+// (floating-point accumulation order, task-queue assignment), under flat
+// timing perturbations as much as under the tree. Runs combine fan-in with
+// notice GC to pin that the collector's quiescence argument holds under the
+// tree too.
+func TestTreeBarrierEquivalence(t *testing.T) {
+	cm := fabric.DefaultCostModel()
+	lockOrderDependent := map[string]bool{"Water": true, "QS": true}
+	for _, name := range apps.Names() {
+		for _, impl := range []core.Impl{
+			{Model: core.LRC, Trap: core.Twinning, Collect: core.Diffs},
+			{Model: core.EC, Trap: core.Twinning, Collect: core.Diffs},
+		} {
+			for _, nprocs := range scaleProcs {
+				impl, nprocs, name := impl, nprocs, name
+				t.Run(name+"/"+impl.String()+"/"+itoa(nprocs), func(t *testing.T) {
+					flat := mustRun(t, name, impl, nprocs, cm, run.Options{KeepImage: true})
+					tree := mustRun(t, name, impl, nprocs, cm,
+						run.Options{KeepImage: true, BarrierFanIn: 4, NoticeGC: true})
+					if !lockOrderDependent[name] && !bytes.Equal(flat.Image, tree.Image) {
+						t.Errorf("final memory images diverge under tree fan-in")
+					}
+					if flat.Stats.Barriers != tree.Stats.Barriers {
+						t.Errorf("barrier episodes diverge: flat %d, tree %d",
+							flat.Stats.Barriers, tree.Stats.Barriers)
+					}
+					if impl.Model == core.LRC && tree.GC != nil && tree.GC.Violations != 0 {
+						t.Errorf("GC under tree fan-in recorded %d floor violations", tree.GC.Violations)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestTopologySingleStageIdentity pins the degenerate-Clos contract: a
+// single-stage switch whose radix covers the whole machine and whose taper
+// equals its radix is exactly the calibrated flat link (one resource at
+// single-link speed, 2 x WireLatency/2 traversal), so Stats and the final
+// memory image must be byte-identical to a run with no topology at all —
+// with and without link contention.
+func TestTopologySingleStageIdentity(t *testing.T) {
+	cm := fabric.DefaultCostModel()
+	topo := &fabric.Topology{Radix: 8, Taper: 8, ForcedStages: 1}
+	for _, name := range []string{"SOR", "Water", "IS"} {
+		for _, impl := range []core.Impl{
+			{Model: core.LRC, Trap: core.Twinning, Collect: core.Diffs},
+			{Model: core.EC, Trap: core.Twinning, Collect: core.Diffs},
+		} {
+			for _, contention := range []bool{false, true} {
+				impl, name, contention := impl, name, contention
+				label := name + "/" + impl.String()
+				if contention {
+					label += "/contention"
+				}
+				t.Run(label, func(t *testing.T) {
+					flat := mustRun(t, name, impl, 8, cm,
+						run.Options{KeepImage: true, Contention: contention})
+					clos := mustRun(t, name, impl, 8, cm,
+						run.Options{KeepImage: true, Contention: contention, Topology: topo})
+					if !reflect.DeepEqual(flat.Stats, clos.Stats) {
+						t.Errorf("stats diverge under single-stage clos:\n  flat: %+v\n  clos: %+v",
+							flat.Stats, clos.Stats)
+					}
+					if !bytes.Equal(flat.Image, clos.Image) {
+						t.Errorf("final memory images diverge under single-stage clos")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestNoticeHistoryBounded pins the memory-scaling contract of the collector
+// on a workload whose fetch windows drain every epoch: micro-producer-
+// consumer (every reader re-reads the whole buffer after each barrier, so
+// each epoch's records become collectable at the next quiescent point). With
+// GC on, the machine-wide notice-history footprint must cycle — the
+// post-collection residue in later epochs never exceeds the first epoch's —
+// instead of growing with the epoch count, while the GC-off run demonstrates
+// the growth is real (its final history dwarfs the bounded residue).
+// Test scale runs 4 producer/consumer epochs (8 barrier episodes), beyond
+// the >= 3 needed to distinguish a cycle from monotone growth.
+func TestNoticeHistoryBounded(t *testing.T) {
+	cm := fabric.DefaultCostModel()
+	impl := core.Impl{Model: core.LRC, Trap: core.Twinning, Collect: core.Diffs}
+	on := mustRun(t, "micro-producer-consumer", impl, 16, cm, run.Options{NoticeGC: true})
+	off := mustRun(t, "micro-producer-consumer", impl, 16, cm, run.Options{})
+	if on.GC == nil {
+		t.Fatal("no GC report")
+	}
+	if len(on.GC.Samples) < 6 {
+		t.Fatalf("only %d collection passes; need >= 3 epochs (6 barriers) to observe the cycle", len(on.GC.Samples))
+	}
+	firstEpochMax := on.GC.Samples[0].After
+	if a := on.GC.Samples[1].After; a > firstEpochMax {
+		firstEpochMax = a
+	}
+	for i, s := range on.GC.Samples {
+		if s.After > firstEpochMax {
+			t.Errorf("pass %d leaves %d notice bytes live, above the first epoch's %d: history grows with epochs despite GC",
+				i, s.After, firstEpochMax)
+		}
+	}
+	if off.NoticeBytes < 8*firstEpochMax {
+		t.Errorf("GC-off history (%d bytes) is not much larger than the bounded residue (%d): the workload no longer accumulates history and the bound is vacuous",
+			off.NoticeBytes, firstEpochMax)
+	}
+}
+
+// largePeakHeapBudget bounds the host heap of one 256-processor large-scale
+// SOR cell: ~115 MiB measured cold, with headroom for allocator slack and
+// residue from earlier tests in the same process. An O(procs^2) regression
+// in per-node protocol state blows past this by design (the uncollected
+// Water cell at the same processor count peaks at ~2.4 GiB).
+const largePeakHeapBudget = 1 << 30 // 1 GiB
+
+// TestLargeScaleMemoryBudget runs a full 256-processor large-scale cell
+// through the harness (image cache, scale defaults) and pins its host-side
+// peak heap, measured by the perf registry's cell spans, under the budget.
+// SOR is the cell: large enough to exercise 256-way sharing, cheap enough
+// for the tier-1 suite (the heavyweight Water cell runs in CI's scale smoke
+// job instead). It also pins the large-scale harness defaults: notice GC
+// must have been on without being asked for.
+func TestLargeScaleMemoryBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-processor cell")
+	}
+	reg := perf.New()
+	cfg := harness.Config{Scale: apps.Large, NProcs: 256, Cost: fabric.DefaultCostModel(), Perf: reg}
+	row := harness.RunCell(cfg, "SOR", core.Impl{Model: core.LRC, Trap: core.Twinning, Collect: core.Diffs})
+	if row.Err != nil {
+		t.Fatal(row.Err)
+	}
+	if row.GC == nil {
+		t.Error("large-scale cell ran without notice GC: the harness scale default regressed")
+	} else if row.GC.Violations != 0 {
+		t.Errorf("GC recorded %d floor violations", row.GC.Violations)
+	}
+	snap := reg.Snapshot(perf.Meta{Parallel: 1})
+	if len(snap.Cells) == 0 {
+		t.Fatal("perf registry observed no cells")
+	}
+	if snap.PeakHeapBytes <= 0 {
+		t.Fatal("no peak heap recorded")
+	}
+	if snap.PeakHeapBytes > largePeakHeapBudget {
+		t.Errorf("256-proc SOR cell peaked at %d heap bytes, over the %d budget (%.1f MiB > %.1f MiB)",
+			snap.PeakHeapBytes, int64(largePeakHeapBudget),
+			float64(snap.PeakHeapBytes)/(1<<20), float64(largePeakHeapBudget)/(1<<20))
+	}
+}
+
+func mustRun(t *testing.T, name string, impl core.Impl, nprocs int, cm fabric.CostModel, opts run.Options) run.Result {
+	t.Helper()
+	a, err := apps.New(name, apps.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := run.RunWith(a, impl, nprocs, cm, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -6,13 +6,17 @@
 //	dsmrun -app Water -impl LRC-diff -procs 8 -scale paper
 //	dsmrun -app QS -impl EC-time -procs 4 -scale test
 //	dsmrun -app SOR -impl LRC-diff -procs 8 -trace trace-out
+//	dsmrun -app SOR -impl LRC-diff -procs 8 -profile
 //	dsmrun -app Water -impl LRC-diff -perf -cpuprofile cpu.pprof
 //	dsmrun -app Water -impl LRC-diff -procs 256 -scale large -gc -fanin 16 -topo clos:radix=16
 //
-// -perf prints a host-side breakdown after the run (phase wall times,
-// allocation delta, peak heap — internal/perf); -cpuprofile/-memprofile
-// write standard pprof profiles. Both are observation-only: the simulated
-// statistics are identical with and without them.
+// -profile prints the virtual-time profile after the run: the per-processor
+// stall breakdown, the critical path's decomposition and the what-if
+// projections (internal/trace's profiler), without needing a -trace
+// directory. -perf prints a host-side breakdown after the run (phase wall
+// times, allocation delta, peak heap — internal/perf); -cpuprofile/
+// -memprofile write standard pprof profiles. All are observation-only: the
+// simulated statistics are identical with and without them.
 //
 // Exit codes: 0 on success, 1 on run failure, 2 on invalid flags.
 package main
@@ -53,6 +57,7 @@ func cli(args []string, stdout, stderr io.Writer) int {
 	preset := fs.String("preset", "paper", "cost-model preset: "+strings.Join(fabric.PresetNames(), ", "))
 	contention := fs.Bool("contention", false, "model shared-link contention (concurrent bulk transfers queue)")
 	traceDir := fs.String("trace", "", "record an event trace and write all attribution reports to this directory (see cmd/dsmtrace for report selection)")
+	profileFlag := fs.Bool("profile", false, "print the virtual-time profile after the run (per-proc stall breakdown, critical path, what-if projections); implies tracing")
 	faults := fs.String("faults", "off", "fault-plan preset injected into the fabric: "+strings.Join(fabric.FaultPresetNames(), ", "))
 	faultSeed := fs.Uint64("fault-seed", 0, "override the fault plan's PRNG seed (0 keeps the preset's seed)")
 	timeout := fs.Float64("timeout", 0, "virtual-time watchdog in simulated seconds: fail with a stall diagnostic instead of running past it (0 disables)")
@@ -112,17 +117,19 @@ func cli(args []string, stdout, stderr io.Writer) int {
 	// long) run: a bad report selection must fail like a bad flag.
 	var topts trace.Options
 	var tr *trace.Tracer
-	if *traceDir != "" {
+	if *traceDir != "" || *profileFlag {
 		if *procs < 1 || *procs > trace.MaxProcs {
 			return usageFail("traced runs support 1..%d processors, got %d", trace.MaxProcs, *procs)
 		}
-		sel, err := trace.ParseReports("")
-		if err != nil {
-			return usageFail("%v", err)
-		}
-		topts = trace.Options{Reports: sel, OutDir: *traceDir}
-		if err := topts.Validate(); err != nil {
-			return usageFail("%v", err)
+		if *traceDir != "" {
+			sel, err := trace.ParseReports("")
+			if err != nil {
+				return usageFail("%v", err)
+			}
+			topts = trace.Options{Reports: sel, OutDir: *traceDir}
+			if err := topts.Validate(); err != nil {
+				return usageFail("%v", err)
+			}
 		}
 		tr = trace.New(*procs)
 	}
@@ -204,13 +211,30 @@ func cli(args []string, stdout, stderr io.Writer) int {
 				return fail(err)
 			}
 			meta := run.TraceMeta(a2, impl, *procs, *scale)
-			ph := reg.StartPhase("trace_emit")
-			written, err := trace.EmitReports(topts.OutDir, topts.Reports, trace.Analyze(tr, meta), tr)
+			// The analysis (event scan, profile build, critical-path walk) is
+			// timed apart from file emission, so "analyze" wall time lands in
+			// the perf trajectory alongside init/simulate/verify.
+			ph := reg.StartPhase("analyze")
+			art := trace.Analyzed(tr, meta)
 			ph.End()
-			if err != nil {
-				return fail(err)
+			if *traceDir != "" {
+				ph = reg.StartPhase("trace_emit")
+				written, err := trace.EmitReports(topts.OutDir, topts.Reports, art, tr)
+				ph.End()
+				if err != nil {
+					return fail(err)
+				}
+				fmt.Fprintf(stdout, "  trace: %d events -> %s\n", tr.Len(), strings.Join(written, ", "))
 			}
-			fmt.Fprintf(stdout, "  trace: %d events -> %s\n", tr.Len(), strings.Join(written, ", "))
+			if *profileFlag {
+				if err := trace.WriteProfileMarkdown(stdout, art.Profile, art.CritPath); err != nil {
+					return fail(err)
+				}
+				fmt.Fprintln(stdout)
+				if err := trace.WriteWhatIfMarkdown(stdout, art.CritPath); err != nil {
+					return fail(err)
+				}
+			}
 		}
 		if reg != nil {
 			printPerf(stdout, reg)

@@ -63,6 +63,32 @@ func TestCLIPerfBreakdown(t *testing.T) {
 	}
 }
 
+// TestCLIVirtualProfile runs the same cell with and without -profile: the
+// statistics line must be identical (observation-only), and the profile must
+// render the stall breakdown, critical path and what-if tables to stdout
+// without needing a trace directory.
+func TestCLIVirtualProfile(t *testing.T) {
+	base := []string{"-app", "SOR", "-impl", "LRC-diff", "-scale", "test", "-procs", "2"}
+	var plain, plainErr strings.Builder
+	if code := cli(base, &plain, &plainErr); code != 0 {
+		t.Fatalf("plain run exited %d: %s", code, plainErr.String())
+	}
+	var out, errw strings.Builder
+	if code := cli(append(append([]string{}, base...), "-profile"), &out, &errw); code != 0 {
+		t.Fatalf("profile run exited %d: %s", code, errw.String())
+	}
+	if !strings.HasPrefix(out.String(), plain.String()) {
+		t.Errorf("-profile changed the simulated output:\nplain:\n%s\nprofile:\n%s", plain.String(), out.String())
+	}
+	profLines := strings.TrimPrefix(out.String(), plain.String())
+	for _, want := range []string{"# Virtual-time profile", "## Per-processor stall breakdown",
+		"## Critical path", "# What-if projections", "max speedup"} {
+		if !strings.Contains(profLines, want) {
+			t.Errorf("profile output missing %q: %s", want, profLines)
+		}
+	}
+}
+
 // TestCLIProfiles checks the pprof wiring writes non-empty profiles.
 func TestCLIProfiles(t *testing.T) {
 	dir := t.TempDir()

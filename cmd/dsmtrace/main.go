@@ -1,18 +1,25 @@
 // Command dsmtrace answers "why is this cell slow?": it runs one
 // (application, implementation) combination with event tracing enabled and
 // emits the attribution artifacts — per-page heat and sharing patterns,
-// per-lock contention chains, barrier imbalance, a message-class timeline
-// and a Chrome trace-event view.
+// per-lock contention chains, barrier imbalance, a message-class timeline,
+// a Chrome trace-event view, and the virtual-time profiler's products (the
+// per-processor stall breakdown, folded stacks, the critical path and its
+// what-if projections).
 //
 // Usage:
 //
 //	dsmtrace -app Water -impl LRC-diff -procs 8 -report pages,locks,timeline -out results/
+//	dsmtrace -app SOR -impl LRC-diff -procs 8 -report profile,critpath,whatif -out results/
 //	dsmtrace -app SOR -impl EC-time -procs 4 -scale test
 //
 // With -out unset the markdown summary goes to stdout; with it set, the
 // selected reports (summary.md, pages.csv, locks.csv, timeline.json,
-// trace.bin) are written to the directory. Tracing is observation-only: the
-// run's statistics are bit-identical to an untraced dsmrun.
+// trace.bin, profile.md, profile.folded, critpath.csv, critpath.json,
+// whatif.md) are written to the directory. Every selection other than
+// summary/barriers produces files, so it needs -out: such selections fail
+// fast with the wrapped trace.ErrConfig message before the run starts,
+// never silently writing nothing. Tracing is observation-only: the run's
+// statistics are bit-identical to an untraced dsmrun.
 //
 // Exit codes: 0 on success, 1 on run/emit failure, 2 on invalid flags
 // (including -report selections, which carry the wrapped trace.ErrConfig
@@ -117,15 +124,15 @@ func cli(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(err)
 	}
-	analysis := trace.Analyze(tr, run.TraceMeta(a2, impl, *procs, *scale))
+	meta := run.TraceMeta(a2, impl, *procs, *scale)
 
 	if *out == "" {
-		if err := trace.WriteMarkdown(stdout, analysis); err != nil {
+		if err := trace.WriteMarkdown(stdout, trace.Analyze(tr, meta)); err != nil {
 			return fail(err)
 		}
 		return 0
 	}
-	written, err := trace.EmitReports(*out, sel, analysis, tr)
+	written, err := trace.EmitReports(*out, sel, trace.Artifacts{Analysis: trace.Analyze(tr, meta)}, tr)
 	if err != nil {
 		return fail(err)
 	}

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -27,6 +29,12 @@ func TestCLIExitCodes(t *testing.T) {
 			"invalid trace options: report list selects nothing"},
 		{"file report without out", []string{"-report", "pages"}, 2,
 			"invalid trace options: report pages needs an output directory"},
+		{"profile without out", []string{"-report", "profile"}, 2,
+			"invalid trace options: report profile needs an output directory"},
+		{"critpath without out", []string{"-report", "critpath"}, 2,
+			"invalid trace options: report critpath needs an output directory"},
+		{"whatif without out", []string{"-report", "whatif"}, 2,
+			"invalid trace options: report whatif needs an output directory"},
 		{"unknown app", []string{"-app", "NoSuch", "-scale", "test", "-procs", "2"}, 1,
 			`unknown application "NoSuch"`},
 		{"good run", []string{"-app", "IS", "-impl", "LRC-time", "-scale", "test", "-procs", "2"}, 0, ""},
@@ -42,5 +50,38 @@ func TestCLIExitCodes(t *testing.T) {
 				t.Errorf("stderr %q does not contain %q", stderr.String(), tc.stderr)
 			}
 		})
+	}
+}
+
+// TestProfileReportsEmitted drives a real traced run through the profiler
+// selection and checks every artifact lands with the advertised content.
+func TestProfileReportsEmitted(t *testing.T) {
+	dir := t.TempDir()
+	var stdout, stderr strings.Builder
+	code := cli([]string{"-app", "IS", "-impl", "LRC-diff", "-scale", "test", "-procs", "4",
+		"-report", "profile,critpath,whatif", "-out", dir}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr.String())
+	}
+	for _, name := range []string{"profile.md", "profile.folded", "critpath.csv", "critpath.json", "whatif.md"} {
+		if fi, err := os.Stat(filepath.Join(dir, name)); err != nil || fi.Size() == 0 {
+			t.Errorf("%s missing or empty (%v)", name, err)
+		}
+	}
+	prof, err := os.ReadFile(filepath.Join(dir, "profile.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"conservation", "## Per-processor stall breakdown", "## Critical path"} {
+		if !strings.Contains(string(prof), want) {
+			t.Errorf("profile.md lacks %q", want)
+		}
+	}
+	cp, err := os.ReadFile(filepath.Join(dir, "critpath.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(cp), "proc,start_ns,end_ns,duration_ns,class,object\n") {
+		t.Errorf("critpath.csv header = %q", strings.SplitN(string(cp), "\n", 2)[0])
 	}
 }

@@ -228,7 +228,9 @@ func (n *Node) Rebind(l core.LockID, rs ...mem.Range) {
 	b := n.binding(l)
 	// Harvest the open epoch against the OLD binding first, so pending
 	// changes are not mis-scanned against the new ranges.
-	n.Charge(n.harvest(l))
+	hwork := n.harvest(l)
+	n.Tr.Work(n.P.Now(), n.P.ID(), trace.WorkTrapDiff, trace.ObjLock, int(l), hwork)
+	n.Charge(hwork)
 	// Every post-rebind transfer is a conservative full send, so diffs
 	// against the old binding can never be needed again.
 	n.ls(l).diffs = nil
@@ -291,6 +293,8 @@ func (n *Node) onFault(a mem.Addr, write bool) {
 		panic(fmt.Sprintf("ec: read fault at %d (EC pages are never read-protected)", a))
 	}
 	pg := mem.PageOf(a)
+	n.Tr.Work(n.P.Now(), n.P.ID(), trace.WorkTrapDiff, trace.ObjPage, pg,
+		n.CM.ProtFault+mem.PageWords*n.CM.WordCopy+n.CM.MProtect)
 	n.Charge(n.CM.ProtFault + mem.PageWords*n.CM.WordCopy + n.CM.MProtect)
 	n.twins.Make(pg)
 	n.Extra.TwinsMade++
@@ -310,6 +314,7 @@ func (n *Node) openEpoch(l core.LockID) {
 		// Eager copy: no protection faults for small objects (Section 4.2).
 		st.objTwin = wtrap.MakeObjectTwin(n.Im, b.ranges)
 		n.Tr.Twin(n.P.Now(), n.P.ID(), trace.DomainLock, int(l))
+		n.Tr.Work(n.P.Now(), n.P.ID(), trace.WorkTrapDiff, trace.ObjLock, int(l), sim.Time(b.words)*n.CM.WordCopy)
 		n.Charge(sim.Time(b.words) * n.CM.WordCopy)
 		return
 	}
@@ -336,6 +341,7 @@ func (n *Node) openEpoch(l core.LockID) {
 			}
 		}
 		if protected {
+			n.Tr.Work(n.P.Now(), n.P.ID(), trace.WorkTrapDiff, trace.ObjLock, int(l), n.CM.MProtect)
 			n.Charge(n.CM.MProtect) // one mprotect call per contiguous range
 		}
 	}
@@ -667,7 +673,9 @@ func (h *lockHooks) LocalReacquire(l core.LockID, mode syncmgr.Mode) {
 	if mode != syncmgr.Exclusive {
 		return
 	}
-	n.Charge(n.harvest(l)) // close any previous un-harvested epoch
+	rwork := n.harvest(l) // close any previous un-harvested epoch
+	n.Tr.Work(n.P.Now(), n.P.ID(), trace.WorkTrapDiff, trace.ObjLock, int(l), rwork)
+	n.Charge(rwork)
 	n.ls(l).inc++
 	if !n.nextNoData {
 		n.openEpoch(l)

@@ -362,6 +362,7 @@ func (rt *retryTimer) Fire(at sim.Time) {
 	total := n.account(rt.from, fr.msg.Size)
 	n.tr.Retransmit(at, rt.from, rt.to, fr.msg.Kind, fr.attempt)
 	cost := n.cm.MsgCost(total)
+	n.tr.Recovery(at, rt.from, cost)
 	n.procs[rt.from].InjectWork(cost)
 	fs.attempt(at+cost, fr, nil)
 }
@@ -410,6 +411,7 @@ func (fs *faultState) arrive(fl *flight, at sim.Time) {
 func (fs *faultState) deliver(fl *flight, at sim.Time) {
 	if at > fl.nominal {
 		fs.stats.RecoveryWait += at - fl.nominal
+		fs.n.tr.Recovery(at, fl.msg.To, at-fl.nominal)
 	}
 	fl.rel = false
 	fl.Fire(at)

@@ -40,10 +40,10 @@ type Config struct {
 	// free-overlap model bit-exactly.
 	Contention bool
 	// Trace attaches a fresh event tracer to every cell (internal/trace).
-	// Tracing is observation-only — the tables are byte-identical with it on
-	// — so the flag exists for regression tests and for callers that want
-	// traced table runs; the per-cell traces themselves are discarded by the
-	// table entry points (use run.Options.Trace directly to keep one).
+	// Tracing is observation-only — the tables are byte-identical with it on.
+	// RunCell hands the cell's tracer back on Row.Trace for post-hoc analysis
+	// (the sweep engine's stall breakdown); the table entry points still
+	// discard the per-cell traces.
 	Trace bool
 	// Faults injects the given seeded fault plan into every cell's fabric
 	// (see fabric.FaultPlan). nil reproduces the fault-free run bit-exactly.
@@ -185,6 +185,10 @@ type Row struct {
 	Impl core.Impl
 	run.Result
 	Err error
+	// Trace is the cell's event tracer when Config.Trace was set (nil
+	// otherwise), so callers can run post-hoc analysis — the sweep engine's
+	// stall breakdown builds its per-record profile from it.
+	Trace *trace.Tracer
 }
 
 // imageCache memoizes the computed layout and pre-seeded initial image per
@@ -344,6 +348,7 @@ func RunCell(cfg Config, app string, impl core.Impl) (row Row) {
 	}
 	res, err := run.RunWith(a, impl, cfg.NProcs, cfg.Cost, opts)
 	row.Result, row.Err = res, err
+	row.Trace = opts.Trace
 	return row
 }
 

@@ -270,7 +270,9 @@ func (n *Node) Rebind(l core.LockID, rs ...mem.Range) {}
 func (n *Node) Acquire(l core.LockID) {
 	n.Flush()
 	// An acquire begins a new interval (Section 5.1).
-	n.Charge(n.closeInterval())
+	cwork := n.closeInterval()
+	n.Tr.Work(n.P.Now(), n.P.ID(), trace.WorkTrapDiff, trace.ObjNone, -1, cwork)
+	n.Charge(cwork)
 	n.Flush()
 	n.locks.Acquire(l, syncmgr.Exclusive)
 }
@@ -523,8 +525,11 @@ func (n *Node) onFault(a mem.Addr, write bool) {
 func (n *Node) writeTwinFault(pg int) {
 	// If a closed interval's twin is still pending for this page, its diff
 	// must be extracted before re-twinning for the new interval.
-	n.Charge(n.harvestPage(pg))
-	n.Charge(n.CM.ProtFault + mem.PageWords*n.CM.WordCopy + n.CM.MProtect)
+	hwork := n.harvestPage(pg)
+	twork := n.CM.ProtFault + mem.PageWords*n.CM.WordCopy + n.CM.MProtect
+	n.Tr.Work(n.P.Now(), n.P.ID(), trace.WorkTrapDiff, trace.ObjPage, pg, hwork+twork)
+	n.Charge(hwork)
+	n.Charge(twork)
 	n.twins.Make(pg)
 	n.Extra.TwinsMade++
 	n.openPages = append(n.openPages, pg)
@@ -536,6 +541,7 @@ func (n *Node) writeTwinFault(pg int) {
 // order, and re-validate the page.
 func (n *Node) accessMiss(pg int, write bool) {
 	n.Extra.AccessMisses++
+	n.Tr.Work(n.P.Now(), n.P.ID(), trace.WorkTrapDiff, trace.ObjPage, pg, n.CM.ProtFault)
 	n.Charge(n.CM.ProtFault)
 	n.Flush()
 	pm := n.pageMeta(pg)
@@ -666,6 +672,7 @@ func (n *Node) accessMiss(pg int, write bool) {
 		n.Tr.Apply(n.P.Now(), n.P.ID(), trace.DomainPage, pg, u.proc, w)
 		words += w
 	}
+	n.Tr.Work(n.P.Now(), n.P.ID(), trace.WorkTrapDiff, trace.ObjPage, pg, sim.Time(words)*n.CM.WordApply)
 	n.Charge(sim.Time(words) * n.CM.WordApply)
 
 	for _, w := range writers {
@@ -677,6 +684,7 @@ func (n *Node) accessMiss(pg int, write bool) {
 	}
 	// Re-validate. Under twinning the page stays write-protected so the
 	// next write twins it; a write miss twins immediately.
+	n.Tr.Work(n.P.Now(), n.P.ID(), trace.WorkTrapDiff, trace.ObjPage, pg, n.CM.MProtect)
 	if n.impl.Trap == core.Twinning {
 		n.MMU.SetProt(pg, vm.ReadOnly)
 		n.Charge(n.CM.MProtect)
@@ -710,7 +718,9 @@ func (n *Node) handleFetch(hc *fabric.HandlerCtx, m fabric.Msg) {
 		// diffs the collector already discarded. Must be unreachable.
 		n.gc.report.Violations++
 	}
-	hc.Work(n.harvestPage(pg)) // lazy collection happens at first request
+	fwork := n.harvestPage(pg) // lazy collection happens at first request
+	n.Tr.Work(hc.Now(), n.P.ID(), trace.WorkTrapDiff, trace.ObjPage, pg, fwork)
+	hc.Work(fwork)
 
 	reply := &pageReply{}
 	size := 0
@@ -733,6 +743,7 @@ func (n *Node) handleFetch(hc *fabric.HandlerCtx, m fabric.Msg) {
 		pageRange := []mem.Range{{Base: mem.PageBase(pg), Len: mem.PageSize}}
 		runs, scanned := wcollect.SelectPred(n.stamps, pageRange,
 			wcollect.ProcWindow{Proc: n.P.ID(), Since: since, UpTo: upTo})
+		n.Tr.Work(hc.Now(), n.P.ID(), trace.WorkTrapDiff, trace.ObjPage, pg, sim.Time(scanned)*n.CM.WordScan)
 		hc.Work(sim.Time(scanned) * n.CM.WordScan)
 		reply.Stamped = wcollect.ExtractStamped(n.Im, runs)
 		size = reply.Stamped.WireSize(wcollect.LRCStampBytes)

@@ -66,6 +66,10 @@ type Base struct {
 	Cnt syncmgr.Counters
 
 	pending sim.Time // deferred CPU cost not yet slept
+	// trapPend is the instrumented-store share of pending when tracing: one
+	// EvWork per store would dwarf the trace, so trap charges accumulate here
+	// and emit as a single record at the next Flush.
+	trapPend sim.Time
 
 	statsOpen  bool
 	winStart   sim.Time
@@ -148,6 +152,10 @@ func (b *Base) Charge(d sim.Time) {
 // any blocking or communicating operation.
 func (b *Base) Flush() {
 	if b.pending > 0 {
+		if b.trapPend > 0 {
+			b.Tr.Work(b.P.Now(), b.P.ID(), trace.WorkTrapDiff, trace.ObjNone, -1, b.trapPend)
+			b.trapPend = 0
+		}
 		d := b.pending
 		b.pending = 0
 		b.P.Sleep(d)
@@ -238,6 +246,9 @@ func (b *Base) writeSlow(a mem.Addr, size int) {
 		b.MMU.FaultWrite(a)
 	}
 	if b.trapDB != nil {
+		if b.Tr != nil {
+			b.trapPend += b.trapCost
+		}
 		b.Charge(b.trapCost)
 		b.trapDB.NoteWrite(a, size)
 	}

@@ -116,6 +116,9 @@ func (p *Proc) block(reason string) {
 	p.state = stateBlocked
 	p.waitReason = reason
 	s := p.sim
+	if s.probe != nil {
+		s.probe.ProcBlocked(s.now, p.id, reason)
+	}
 	switch next := s.step(); {
 	case next == p:
 		// Direct self-resume.

@@ -32,13 +32,19 @@ const (
 	kindTimer                   // fire t
 )
 
-// Probe observes scheduler activity for the tracing subsystem. Both methods
+// Probe observes scheduler activity for the tracing subsystem. All methods
 // run with the baton held and must not mutate simulation state: a probed run
-// must stay bit-identical to an unprobed one. ProcResumed fires once per
-// process resume (the wake half of the dispatch/wake cycle); EventDispatched
-// fires for every event the loop dispatches, with the internal event kind and
-// the target process id (-1 for callbacks and timers).
+// must stay bit-identical to an unprobed one. ProcBlocked fires when a
+// process gives up the CPU (with the wait reason it parks under); ProcResumed
+// fires once per actual process resume (the wake half of the block/wake
+// cycle — busyUntil deferrals and stale wake generations do not fire it);
+// EventDispatched fires for every event the loop dispatches, with the
+// internal event kind and the target process id (-1 for callbacks and
+// timers). Because virtual time only advances while every process is blocked,
+// a ProcBlocked/ProcResumed pairing exactly tiles each process's lifetime
+// into blocked intervals — the profiler's time-accounting foundation.
 type Probe interface {
+	ProcBlocked(at Time, proc int, reason string)
 	ProcResumed(at Time, proc int)
 	EventDispatched(at Time, kind uint8, proc int)
 }

@@ -1,0 +1,128 @@
+package sweep
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ecvslrc/internal/apps"
+	"ecvslrc/internal/sim"
+	"ecvslrc/internal/trace"
+)
+
+func breakdownGrid(parallel int) Grid {
+	return Grid{
+		Scale:     apps.Test,
+		Apps:      []string{"SOR", "IS"},
+		NProcs:    []int{4},
+		Parallel:  parallel,
+		Breakdown: true,
+	}
+}
+
+// TestBreakdownObservationOnly pins the -breakdown contract: every other
+// record field is identical with the stall breakdown on or off, every
+// breakdown record carries one, and its classes sum to the cells' total
+// processor time (the profiler's conservation invariant, per cell).
+func TestBreakdownObservationOnly(t *testing.T) {
+	with, err := Run(breakdownGrid(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := breakdownGrid(1)
+	g.Breakdown = false
+	without, err := Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(with) != len(without) {
+		t.Fatalf("%d records with breakdown, %d without", len(with), len(without))
+	}
+	for i := range with {
+		r := with[i]
+		if r.Stall == nil {
+			t.Fatalf("record %d (%s/%s) has no stall breakdown", i, r.App, r.Impl)
+		}
+		sum := r.Stall.Compute + r.Stall.TrapDiff + r.Stall.PageFetch +
+			r.Stall.LockWait + r.Stall.BarrierWait + r.Stall.LinkWait + r.Stall.Recovery
+		if sum <= 0 {
+			t.Errorf("record %d (%s/%s): stall classes sum to %v", i, r.App, r.Impl, sum)
+		}
+		r.Stall = nil
+		if !reflect.DeepEqual(r, without[i]) {
+			t.Errorf("record %d differs beyond the breakdown:\nwith:    %+v\nwithout: %+v", i, r, without[i])
+		}
+	}
+}
+
+// TestBreakdownDeterministicUnderParallel requires bit-identical breakdowns
+// (and CSV bytes) for any worker count — profiling rides on the same
+// determinism contract as the records themselves.
+func TestBreakdownDeterministicUnderParallel(t *testing.T) {
+	serial, err := Run(breakdownGrid(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(breakdownGrid(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Error("breakdown records differ between -parallel 1 and 4")
+	}
+	var a, b bytes.Buffer
+	if err := WriteCSV(&a, serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSV(&b, parallel); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("breakdown CSV differs between -parallel 1 and 4")
+	}
+	if !strings.Contains(strings.SplitN(a.String(), "\n", 2)[0], "stall_compute_sec") {
+		t.Errorf("breakdown CSV header lacks stall columns: %s", strings.SplitN(a.String(), "\n", 2)[0])
+	}
+}
+
+// TestBreakdownRejectsUntraceableProcs: the tracer addresses processors in
+// one byte, so a breakdown sweep past trace.MaxProcs must fail fast as a
+// grid-validation error, before any cell runs.
+func TestBreakdownRejectsUntraceableProcs(t *testing.T) {
+	_, err := Run(Grid{
+		Scale:     apps.Test,
+		Apps:      []string{"SOR"},
+		NProcs:    []int{trace.MaxProcs + 1},
+		Breakdown: true,
+	})
+	if !errors.Is(err, ErrGrid) {
+		t.Errorf("err = %v, want ErrGrid wrap", err)
+	}
+}
+
+// TestStallCSVColumns pins the column layout: no stall columns without a
+// breakdown (the golden sample.csv covers the exact bytes), seven appended
+// zero-filled columns for records missing one in a mixed set.
+func TestStallCSVColumns(t *testing.T) {
+	recs := sampleRecords()
+	recs[0].Stall = &StallBreakdown{Compute: sim.Second, BarrierWait: sim.Second / 2}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	wantCols := len(csvHeader) + len(stallHeader)
+	for i, line := range lines {
+		if got := len(strings.Split(line, ",")); got != wantCols {
+			t.Errorf("line %d has %d columns, want %d", i, got, wantCols)
+		}
+	}
+	if !strings.HasSuffix(lines[1], "1.000000,0.000000,0.000000,0.000000,0.500000,0.000000,0.000000") {
+		t.Errorf("breakdown row = %s", lines[1])
+	}
+	if !strings.HasSuffix(lines[2], "0.000000,0.000000,0.000000,0.000000,0.000000,0.000000,0.000000") {
+		t.Errorf("zero-filled row = %s", lines[2])
+	}
+}

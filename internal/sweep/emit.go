@@ -19,10 +19,32 @@ var csvHeader = []string{
 	"fault", "retransmits", "dups_dropped", "recovery_wait_sec",
 }
 
-// WriteCSV emits one flat row per record, in record order.
+// stallHeader names the stall-breakdown columns, appended to csvHeader only
+// when the sweep ran with Grid.Breakdown — non-breakdown CSV output stays
+// byte-identical to sweeps that predate the profiler.
+var stallHeader = []string{
+	"stall_compute_sec", "stall_trap_diff_sec", "stall_page_fetch_sec",
+	"stall_lock_wait_sec", "stall_barrier_wait_sec", "stall_link_wait_sec",
+	"stall_recovery_sec",
+}
+
+// WriteCSV emits one flat row per record, in record order. When any record
+// carries a stall breakdown, the stall columns are appended (zeros for
+// records without one).
 func WriteCSV(w io.Writer, recs []Record) error {
+	withStall := false
+	for _, r := range recs {
+		if r.Stall != nil {
+			withStall = true
+			break
+		}
+	}
 	cw := csv.NewWriter(w)
-	if err := cw.Write(csvHeader); err != nil {
+	header := csvHeader
+	if withStall {
+		header = append(append([]string(nil), csvHeader...), stallHeader...)
+	}
+	if err := cw.Write(header); err != nil {
 		return fmt.Errorf("sweep: csv: %w", err)
 	}
 	for _, r := range recs {
@@ -51,6 +73,21 @@ func WriteCSV(w io.Writer, recs []Record) error {
 			strconv.FormatInt(r.Retransmits, 10),
 			strconv.FormatInt(r.DupsDropped, 10),
 			fmt.Sprintf("%.6f", r.RecoveryWait.Seconds()),
+		}
+		if withStall {
+			s := r.Stall
+			if s == nil {
+				s = &StallBreakdown{}
+			}
+			row = append(row,
+				fmt.Sprintf("%.6f", s.Compute.Seconds()),
+				fmt.Sprintf("%.6f", s.TrapDiff.Seconds()),
+				fmt.Sprintf("%.6f", s.PageFetch.Seconds()),
+				fmt.Sprintf("%.6f", s.LockWait.Seconds()),
+				fmt.Sprintf("%.6f", s.BarrierWait.Seconds()),
+				fmt.Sprintf("%.6f", s.LinkWait.Seconds()),
+				fmt.Sprintf("%.6f", s.Recovery.Seconds()),
+			)
 		}
 		if err := cw.Write(row); err != nil {
 			return fmt.Errorf("sweep: csv: %w", err)

@@ -23,6 +23,7 @@ import (
 	"ecvslrc/internal/harness"
 	"ecvslrc/internal/perf"
 	"ecvslrc/internal/sim"
+	"ecvslrc/internal/trace"
 )
 
 // Variant is one platform point of a sweep: a name for reports, the cost
@@ -73,6 +74,14 @@ type Grid struct {
 	// harness.Config.Timeout): a cell whose virtual clock would pass it fails
 	// with a sim.Stalled diagnostic instead of hanging the sweep. 0 disables.
 	Timeout sim.Time
+	// Breakdown traces every cell and attaches the virtual-time profiler's
+	// per-class stall decomposition to each record (Record.Stall), adding the
+	// breakdown columns to the CSV. Opt-in: tracing every cell costs memory
+	// proportional to the event count, and the extra columns would churn
+	// downstream consumers of the flat CSV. Observation-only — all other
+	// record fields are byte-identical with it on or off. Requires every
+	// NProcs entry to fit the tracer (trace.MaxProcs).
+	Breakdown bool
 	// Perf, when non-nil, attributes host-side performance (wall time,
 	// allocation deltas, peak heap) to every cell of the grid, labeled with
 	// the variant name, plus the grid's aggregate throughput and latency
@@ -108,6 +117,10 @@ func (g Grid) normalized() (Grid, error) {
 	for _, np := range g.NProcs {
 		if np < 1 {
 			return g, fmt.Errorf("sweep: %w: nprocs %d < 1", ErrGrid, np)
+		}
+		if g.Breakdown && np > trace.MaxProcs {
+			return g, fmt.Errorf("sweep: %w: stall breakdown traces every cell, which supports 1..%d processors, got %d",
+				ErrGrid, trace.MaxProcs, np)
 		}
 	}
 	for _, i := range g.Impls {
@@ -179,6 +192,38 @@ type Record struct {
 	// (and out of the JSON) for the flat calibrated link, keeping flat-fabric
 	// output identical to sweeps that predate the topology model.
 	Topo string `json:"topo,omitempty"`
+	// Stall is the virtual-time profiler's stall-class decomposition of the
+	// cell, summed over all processors. Present only with Grid.Breakdown on
+	// (and out of the JSON otherwise), keeping non-breakdown output identical
+	// to sweeps that predate the profiler.
+	Stall *StallBreakdown `json:"stall,omitempty"`
+}
+
+// StallBreakdown is one record's machine-wide stall decomposition: every
+// simulated nanosecond of every processor, classified by the virtual-time
+// profiler (trace.BuildProfile). The classes sum exactly to the summed
+// per-processor end times (the profiler's conservation invariant).
+type StallBreakdown struct {
+	Compute     sim.Time `json:"compute_ns"`
+	TrapDiff    sim.Time `json:"trap_diff_ns"`
+	PageFetch   sim.Time `json:"page_fetch_ns"`
+	LockWait    sim.Time `json:"lock_wait_ns"`
+	BarrierWait sim.Time `json:"barrier_wait_ns"`
+	LinkWait    sim.Time `json:"link_wait_ns"`
+	Recovery    sim.Time `json:"recovery_ns"`
+}
+
+// stallOf folds a profile's per-class totals into the record form.
+func stallOf(p *trace.Profile) *StallBreakdown {
+	return &StallBreakdown{
+		Compute:     p.Total[trace.ClassCompute],
+		TrapDiff:    p.Total[trace.ClassTrapDiff],
+		PageFetch:   p.Total[trace.ClassPageFetch],
+		LockWait:    p.Total[trace.ClassLockWait],
+		BarrierWait: p.Total[trace.ClassBarrierWait],
+		LinkWait:    p.Total[trace.ClassLinkWait],
+		Recovery:    p.Total[trace.ClassRecovery],
+	}
 }
 
 // CellFailures aggregates every failed cell of a sweep, in grid order. Run
@@ -273,7 +318,7 @@ func Run(g Grid) ([]Record, error) {
 			Scale: g.Scale, NProcs: np, Cost: v.Cost, Contention: v.Contention,
 			Faults: v.Faults, Timeout: g.Timeout, Parallel: 1,
 			Perf: g.Perf, Variant: v.Name, Topology: v.Topology,
-			BarrierFanIn: g.BarrierFanIn,
+			BarrierFanIn: g.BarrierFanIn, Trace: g.Breakdown,
 		}
 		t0 := startClock()
 		row := harness.RunCell(cfg, app, impl)
@@ -283,6 +328,15 @@ func Run(g Grid) ([]Record, error) {
 		if row.Err != nil {
 			cellErrs[k] = fmt.Errorf("sweep: %s/%s on %v, %d procs: %w", v.Name, app, impl, np, row.Err)
 			return
+		}
+		var stall *StallBreakdown
+		if g.Breakdown && row.Trace != nil {
+			// The profile build is host-side analysis, attributed to its own
+			// perf phase so breakdown cost is visible in the trajectory.
+			ph := g.Perf.StartPhase("analyze")
+			meta := trace.Meta{App: app, Impl: impl.String(), Scale: g.Scale.String(), NProcs: np}
+			stall = stallOf(trace.BuildProfile(row.Trace, meta))
+			ph.End()
 		}
 		seq := seqByApp[app]
 		recs[k] = Record{
@@ -300,6 +354,7 @@ func Run(g Grid) ([]Record, error) {
 			DupsDropped:  row.Faults.DupsDropped,
 			RecoveryWait: row.Faults.RecoveryWait,
 			Topo:         v.topoName(),
+			Stall:        stall,
 		}
 	})
 	var failed []error

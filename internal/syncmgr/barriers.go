@@ -115,6 +115,12 @@ func (m *BarrierMgr) state(b core.BarrierID) *barrierState {
 	return st
 }
 
+// workRec records classified consistency work charged for barrier b (nil-safe
+// through the tracer; zero work is dropped there).
+func (m *BarrierMgr) workRec(at sim.Time, b core.BarrierID, d sim.Time) {
+	m.tr.Work(at, m.self, trace.WorkTrapDiff, trace.ObjBarrier, int(b), d)
+}
+
 // treeRank is this processor's rank in barrier b's tree: ids rotated so the
 // manager is rank 0.
 func (m *BarrierMgr) treeRank(b core.BarrierID) int {
@@ -148,6 +154,7 @@ func (m *BarrierMgr) waitTree(b core.BarrierID) {
 	m.cnt.Barriers++
 	payload, size, work := m.hooks.MakeArrival(b)
 	payload.Kind, payload.A = fabric.PayloadBarrier, int32(b)
+	m.workRec(m.p.Now(), b, work)
 	m.p.Sleep(work)
 	m.tr.BarArrive(m.p.Now(), m.self, int(b))
 
@@ -156,7 +163,9 @@ func (m *BarrierMgr) waitTree(b core.BarrierID) {
 	st.ownArrived = true
 	if root {
 		// The root absorbs its own arrival exactly like the flat manager.
-		m.p.Sleep(m.hooks.AbsorbArrival(b, m.self, payload))
+		awork := m.hooks.AbsorbArrival(b, m.self, payload)
+		m.workRec(m.p.Now(), b, awork)
+		m.p.Sleep(awork)
 	}
 	if st.arrived < m.treeChildren(b) {
 		if st.local != nil {
@@ -179,16 +188,22 @@ func (m *BarrierMgr) waitTree(b core.BarrierID) {
 			up, usize, uwork = th.MergeSubtreeArrival(b, payload)
 			up.Kind, up.A = fabric.PayloadBarrier, int32(b)
 		}
+		m.workRec(m.p.Now(), b, uwork)
 		m.p.Sleep(uwork)
 		reply := m.net.Call(m.p, m.treeParent(b), KindBarrierArrive, usize, up)
-		m.p.Sleep(m.hooks.ApplyDeparture(b, reply.Payload))
+		dwork := m.hooks.ApplyDeparture(b, reply.Payload)
+		m.workRec(m.p.Now(), b, dwork)
+		m.p.Sleep(dwork)
 	} else {
-		m.p.Sleep(m.hooks.PrepareDepartures(b))
+		pwork := m.hooks.PrepareDepartures(b)
+		m.workRec(m.p.Now(), b, pwork)
+		m.p.Sleep(pwork)
 	}
 	m.tr.BarDepart(m.p.Now(), m.self, int(b))
 	for _, req := range reqs {
 		dp, dsize, dwork := m.hooks.MakeDeparture(b, req.From)
 		dp.Kind, dp.A = fabric.PayloadBarrier, int32(b)
+		m.workRec(m.p.Now(), b, dwork)
 		m.p.Sleep(dwork)
 		m.net.ReplyFrom(m.p, req, KindBarrierDepart, dsize, dp)
 	}
@@ -203,20 +218,25 @@ func (m *BarrierMgr) Wait(b core.BarrierID) {
 	m.cnt.Barriers++
 	payload, size, work := m.hooks.MakeArrival(b)
 	payload.Kind, payload.A = fabric.PayloadBarrier, int32(b)
+	m.workRec(m.p.Now(), b, work)
 	m.p.Sleep(work)
 	m.tr.BarArrive(m.p.Now(), m.self, int(b))
 
 	mgr := m.ManagerOf(b)
 	if mgr != m.self {
 		reply := m.net.Call(m.p, mgr, KindBarrierArrive, size, payload)
-		m.p.Sleep(m.hooks.ApplyDeparture(b, reply.Payload))
+		dwork := m.hooks.ApplyDeparture(b, reply.Payload)
+		m.workRec(m.p.Now(), b, dwork)
+		m.p.Sleep(dwork)
 		m.tr.BarDepart(m.p.Now(), m.self, int(b))
 		return
 	}
 
 	// Manager's own arrival.
 	st := m.state(b)
-	m.p.Sleep(m.hooks.AbsorbArrival(b, m.self, payload))
+	awork := m.hooks.AbsorbArrival(b, m.self, payload)
+	m.workRec(m.p.Now(), b, awork)
+	m.p.Sleep(awork)
 	st.arrived++
 	if st.arrived < m.nprocs {
 		if st.local != nil {
@@ -241,7 +261,9 @@ func (m *BarrierMgr) Handle(hc *fabric.HandlerCtx, msg fabric.Msg) bool {
 	}
 	b := core.BarrierID(msg.Payload.A)
 	st := m.state(b)
-	hc.Work(m.hooks.AbsorbArrival(b, msg.From, msg.Payload))
+	awork := m.hooks.AbsorbArrival(b, msg.From, msg.Payload)
+	m.workRec(hc.Now(), b, awork)
+	hc.Work(awork)
 	st.arrived++
 	st.reqs = append(st.reqs, msg)
 	if m.fanin >= 2 {
@@ -273,8 +295,10 @@ func (m *BarrierMgr) depart(b core.BarrierID, st *barrierState, hc *fabric.Handl
 
 	if work := m.hooks.PrepareDepartures(b); work > 0 {
 		if hc != nil {
+			m.workRec(hc.Now(), b, work)
 			hc.Work(work)
 		} else {
+			m.workRec(m.p.Now(), b, work)
 			m.p.Sleep(work)
 		}
 	}
@@ -282,9 +306,11 @@ func (m *BarrierMgr) depart(b core.BarrierID, st *barrierState, hc *fabric.Handl
 		payload, size, work := m.hooks.MakeDeparture(b, req.From)
 		payload.Kind, payload.A = fabric.PayloadBarrier, int32(b)
 		if hc != nil {
+			m.workRec(hc.Now(), b, work)
 			hc.Work(work)
 			hc.Reply(req, KindBarrierDepart, size, payload)
 		} else {
+			m.workRec(m.p.Now(), b, work)
 			m.p.Sleep(work)
 			m.net.ReplyFrom(m.p, req, KindBarrierDepart, size, payload)
 		}

@@ -200,6 +200,7 @@ func (m *LockMgr) Acquire(l core.LockID, mode Mode) {
 		st.successor = -1
 	}
 	work := m.hooks.ApplyLockGrant(l, mode, reply.Payload)
+	m.tr.Work(m.p.Now(), m.self, trace.WorkTrapDiff, trace.ObjLock, int(l), work)
 	m.p.Sleep(work)
 	m.tr.LockAcq(m.p.Now(), m.self, int(l), mode == ReadOnly, false)
 }
@@ -210,7 +211,9 @@ func (m *LockMgr) Release(l core.LockID) {
 	if !st.held {
 		panic(fmt.Sprintf("syncmgr: proc %d releasing un-held lock %d", m.self, l))
 	}
-	m.p.Sleep(m.hooks.OnRelease(l))
+	relWork := m.hooks.OnRelease(l)
+	m.tr.Work(m.p.Now(), m.self, trace.WorkTrapDiff, trace.ObjLock, int(l), relWork)
+	m.p.Sleep(relWork)
 	m.tr.LockRel(m.p.Now(), m.self, int(l), len(st.pendingEx)+len(st.pendingRead))
 	st.held = false
 	if st.heldMode == ReadOnly {
@@ -247,6 +250,7 @@ func (m *LockMgr) grantFromProc(st *lockState, req fabric.Msg) {
 	}
 	payload, size, work := m.hooks.MakeLockGrant(l, mode, req.Payload, req.From)
 	payload.Kind, payload.A, payload.B = fabric.PayloadLockGrant, int32(l), int32(mode)
+	m.tr.Work(m.p.Now(), m.self, trace.WorkTrapDiff, trace.ObjLock, int(l), work)
 	m.p.Sleep(work)
 	m.tr.LockGrant(m.p.Now(), m.self, int(l), req.From, mode == ReadOnly, size)
 	m.net.ReplyFrom(m.p, req, KindLockGrant, size, payload)
@@ -260,6 +264,7 @@ func (m *LockMgr) grantFromHandler(hc *fabric.HandlerCtx, st *lockState, req fab
 	}
 	payload, size, work := m.hooks.MakeLockGrant(l, mode, req.Payload, req.From)
 	payload.Kind, payload.A, payload.B = fabric.PayloadLockGrant, int32(l), int32(mode)
+	m.tr.Work(hc.Now(), m.self, trace.WorkTrapDiff, trace.ObjLock, int(l), work)
 	hc.Work(work)
 	m.tr.LockGrant(hc.Now(), m.self, int(l), req.From, mode == ReadOnly, size)
 	hc.Reply(req, KindLockGrant, size, payload)

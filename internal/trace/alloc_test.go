@@ -20,6 +20,21 @@ func BenchmarkTraceAppend(b *testing.B) {
 	}
 }
 
+// BenchmarkProfilerDisabled drives the profiler emit hooks through a nil
+// tracer: the path every untraced run takes. The CI alloc guard asserts
+// 0 allocs/op — instrumentation must cost nothing when profiling is off.
+func BenchmarkProfilerDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Block(1, i&3, "lrc-fetch")
+		tr.Work(2, i&3, WorkTrapDiff, ObjPage, i&7, 25)
+		tr.Recovery(3, i&3, 40)
+		tr.Wake(4, i&3)
+	}
+}
+
 // TestEmitSteadyStateAllocs is the strict in-process form of the
 // BenchmarkTraceAppend guard: after Reserve pre-grows the buffers, a window
 // of emits across every helper must perform zero heap allocations.

@@ -37,6 +37,16 @@ const (
 	ReportTimeline
 	// ReportBinary is the raw binary event trace (trace.bin).
 	ReportBinary
+	// ReportProfile is the virtual-time profile: the markdown stall-class
+	// breakdown (profile.md) plus folded stacks for flamegraph tools
+	// (profile.folded).
+	ReportProfile
+	// ReportCritPath is the critical path: the span table (critpath.csv)
+	// plus a Chrome-trace overlay of the path (critpath.json).
+	ReportCritPath
+	// ReportWhatIf is the what-if projection table (whatif.md): the path
+	// re-costed with each stall class zeroed.
+	ReportWhatIf
 )
 
 // String names the report as the -report flag spells it.
@@ -54,13 +64,19 @@ func (r Report) String() string {
 		return "timeline"
 	case ReportBinary:
 		return "bin"
+	case ReportProfile:
+		return "profile"
+	case ReportCritPath:
+		return "critpath"
+	case ReportWhatIf:
+		return "whatif"
 	}
 	return "?"
 }
 
 // ReportNames lists the valid -report selector names.
 func ReportNames() []string {
-	return []string{"summary", "pages", "locks", "barriers", "timeline", "bin"}
+	return []string{"summary", "pages", "locks", "barriers", "timeline", "bin", "profile", "critpath", "whatif"}
 }
 
 // ParseReports parses a comma-separated report selection ("pages,locks,
@@ -68,7 +84,8 @@ func ReportNames() []string {
 // spec selects every report.
 func ParseReports(spec string) ([]Report, error) {
 	if strings.TrimSpace(spec) == "" {
-		return []Report{ReportSummary, ReportPages, ReportLocks, ReportBarriers, ReportTimeline, ReportBinary}, nil
+		return []Report{ReportSummary, ReportPages, ReportLocks, ReportBarriers, ReportTimeline, ReportBinary,
+			ReportProfile, ReportCritPath, ReportWhatIf}, nil
 	}
 	var out []Report
 	seen := make(map[Report]bool)
@@ -91,6 +108,12 @@ func ParseReports(spec string) ([]Report, error) {
 			r = ReportTimeline
 		case "bin":
 			r = ReportBinary
+		case "profile":
+			r = ReportProfile
+		case "critpath":
+			r = ReportCritPath
+		case "whatif":
+			r = ReportWhatIf
 		default:
 			return nil, fmt.Errorf("trace: %w: unknown report %q (known: %s)",
 				ErrConfig, part, strings.Join(ReportNames(), ", "))
@@ -442,10 +465,37 @@ func collectName(r Rec) string {
 	return fmt.Sprintf("harvest pg%d", r.A)
 }
 
+// Artifacts bundles the analysis products report emission draws from. Only
+// Analysis is required: the profile and critical path are computed on demand
+// when a profile report is selected and the caller did not precompute them.
+// The CLIs precompute the full bundle (Analyzed) under a perf "analyze" phase
+// so analysis wall time is attributed separately from file emission.
+type Artifacts struct {
+	Analysis *Analysis
+	Profile  *Profile
+	CritPath *CritPath
+}
+
+// Analyzed computes the full artifact bundle for a traced run: the event
+// analysis plus the virtual-time profile and its critical path. Every product
+// is a pure function of the trace and meta.
+func Analyzed(t *Tracer, meta Meta) Artifacts {
+	prof := BuildProfile(t, meta)
+	return Artifacts{
+		Analysis: Analyze(t, meta),
+		Profile:  prof,
+		CritPath: ExtractCriticalPath(t, prof),
+	}
+}
+
 // EmitReports writes the selected artifacts into dir: summary.md, pages.csv,
-// locks.csv, timeline.json and trace.bin (the barrier table lives inside the
-// summary). It returns the files written, in emission order.
-func EmitReports(dir string, reports []Report, a *Analysis, t *Tracer) ([]string, error) {
+// locks.csv, timeline.json, trace.bin, profile.md + profile.folded,
+// critpath.csv + critpath.json and whatif.md (the barrier table lives inside
+// the summary). The profile and critical path are computed once — from the
+// bundle when precomputed, otherwise on demand — and shared across the
+// reports that need them. It returns the files written, in emission order.
+func EmitReports(dir string, reports []Report, art Artifacts, t *Tracer) ([]string, error) {
+	a := art.Analysis
 	if len(reports) == 0 {
 		reports, _ = ParseReports("")
 	}
@@ -497,6 +547,36 @@ func EmitReports(dir string, reports []Report, a *Analysis, t *Tracer) ([]string
 	if want[ReportBinary] {
 		if err := emit("trace.bin", func(f *os.File) error { return t.WriteBinary(f) }); err != nil {
 			return written, err
+		}
+	}
+	if want[ReportProfile] || want[ReportCritPath] || want[ReportWhatIf] {
+		prof, cp := art.Profile, art.CritPath
+		if prof == nil {
+			prof = BuildProfile(t, a.Meta)
+		}
+		if cp == nil {
+			cp = ExtractCriticalPath(t, prof)
+		}
+		if want[ReportProfile] {
+			if err := emit("profile.md", func(f *os.File) error { return WriteProfileMarkdown(f, prof, cp) }); err != nil {
+				return written, err
+			}
+			if err := emit("profile.folded", func(f *os.File) error { return WriteFoldedStacks(f, prof) }); err != nil {
+				return written, err
+			}
+		}
+		if want[ReportCritPath] {
+			if err := emit("critpath.csv", func(f *os.File) error { return WriteCritPathCSV(f, cp) }); err != nil {
+				return written, err
+			}
+			if err := emit("critpath.json", func(f *os.File) error { return WriteCritPathChrome(f, cp) }); err != nil {
+				return written, err
+			}
+		}
+		if want[ReportWhatIf] {
+			if err := emit("whatif.md", func(f *os.File) error { return WriteWhatIfMarkdown(f, cp) }); err != nil {
+				return written, err
+			}
 		}
 	}
 	return written, nil

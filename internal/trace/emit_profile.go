@@ -1,0 +1,197 @@
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"ecvslrc/internal/sim"
+)
+
+// WriteProfileMarkdown renders the virtual-time profile: the per-processor
+// stall-class breakdown with its conservation line, the hottest folded
+// stacks, and the critical path's class and object decomposition.
+func WriteProfileMarkdown(w io.Writer, prof *Profile, cp *CritPath) error {
+	bw := &errWriter{w: w}
+	m := prof.Meta
+	bw.printf("# Virtual-time profile — %s on %s, %d procs (%s scale)\n\n",
+		m.App, m.Impl, m.NProcs, m.Scale)
+	bw.printf("- span: %v (longest processor)\n", prof.Span)
+	bw.printf("- conservation: per-processor class totals sum exactly to each end time\n\n")
+
+	bw.printf("## Per-processor stall breakdown\n\n")
+	bw.printf("| proc | end |")
+	for _, c := range StallClasses() {
+		bw.printf(" %s |", c)
+	}
+	bw.printf("\n|-----:|----:|")
+	for range StallClasses() {
+		bw.printf("----:|")
+	}
+	bw.printf("\n")
+	for i := range prof.Procs {
+		pp := &prof.Procs[i]
+		bw.printf("| p%d | %v |", pp.Proc, pp.End)
+		for _, c := range StallClasses() {
+			bw.printf(" %s |", pct(pp.Class[c], pp.End))
+		}
+		bw.printf("\n")
+	}
+	var endSum sim.Time
+	for i := range prof.Procs {
+		endSum += prof.Procs[i].End
+	}
+	bw.printf("| **all** | %v |", endSum)
+	for _, c := range StallClasses() {
+		bw.printf(" %s |", pct(prof.Total[c], endSum))
+	}
+	bw.printf("\n")
+
+	bw.printf("\n## Hottest stacks (proc;class;object)\n\n")
+	bw.printf("| stack | time | share |\n|-------|-----:|------:|\n")
+	top := topStacks(prof, 20)
+	for _, e := range top {
+		bw.printf("| p%d;%s;%s | %v | %s |\n",
+			e.Proc, e.Class, ObjName(e.ObjKind, e.ObjID, m), e.Time, pct(e.Time, endSum))
+	}
+	if len(prof.Stacks) > len(top) {
+		bw.printf("\n(%d further stacks in profile.folded)\n", len(prof.Stacks)-len(top))
+	}
+
+	if cp != nil && cp.EndProc >= 0 {
+		bw.printf("\n## Critical path\n\n")
+		bw.printf("- anchor: p%d, total %v over %d spans\n", cp.EndProc, cp.Total, len(cp.Spans))
+		if cp.Truncated {
+			bw.printf("- WARNING: walk truncated at the step bound; decomposition is partial\n")
+		}
+		bw.printf("\n| class | path time | share |\n|-------|----------:|------:|\n")
+		for _, c := range StallClasses() {
+			if cp.Class[c] == 0 {
+				continue
+			}
+			bw.printf("| %s | %v | %s |\n", c, cp.Class[c], pct(cp.Class[c], cp.Total))
+		}
+		bw.printf("\n### Path objects\n\n")
+		bw.printf("| class | object | path time | share |\n|-------|--------|----------:|------:|\n")
+		objs := cp.Objects
+		if len(objs) > 20 {
+			objs = objs[:20]
+		}
+		for _, e := range objs {
+			bw.printf("| %s | %s | %v | %s |\n",
+				e.Class, ObjName(e.ObjKind, e.ObjID, m), e.Time, pct(e.Time, cp.Total))
+		}
+	}
+	return bw.err
+}
+
+// topStacks returns the n largest folded-stack entries (ties by the stable
+// stack order).
+func topStacks(prof *Profile, n int) []StackEntry {
+	out := make([]StackEntry, len(prof.Stacks))
+	copy(out, prof.Stacks)
+	// Stable on the (proc, class, object) pre-sort, so ties are deterministic.
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time > out[j].Time })
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// pct renders a share of a total ("42.3%"), "-" when the total is zero.
+func pct(part, total sim.Time) string {
+	if total == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(part)/float64(total))
+}
+
+// WriteFoldedStacks emits the profile in the folded-stack format flamegraph
+// tools consume: one "proc;class;object value" line per aggregated frame,
+// value in simulated nanoseconds.
+func WriteFoldedStacks(w io.Writer, prof *Profile) error {
+	bw := &errWriter{w: w}
+	for _, e := range prof.Stacks {
+		bw.printf("p%d;%s;%s %d\n", e.Proc, e.Class, ObjName(e.ObjKind, e.ObjID, prof.Meta), int64(e.Time))
+	}
+	return bw.err
+}
+
+// WriteCritPathCSV emits the critical path's spans in forward time order.
+func WriteCritPathCSV(w io.Writer, cp *CritPath) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"proc", "start_ns", "end_ns", "duration_ns", "class", "object"}); err != nil {
+		return err
+	}
+	for _, s := range cp.Spans {
+		rec := []string{
+			strconv.Itoa(s.Proc),
+			i64(int64(s.T0)), i64(int64(s.T1)), i64(int64(s.T1 - s.T0)),
+			s.Class.String(), ObjName(s.ObjKind, s.ObjID, cp.Meta),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteWhatIfMarkdown renders the what-if projections: the anchor's end time
+// re-costed with each class's path share removed. The projections are lower
+// bounds — zeroing a class does not re-schedule the run, and a second
+// near-critical path may sit right behind the first.
+func WriteWhatIfMarkdown(w io.Writer, cp *CritPath) error {
+	bw := &errWriter{w: w}
+	m := cp.Meta
+	bw.printf("# What-if projections — %s on %s, %d procs (%s scale)\n\n",
+		m.App, m.Impl, m.NProcs, m.Scale)
+	if cp.EndProc < 0 {
+		bw.printf("(empty trace: no path)\n")
+		return bw.err
+	}
+	bw.printf("Critical path: p%d, %v. Each row zeroes one class on the path;\n", cp.EndProc, cp.Total)
+	bw.printf("the projection is a lower bound (the run is not re-scheduled).\n\n")
+	bw.printf("| class zeroed | path share | projected end | max speedup |\n")
+	bw.printf("|--------------|-----------:|--------------:|------------:|\n")
+	for _, c := range StallClasses() {
+		if cp.Class[c] == 0 {
+			continue
+		}
+		lower := cp.WhatIf(c)
+		speed := "-"
+		if lower > 0 {
+			speed = fmt.Sprintf("%.2fx", float64(cp.Total)/float64(lower))
+		}
+		bw.printf("| %s | %s | %v | %s |\n", c, pct(cp.Class[c], cp.Total), lower, speed)
+	}
+	return bw.err
+}
+
+// WriteCritPathChrome renders the critical path as a Chrome trace-event
+// overlay: one "critical path" process with the path spans on each involved
+// processor's track, loadable next to timeline.json in Perfetto.
+func WriteCritPathChrome(w io.Writer, cp *CritPath) error {
+	evs := make([]chromeEvent, 0, len(cp.Spans))
+	for _, s := range cp.Spans {
+		evs = append(evs, chromeEvent{
+			Name: fmt.Sprintf("%s %s", s.Class, ObjName(s.ObjKind, s.ObjID, cp.Meta)),
+			Ph:   "X", Ts: s.T0.Micros(), Dur: s.T1.Micros() - s.T0.Micros(),
+			Pid: 1, Tid: s.Proc,
+			Args: map[string]any{"class": s.Class.String()},
+		})
+	}
+	doc := map[string]any{
+		"traceEvents":     evs,
+		"displayTimeUnit": "ms",
+		"otherData": map[string]any{
+			"app": cp.Meta.App, "impl": cp.Meta.Impl, "nprocs": cp.Meta.NProcs,
+			"scale": cp.Meta.Scale, "overlay": "critical-path",
+		},
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

@@ -102,8 +102,23 @@ const (
 	// EvDupDrop is Proc (a receiver) discarding a duplicate frame:
 	// A = sender, B = message kind.
 	EvDupDrop
+	// EvBlock marks Proc giving up the CPU: Aux = the wait-reason code
+	// (Block* constants). Virtual time only advances while every process is
+	// blocked, so the EvBlock/EvWake pairs of one processor exactly tile its
+	// lifetime — the profiler's per-proc time accounting rests on this.
+	EvBlock
+	// EvWork is classified protocol CPU charged to Proc: Aux = the work class
+	// (Work* constants), A = the object the work is for (page, lock or
+	// barrier id per B; -1 when unattributed), B = the object kind (Obj*
+	// constants), C = duration in simulated nanoseconds. The time itself is
+	// inside Proc's busy/blocked intervals; the record classifies it.
+	EvWork
+	// EvRecovery is reliable-sublayer fault-recovery time charged to Proc:
+	// the late-delivery delay of a recovered frame at its receiver, or the
+	// retransmission CPU injected at its sender. C = duration.
+	EvRecovery
 	// evLast bounds the valid kinds for ReadBinary validation; keep it last.
-	evLast = EvDupDrop
+	evLast = EvRecovery
 )
 
 // String names the kind for report tables and test failures.
@@ -155,9 +170,68 @@ func (k Kind) String() string {
 		return "ack"
 	case EvDupDrop:
 		return "dup-drop"
+	case EvBlock:
+		return "block"
+	case EvWork:
+		return "work"
+	case EvRecovery:
+		return "recovery"
 	}
 	return "?"
 }
+
+// Wait-reason codes carried in EvBlock's Aux slot, mapped from the
+// scheduler's free-form wait-reason strings. The set is append-only: binary
+// traces embed these values.
+const (
+	// BlockOther is any reason the tracer does not recognize.
+	BlockOther uint16 = iota
+	// BlockSleep is a Proc.Sleep: the processor is computing (protocol and
+	// application CPU both land here; EvWork records split them).
+	BlockSleep
+	// BlockRPC is a synchronous request awaiting its reply (lock acquires,
+	// barrier arrivals at the manager or tree parent).
+	BlockRPC
+	// BlockFetch is an LRC access miss awaiting page data.
+	BlockFetch
+	// BlockBarrier is a barrier wait parked on the local waiter.
+	BlockBarrier
+)
+
+// BlockReasonCode maps a scheduler wait-reason string to its EvBlock code.
+func BlockReasonCode(reason string) uint16 {
+	switch reason {
+	case "sleep":
+		return BlockSleep
+	case "rpc-reply":
+		return BlockRPC
+	case "lrc-fetch":
+		return BlockFetch
+	case "barrier":
+		return BlockBarrier
+	}
+	return BlockOther
+}
+
+// Work classes carried in EvWork's Aux slot. Append-only.
+const (
+	// WorkTrapDiff is write-trap and diff machinery: protection-fault entry,
+	// twin copies, mprotect calls, dirty-bit and twin-comparison scans, diff
+	// construction, timestamp selection, and diff/grant installation.
+	WorkTrapDiff uint16 = iota + 1
+)
+
+// Object kinds carried in EvWork's B slot, naming what A refers to.
+const (
+	// ObjNone marks unattributed work (A is -1).
+	ObjNone int32 = iota
+	// ObjPage keys the work to a shared page.
+	ObjPage
+	// ObjLock keys the work to a lock.
+	ObjLock
+	// ObjBarrier keys the work to a barrier.
+	ObjBarrier
+)
 
 // Domain distinguishes page-keyed from lock-keyed attribution records: LRC
 // collects and applies per page, EC per lock binding. Stored in the Aux bits
@@ -297,8 +371,39 @@ func (t *Tracer) Dispatch(at sim.Time, evKind uint8, proc int) {
 	t.emit(proc, Rec{At: at, Kind: EvDispatch, Aux: uint16(evKind), A: int32(target)})
 }
 
+// Block records proc giving up the CPU with the given wait reason.
+func (t *Tracer) Block(at sim.Time, proc int, reason string) {
+	if t == nil {
+		return
+	}
+	t.emit(proc, Rec{At: at, Kind: EvBlock, Aux: BlockReasonCode(reason)})
+}
+
+// Work records d of classified protocol CPU charged to proc, attributed to
+// the object (objKind, objID): (ObjPage, page), (ObjLock, lock),
+// (ObjBarrier, barrier) or (ObjNone, -1). Zero and negative durations are
+// dropped — charge sites pass hook results through unconditionally.
+func (t *Tracer) Work(at sim.Time, proc int, class uint16, objKind int32, objID int, d sim.Time) {
+	if t == nil || d <= 0 {
+		return
+	}
+	t.emit(proc, Rec{At: at, Kind: EvWork, Aux: class, A: int32(objID), B: objKind, C: int64(d)})
+}
+
+// Recovery records d of fault-recovery time charged to proc: delivery delay
+// of a recovered frame at its receiver, or retransmission CPU at its sender.
+func (t *Tracer) Recovery(at sim.Time, proc int, d sim.Time) {
+	if t == nil || d <= 0 {
+		return
+	}
+	t.emit(proc, Rec{At: at, Kind: EvRecovery, C: int64(d)})
+}
+
 // ProcResumed implements sim.Probe: the scheduler resumed proc.
 func (t *Tracer) ProcResumed(at sim.Time, proc int) { t.Wake(at, proc) }
+
+// ProcBlocked implements sim.Probe: proc gave up the CPU.
+func (t *Tracer) ProcBlocked(at sim.Time, proc int, reason string) { t.Block(at, proc, reason) }
 
 // EventDispatched implements sim.Probe: the scheduler dispatched one event.
 func (t *Tracer) EventDispatched(at sim.Time, kind uint8, proc int) { t.Dispatch(at, kind, proc) }

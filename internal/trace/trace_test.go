@@ -45,6 +45,9 @@ func TestNilTracerEmitsAreNoOps(t *testing.T) {
 	tr.BarArrive(1, 0, 2)
 	tr.BarDepart(1, 0, 2)
 	tr.Bind(1, 0, 7, 4096, 128)
+	tr.Block(1, 0, "lrc-fetch")
+	tr.Work(1, 0, WorkTrapDiff, ObjPage, 3, 25)
+	tr.Recovery(1, 0, 40)
 	if tr.Len() != 0 {
 		t.Errorf("nil tracer recorded %d events", tr.Len())
 	}
@@ -315,7 +318,7 @@ func TestEmitReportsBarrierSelectsSummary(t *testing.T) {
 	tr.BarArrive(20, 1, 0)
 	a := Analyze(tr, Meta{App: "x", Impl: "LRC-diff", Scale: "test", NProcs: 2})
 	dir := t.TempDir()
-	written, err := EmitReports(dir, []Report{ReportBarriers}, a, tr)
+	written, err := EmitReports(dir, []Report{ReportBarriers}, Artifacts{Analysis: a}, tr)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,8 +7,14 @@
 //
 //	dsmbench -table 3 -scale paper -procs 8
 //	dsmbench -all -scale bench
+//	dsmbench -all -scale bench -preset rdma_100g
 //	dsmbench -all -micro -scale bench -parallel 1 -perf-out BENCH_head.json
 //	dsmbench -micro -cpuprofile cpu.pprof
+//
+// -preset regenerates the tables under a different cost spec ("name" or
+// "name+knob", the same platform.Resolve grammar as dsmrun and dsmsweep);
+// the default "paper" keeps the output byte-identical to the calibrated
+// platform.
 //
 // -perf-out writes a schema-versioned BENCH_*.json host-performance
 // trajectory (per-cell wall/alloc stats, aggregate cells/sec; see
@@ -29,8 +35,11 @@ import (
 
 	"ecvslrc/internal/apps"
 	"ecvslrc/internal/core"
+	"ecvslrc/internal/fabric"
 	"ecvslrc/internal/harness"
 	"ecvslrc/internal/perf"
+	"ecvslrc/internal/platform"
+	_ "ecvslrc/internal/platform/models" // register the platform models as presets
 )
 
 func main() {
@@ -49,6 +58,7 @@ func cli(args []string, stdout, stderr io.Writer) int {
 	scale := fs.String("scale", "paper", "problem scale: test, bench or paper")
 	procs := fs.Int("procs", 8, "number of simulated processors")
 	appsFlag := fs.String("apps", "", "comma-separated application subset, e.g. \"SOR,QS\" (default: all)")
+	preset := fs.String("preset", "paper", "cost spec: a preset ("+strings.Join(fabric.PresetNames(), ", ")+"), optionally +knobs, e.g. \"rdma_100g+net=x2\"")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "max table cells simulated concurrently (output is identical for any value)")
 	perfOut := fs.String("perf-out", "", "write a BENCH_*.json host-performance trajectory to this file (per-cell alloc deltas are exact only with -parallel 1)")
 	rev := fs.String("rev", "", "revision stamp for -perf-out (default: the build's vcs.revision, else \"unknown\")")
@@ -70,6 +80,12 @@ func cli(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	cfg.Scale = sc
+	cost, err := platform.Resolve(*preset)
+	if err != nil {
+		fmt.Fprintf(stderr, "dsmbench: %v\n", err)
+		return 2
+	}
+	cfg.Cost = cost
 	names := apps.Names()
 	if *appsFlag != "" {
 		known := make(map[string]bool, len(names))

@@ -23,8 +23,12 @@ func TestCLIExitCodes(t *testing.T) {
 		{"bad scale", []string{"-all", "-scale", "huge"}, 2, `unknown scale "huge"`},
 		{"unknown app", []string{"-all", "-apps", "NoSuch"}, 2, `unknown app "NoSuch"`},
 		{"empty apps list", []string{"-all", "-apps", " , "}, 2, "lists no applications"},
+		{"bad preset", []string{"-all", "-preset", "quantum"}, 2, "unknown cost preset"},
+		{"bad preset knob", []string{"-all", "-preset", "paper+net=x0"}, 2, "positive xK factor"},
 		{"no action", []string{"-scale", "test"}, 2, ""},
 		{"good table", []string{"-table", "3", "-scale", "test", "-procs", "2", "-apps", "SOR"}, 0, ""},
+		{"good table on a platform model", []string{"-table", "3", "-scale", "test", "-procs", "2",
+			"-apps", "SOR", "-preset", "grace"}, 0, ""},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

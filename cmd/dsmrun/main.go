@@ -34,6 +34,8 @@ import (
 	"ecvslrc/internal/core"
 	"ecvslrc/internal/fabric"
 	"ecvslrc/internal/perf"
+	"ecvslrc/internal/platform"
+	_ "ecvslrc/internal/platform/models" // register the platform models as presets
 	"ecvslrc/internal/run"
 	"ecvslrc/internal/sim"
 	"ecvslrc/internal/sweep"
@@ -54,7 +56,7 @@ func cli(args []string, stdout, stderr io.Writer) int {
 	procs := fs.Int("procs", 8, "number of simulated processors")
 	scale := fs.String("scale", "paper", "problem scale: "+strings.Join(apps.ScaleNames(), ", "))
 	seq := fs.Bool("seq", false, "also run the sequential reference")
-	preset := fs.String("preset", "paper", "cost-model preset: "+strings.Join(fabric.PresetNames(), ", "))
+	preset := fs.String("preset", "paper", "cost spec: a preset ("+strings.Join(fabric.PresetNames(), ", ")+"), optionally +knobs, e.g. \"rdma_100g+net=x2\"")
 	contention := fs.Bool("contention", false, "model shared-link contention (concurrent bulk transfers queue)")
 	traceDir := fs.String("trace", "", "record an event trace and write all attribution reports to this directory (see cmd/dsmtrace for report selection)")
 	profileFlag := fs.Bool("profile", false, "print the virtual-time profile after the run (per-proc stall breakdown, critical path, what-if projections); implies tracing")
@@ -86,7 +88,7 @@ func cli(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return usageFail("%v", err)
 	}
-	cost, err := fabric.PresetByName(*preset)
+	cost, err := platform.Resolve(*preset)
 	if err != nil {
 		return usageFail("%v", err)
 	}

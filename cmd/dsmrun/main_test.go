@@ -21,9 +21,14 @@ func TestCLIExitCodes(t *testing.T) {
 		{"bad scale", []string{"-scale", "huge"}, 2, `unknown scale "huge"`},
 		{"bad impl", []string{"-impl", "EC-magic"}, 2, "unknown implementation"},
 		{"bad preset", []string{"-preset", "quantum"}, 2, "unknown cost preset"},
+		{"bad preset names valid set", []string{"-preset", "quantum"}, 2, "valid: paper"},
+		{"bad preset knob", []string{"-preset", "paper+net=x0"}, 2, "positive xK factor"},
+		{"malformed preset knob", []string{"-preset", "paper+net"}, 2, "not a knob setting"},
 		{"negative timeout", []string{"-timeout", "-1"}, 2, "negative -timeout"},
 		{"unknown app fails run", []string{"-app", "NoSuch", "-scale", "test", "-procs", "2"}, 1, "unknown app"},
 		{"good run", []string{"-app", "SOR", "-impl", "EC-time", "-scale", "test", "-procs", "2"}, 0, ""},
+		{"good run on a platform model", []string{"-app", "SOR", "-impl", "EC-time", "-scale", "test",
+			"-procs", "2", "-preset", "rdma_100g+cpu=x2"}, 0, ""},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -7,12 +7,16 @@
 //
 //	dsmsweep -scale bench -variants "net=x2,x4 detect=sw,hw" -out sweep-out
 //	dsmsweep -scale test -apps SOR,IS -procs 4,8 -variants "contention=off,on"
-//	dsmsweep -preset modern -scale bench
+//	dsmsweep -scale bench -variants "platform=decstation_atm,cluster_gbe,rdma_100g,grace"
+//	dsmsweep -preset rdma_100g -scale bench
 //
-// Variant axes: net=xK, cpu=xK, detect=sw|hw, diff=sw|free,
-// contention=off|on, fault=off|drop1e-3|drop1e-2|chaos,
+// Variant axes: platform=NAME (any cost preset, including the registered
+// platform models — see internal/platform), net=xK, cpu=xK, detect=sw|hw,
+// diff=sw|free, contention=off|on, fault=off|drop1e-3|drop1e-2|chaos,
 // topo=flat|clos:radix=K[:taper=T][:stages=N]; the calibrated paper
-// platform ("paper") is always included as the comparison baseline. At
+// platform ("paper") is always included as the comparison baseline.
+// -preset adds one cost spec ("name" or "name+knob", platform.Resolve
+// grammar) as an extra variant. At
 // -scale large every cell defaults to LRC notice GC and a fan-in-16
 // barrier tree (override with -fanin 1 for flat barriers).
 // With -out unset, the markdown report goes to stdout; with it set,
@@ -54,6 +58,8 @@ import (
 	"ecvslrc/internal/core"
 	"ecvslrc/internal/fabric"
 	"ecvslrc/internal/perf"
+	"ecvslrc/internal/platform"
+	_ "ecvslrc/internal/platform/models" // register the platform models as presets
 	"ecvslrc/internal/sim"
 	"ecvslrc/internal/sweep"
 )
@@ -72,7 +78,7 @@ func cli(args []string, stdout, stderr io.Writer) int {
 	appsFlag := fs.String("apps", "", "comma-separated application subset (default: all)")
 	implsFlag := fs.String("impls", "", "comma-separated implementation subset, e.g. \"EC-time,LRC-diff\" (default: all six)")
 	variants := fs.String("variants", "", "variant spec, e.g. \"net=x2,x4 detect=sw,hw\" (default: baseline only)")
-	preset := fs.String("preset", "", "add one named cost preset as a variant: "+strings.Join(fabric.PresetNames(), ", "))
+	preset := fs.String("preset", "", "add one cost spec as a variant: a preset ("+strings.Join(fabric.PresetNames(), ", ")+"), optionally +knobs, e.g. \"rdma_100g+net=x2\"")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "max cells simulated concurrently (records are identical for any value)")
 	fanin := fs.Int("fanin", 0, "barrier fan-in for every cell: radix-r arrival tree (0 = scale default, 1 = force flat, r >= 2 = tree)")
 	out := fs.String("out", "", "artifact directory (csv, jsonl, markdown, report); empty prints markdown to stdout")
@@ -140,7 +146,7 @@ func cli(args []string, stdout, stderr io.Writer) int {
 		return usageFail("%v", err)
 	}
 	if *preset != "" {
-		cm, err := fabric.PresetByName(*preset)
+		cm, err := platform.Resolve(*preset)
 		if err != nil {
 			return usageFail("%v", err)
 		}

@@ -32,11 +32,16 @@ func TestCLIExitCodes(t *testing.T) {
 		{"bad variant value", []string{"-variants", "detect=maybe"}, 2,
 			"invalid variant spec"},
 		{"bad preset", []string{"-preset", "quantum"}, 2, "unknown cost preset"},
+		{"bad preset knob", []string{"-preset", "paper+net"}, 2, "not a knob setting"},
+		{"bad platform axis", []string{"-variants", "platform=nope"}, 2,
+			"invalid variant spec"},
 		{"bad fault preset", []string{"-variants", "fault=lossy"}, 2, "invalid variant spec"},
 		{"negative timeout", []string{"-timeout", "-1"}, 2, "negative -timeout"},
 		{"good run", []string{"-scale", "test", "-procs", "2", "-apps", "IS", "-impls", "LRC-time"}, 0, ""},
 		{"faulted run", []string{"-scale", "test", "-procs", "2", "-apps", "IS", "-impls", "LRC-time",
 			"-variants", "fault=drop1e-2", "-timeout", "3600"}, 0, ""},
+		{"platform sweep", []string{"-scale", "test", "-procs", "2", "-apps", "IS", "-impls", "LRC-time",
+			"-variants", "platform=grace"}, 0, ""},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -37,6 +37,8 @@ import (
 	"ecvslrc/internal/apps"
 	"ecvslrc/internal/core"
 	"ecvslrc/internal/fabric"
+	"ecvslrc/internal/platform"
+	_ "ecvslrc/internal/platform/models" // register the platform models as presets
 	"ecvslrc/internal/run"
 	"ecvslrc/internal/trace"
 )
@@ -54,7 +56,7 @@ func cli(args []string, stdout, stderr io.Writer) int {
 	implName := fs.String("impl", "LRC-diff", "implementation: EC-ci, EC-time, EC-diff, LRC-ci, LRC-time, LRC-diff")
 	procs := fs.Int("procs", 8, "number of simulated processors")
 	scale := fs.String("scale", "bench", "problem scale: test, bench or paper")
-	preset := fs.String("preset", "paper", "cost-model preset: "+strings.Join(fabric.PresetNames(), ", "))
+	preset := fs.String("preset", "paper", "cost spec: a preset ("+strings.Join(fabric.PresetNames(), ", ")+"), optionally +knobs, e.g. \"rdma_100g+net=x2\"")
 	contention := fs.Bool("contention", false, "model shared-link contention (queueing delays appear in the analysis)")
 	reports := fs.String("report", "", "comma-separated reports: "+strings.Join(trace.ReportNames(), ", ")+" (default: all)")
 	out := fs.String("out", "", "artifact directory; empty prints the summary to stdout")
@@ -86,7 +88,7 @@ func cli(args []string, stdout, stderr io.Writer) int {
 	if *procs < 1 || *procs > trace.MaxProcs {
 		return usageFail("traced runs support 1..%d processors, got %d", trace.MaxProcs, *procs)
 	}
-	cost, err := fabric.PresetByName(*preset)
+	cost, err := platform.Resolve(*preset)
 	if err != nil {
 		return usageFail("%v", err)
 	}

@@ -23,6 +23,7 @@ func TestCLIExitCodes(t *testing.T) {
 		{"bad impl", []string{"-impl", "EC-magic"}, 2, `unknown implementation "EC-magic"`},
 		{"bad procs", []string{"-procs", "0"}, 2, "traced runs support"},
 		{"bad preset", []string{"-preset", "quantum"}, 2, "unknown cost preset"},
+		{"bad preset knob", []string{"-preset", "paper+diff=hw"}, 2, `knob "diff" takes "free"`},
 		{"bad report", []string{"-report", "pages,nonsense", "-out", t.TempDir()}, 2,
 			`invalid trace options: unknown report "nonsense"`},
 		{"empty report list", []string{"-report", ",,", "-out", t.TempDir()}, 2,

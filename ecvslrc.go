@@ -20,6 +20,7 @@ import (
 	"ecvslrc/internal/core"
 	"ecvslrc/internal/fabric"
 	"ecvslrc/internal/harness"
+	"ecvslrc/internal/platform"
 	"ecvslrc/internal/run"
 	"ecvslrc/internal/sim"
 	"ecvslrc/internal/sweep"
@@ -56,8 +57,19 @@ type SweepRecord = sweep.Record
 // DefaultCost returns the calibrated paper-platform cost model.
 func DefaultCost() CostModel { return fabric.DefaultCostModel() }
 
-// CostPresets lists the named cost models, the calibrated platform first.
+// CostPresets lists the named cost models, the calibrated platform first:
+// the knob-composed sensitivity variants, then the registered platform
+// models (internal/platform) — validated machine models whose constants
+// derive from published numbers.
 func CostPresets() []CostPreset { return fabric.Presets() }
+
+// ResolveCost turns a cost spec into a cost model: a preset name (any
+// CostPresets entry, platform models included) optionally followed by
+// "+"-separated knob settings, e.g. "rdma_100g" or "cluster_gbe+net=x2".
+// This is the same resolver behind every CLI's -preset flag (dsmrun,
+// dsmsweep, dsmbench, dsmtrace), so specs are portable between the API and
+// the tools. See platform.Resolve for the grammar.
+func ResolveCost(spec string) (CostModel, error) { return platform.Resolve(spec) }
 
 // Apps lists the application suite in the paper's table order.
 func Apps() []string { return apps.Names() }

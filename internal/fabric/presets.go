@@ -3,6 +3,7 @@ package fabric
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"ecvslrc/internal/sim"
 )
@@ -81,10 +82,12 @@ type Preset struct {
 	Cost CostModel
 }
 
-// Presets lists the named cost models, the calibrated paper platform first.
-// These are the starting points of a sensitivity sweep; arbitrary variants
-// compose from the knobs above (see sweep.ParseVariantSpec).
-func Presets() []Preset {
+// knobPresets are the knob-composed sensitivity variants: scaled or zeroed
+// copies of the calibrated paper platform. The "modern" preset predates the
+// platform-model library and is kept for compatibility — prefer the
+// registered models (cluster_gbe, rdma_100g, ...) whose constants derive
+// from published numbers instead of round-number guesses.
+func knobPresets() []Preset {
 	base := DefaultCostModel()
 	return []Preset{
 		{"paper", "calibrated DECstation-5000/240 + 100 Mbps ATM platform", base},
@@ -93,18 +96,50 @@ func Presets() []Preset {
 		{"cpu-x4", "memory-management software 4x faster", base.ScaleCPU(4)},
 		{"hw-detect", "free write trapping (hardware dirty bits)", base.HardwareWriteDetection()},
 		{"hw-diff", "free write collection (hardware diff engine)", base.ZeroCostDiff()},
-		{"modern", "10x network and 25x CPU, a late-90s cluster", base.ScaleNetwork(10).ScaleCPU(25)},
+		{"modern", "10x network and 25x CPU, a late-90s cluster (superseded by cluster_gbe)", base.ScaleNetwork(10).ScaleCPU(25)},
 	}
 }
 
-// PresetByName resolves a named preset.
+// registered holds the presets contributed by the platform-model library
+// (internal/platform): fabric owns the preset namespace and the lookup, the
+// models own their constants. Registration happens at init time from the
+// model library package, so the order is deterministic.
+var registered []Preset
+
+// RegisterPreset adds a named cost model to the preset table. It is meant
+// to be called at init time by a platform-model library; an empty or
+// duplicate name is a programming error and panics.
+func RegisterPreset(p Preset) {
+	if p.Name == "" {
+		panic("fabric: RegisterPreset with empty name")
+	}
+	for _, q := range Presets() {
+		if q.Name == p.Name {
+			panic(fmt.Sprintf("fabric: duplicate cost preset %q", p.Name))
+		}
+	}
+	registered = append(registered, p)
+}
+
+// Presets lists the named cost models: the calibrated paper platform first,
+// then the knob-composed sensitivity variants, then every registered
+// platform model (see internal/platform). These are the starting points of
+// a sensitivity sweep; arbitrary variants compose from the knobs above (see
+// sweep.ParseVariantSpec) or from "name+knob" cost specs (platform.Resolve).
+func Presets() []Preset {
+	return append(knobPresets(), registered...)
+}
+
+// PresetByName resolves a named preset; unknown names are reported with the
+// valid set.
 func PresetByName(name string) (CostModel, error) {
 	for _, p := range Presets() {
 		if p.Name == name {
 			return p.Cost, nil
 		}
 	}
-	return CostModel{}, fmt.Errorf("fabric: unknown cost preset %q", name)
+	return CostModel{}, fmt.Errorf("fabric: unknown cost preset %q (valid: %s)",
+		name, strings.Join(PresetNames(), ", "))
 }
 
 // PresetNames lists the preset names in Presets order.

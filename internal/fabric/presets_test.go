@@ -1,0 +1,56 @@
+package fabric
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPresetUnknownNameNamesValidSet pins the error contract: an unknown
+// preset is reported together with the full valid set, so CLI exit-2 paths
+// tell the user what to type instead.
+func TestPresetUnknownNameNamesValidSet(t *testing.T) {
+	for _, name := range []string{"nope", "", "Paper", "net-x8"} {
+		_, err := PresetByName(name)
+		if err == nil {
+			t.Errorf("PresetByName(%q) accepted", name)
+			continue
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, "unknown cost preset") {
+			t.Errorf("PresetByName(%q) error %q lacks the unknown-preset prefix", name, msg)
+		}
+		for _, valid := range PresetNames() {
+			if !strings.Contains(msg, valid) {
+				t.Errorf("PresetByName(%q) error %q does not name valid preset %q", name, msg, valid)
+			}
+		}
+	}
+}
+
+// TestRegisterPreset drives the platform-model bridge: registered presets
+// resolve by name and land after the knob presets; empty and duplicate names
+// panic (they are programming errors in a model library, not user input).
+func TestRegisterPreset(t *testing.T) {
+	cm := DefaultCostModel().ScaleNetwork(3)
+	RegisterPreset(Preset{Name: "test-registered", Desc: "test preset", Cost: cm})
+	got, err := PresetByName("test-registered")
+	if err != nil || got != cm {
+		t.Errorf("registered preset lookup: %v, %+v", err, got)
+	}
+	names := PresetNames()
+	if names[len(names)-1] != "test-registered" {
+		t.Errorf("registered preset not last: %v", names)
+	}
+
+	mustPanic := func(name string, p Preset) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("RegisterPreset(%s) did not panic", name)
+			}
+		}()
+		RegisterPreset(p)
+	}
+	mustPanic("empty name", Preset{Desc: "nameless"})
+	mustPanic("duplicate of a knob preset", Preset{Name: "paper", Cost: cm})
+	mustPanic("duplicate of a registered preset", Preset{Name: "test-registered", Cost: cm})
+}

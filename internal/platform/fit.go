@@ -1,0 +1,165 @@
+package platform
+
+import (
+	"fmt"
+	"math"
+)
+
+// Fit is the system-identification pass: it solves for the bounded
+// correction terms that minimize the summed squared relative error of the
+// model's predictions against the reference timings, and returns the fitted
+// corrections with the final root-mean-square relative error. The model
+// itself is not modified — a model file bakes the fitted terms in (and
+// records the session in its changelog), so Derive stays pure.
+//
+// The solver is damped Gauss-Newton over the five correction factors with a
+// forward-difference Jacobian: each iteration solves (JᵀJ + λI)δ = -Jᵀr,
+// halves the step while it does not improve the cost, and clamps every
+// factor to [CorrMin, CorrMax]. The finite-difference step (2%) is large
+// against the simulator's nanosecond quantization, so the staircase in
+// Derive's rounding does not flatten the gradient for µs-scale references.
+// At least one reference per correction group is needed for the ridge term
+// not to dominate; unconstrained factors stay at their starting value.
+func (m Model) Fit(refs []Reference) (Corrections, float64, error) {
+	if len(refs) == 0 {
+		return Corrections{}, 0, fmt.Errorf("platform: model %q: Fit needs at least one reference", m.Name)
+	}
+	const (
+		nParams = 5
+		step    = 0.02 // forward-difference step in correction units
+		ridge   = 1e-6
+		iters   = 40
+	)
+	x := corrVec(m.C.normalized())
+	residuals := func(x [nParams]float64) []float64 {
+		trial := m
+		trial.C = vecCorr(x)
+		cm := trial.Derive()
+		r := make([]float64, len(refs))
+		for i, ref := range refs {
+			got := ref.Quantity(cm)
+			if ref.Want != 0 {
+				r[i] = (got - ref.Want) / ref.Want
+			} else {
+				r[i] = got
+			}
+		}
+		return r
+	}
+	cost := func(r []float64) float64 {
+		var s float64
+		for _, v := range r {
+			s += v * v
+		}
+		return s
+	}
+
+	r := residuals(x)
+	c := cost(r)
+	for iter := 0; iter < iters; iter++ {
+		// Forward-difference Jacobian, clamped so probes stay in bounds.
+		var jac [][nParams]float64 // len(refs) rows
+		jac = make([][nParams]float64, len(refs))
+		for p := 0; p < nParams; p++ {
+			xp := x
+			h := step
+			if xp[p]+h > CorrMax {
+				h = -step
+			}
+			xp[p] += h
+			rp := residuals(xp)
+			for i := range refs {
+				jac[i][p] = (rp[i] - r[i]) / h
+			}
+		}
+		// Normal equations (JᵀJ + λI)δ = -Jᵀr.
+		var a [nParams][nParams]float64
+		var b [nParams]float64
+		for i := range refs {
+			for p := 0; p < nParams; p++ {
+				b[p] -= jac[i][p] * r[i]
+				for q := 0; q < nParams; q++ {
+					a[p][q] += jac[i][p] * jac[i][q]
+				}
+			}
+		}
+		for p := 0; p < nParams; p++ {
+			a[p][p] += ridge
+		}
+		delta, ok := solve(a, b)
+		if !ok {
+			break
+		}
+		// Backtracking line search: halve the step until the cost improves.
+		improved := false
+		for scale := 1.0; scale > 1.0/256; scale /= 2 {
+			xn := x
+			for p := 0; p < nParams; p++ {
+				xn[p] = clamp(x[p]+scale*delta[p], CorrMin, CorrMax)
+			}
+			rn := residuals(xn)
+			if cn := cost(rn); cn < c {
+				x, r, c = xn, rn, cn
+				improved = true
+				break
+			}
+		}
+		if !improved || c < 1e-16 {
+			break
+		}
+	}
+	return vecCorr(x), math.Sqrt(c / float64(len(refs))), nil
+}
+
+func corrVec(c Corrections) [5]float64 {
+	return [5]float64{c.MsgFixed, c.PerByte, c.Latency, c.MemMgmt, c.PerWord}
+}
+
+func vecCorr(x [5]float64) Corrections {
+	return Corrections{MsgFixed: x[0], PerByte: x[1], Latency: x[2], MemMgmt: x[3], PerWord: x[4]}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// solve returns the solution of the 5x5 system a·x = b by Gaussian
+// elimination with partial pivoting, or ok=false when singular.
+func solve(a [5][5]float64, b [5]float64) ([5]float64, bool) {
+	const n = 5
+	for col := 0; col < n; col++ {
+		pivot := col
+		for row := col + 1; row < n; row++ {
+			if math.Abs(a[row][col]) > math.Abs(a[pivot][col]) {
+				pivot = row
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-15 {
+			return b, false
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		for row := col + 1; row < n; row++ {
+			f := a[row][col] / a[col][col]
+			for k := col; k < n; k++ {
+				a[row][k] -= f * a[col][k]
+			}
+			b[row] -= f * b[col]
+		}
+	}
+	var x [5]float64
+	for row := n - 1; row >= 0; row-- {
+		s := b[row]
+		for k := row + 1; k < n; k++ {
+			s -= a[row][k] * x[k]
+		}
+		x[row] = s / a[row][row]
+	}
+	return x, true
+}

@@ -1,0 +1,81 @@
+// Package decstation_atm models the paper's experimental platform: eight
+// DECstation-5000/240 workstations (40 MHz MIPS R3400) on a 100 Mbps Fore
+// ATM LAN with programmed-I/O AAL3/4 messaging, SIGIO request handling and
+// Ultrix mprotect/SIGSEGV memory protection.
+//
+// This is the anchor model of the library: its derivation must reproduce
+// fabric.DefaultCostModel() bit-exactly (pinned by
+// TestDECstationModelMatchesDefault), so every golden in the repository
+// rests on these primitives. Change them only together with a reviewed
+// golden revision and a changelog entry.
+package decstation_atm
+
+import (
+	"ecvslrc/internal/fabric"
+	"ecvslrc/internal/platform"
+)
+
+// Model returns the calibrated paper platform.
+//
+// Primitive derivation (40 MHz, 1 instruction/cycle → 25 ns/instr):
+//
+//	SendInstrs     10000 → SendFixed    250 µs   user-level AAL3/4 send path
+//	HandlerInstrs   6000 → HandlerFixed 150 µs   SIGIO + reassembly + dispatch
+//	NICPerByteNs      10 → with the 80 ns/B wire share: SendPerByte 90 ns
+//	WireGbps         0.1 → LinkPerByte 80 ns     100 Mbps raw ATM = 12.5 MB/s
+//	SwitchDelayUs    100 → WireLatency 100 µs    switch + interrupt delivery
+//	FaultInstrs     4800 → ProtFault   120 µs    Ultrix SIGSEGV round trip
+//	MProtectInstrs  1200 → MProtect     30 µs    one-page mprotect
+//	StoreCycles       18 → InstrStore  450 ns    dirty-bit vector + set
+//	StoreOptCycles  10.4 → InstrStoreOpt 260 ns  after Section 4.1 splitting
+//	Copy/Cmp/Scan/Apply 2/3/2/2 cycles → 50/75/50/50 ns per word
+//
+// MemGBps is 0: the per-word cycle counts were calibrated end to end against
+// the paper's microbenchmarks, so the memory-bandwidth bound is already
+// folded in.
+func Model() platform.Model {
+	return platform.Model{
+		Name:     "decstation_atm",
+		Desc:     "DECstation-5000/240 + 100 Mbps ATM (the paper platform, derived from primitives)",
+		Priority: "—",
+		P: platform.Primitives{
+			CPUMHz:         40,
+			IPC:            1,
+			SendInstrs:     10000,
+			HandlerInstrs:  6000,
+			NICPerByteNs:   10,
+			WireGbps:       0.1,
+			SwitchDelayUs:  100,
+			FaultInstrs:    4800,
+			MProtectInstrs: 1200,
+			StoreCycles:    18,
+			StoreOptCycles: 10.4,
+			CopyCycles:     2,
+			CompareCycles:  3,
+			ScanCycles:     2,
+			ApplyCycles:    2,
+		},
+		Refs: []platform.Reference{
+			{
+				Name: "remote lock acquisition", Want: 1000, Unit: "µs", Tol: 0.02,
+				Source:   "TreadMarks on this platform: ~1 ms remote lock acquisition (Keleher et al. 1994)",
+				Quantity: platform.RTTUs,
+			},
+			{
+				Name: "8-processor barrier", Want: 2000, Unit: "µs", Tol: 0.05,
+				Source:   "TreadMarks on this platform: ~2 ms 8-processor barriers (Keleher et al. 1994)",
+				Quantity: func(cm fabric.CostModel) float64 { return platform.BarrierUs(cm, 8) },
+			},
+			{
+				Name: "bulk transfer bandwidth", Want: 11, Unit: "MB/s", Tol: 0.03,
+				Source:   "user-level AAL3/4 effective bandwidth on the Fore TCA-100 (~11 MB/s of the 12.5 MB/s raw)",
+				Quantity: platform.BulkMBps,
+			},
+			{
+				Name: "4 KB page fetch", Want: 1400, Unit: "µs", Tol: 0.05,
+				Source:   "request + full-page reply at the measured message costs: ~1.4 ms remote page fault",
+				Quantity: platform.PageFetchUs,
+			},
+		},
+	}
+}

@@ -1,0 +1,93 @@
+// Package grace models a 2025 CPU-class platform after the in-core-modeling
+// literature's Grace studies: a 3.4 GHz Neoverse-V2-class core (sustained
+// ~3 instructions/cycle on branchy protocol code) with LPDDR5X-class memory
+// at ~450 GB/s sustained, on a 400 Gb/s NDR fabric with kernel-bypass
+// messaging.
+//
+// Per-word costs follow the ECM methodology: Derive takes
+// max(in-core cycles, bytes/memory-bandwidth) per word. At 450 GB/s the
+// bandwidth term is ~0.02 ns/word, so the in-core term binds — and at
+// 0.88-1.47 ns/word the in-core term itself sits at the simulator's 1 ns
+// resolution. The page-twin and page-diff checks carry that quantization as
+// the model's dominant calibration error (~32% on word compare), recorded
+// honestly in the status table: on 2025 hardware the simulator's clock tick
+// is the binding constraint, not the model.
+package grace
+
+import (
+	"ecvslrc/internal/fabric"
+	"ecvslrc/internal/platform"
+)
+
+// Model returns the 2025 Grace-class platform.
+//
+// Primitive derivation (3.4 GHz, IPC 3 → 1000/10200 ns/instr; cycle
+// 0.294 ns):
+//
+//	SendInstrs      6120 → SendFixed   600 ns   kernel-bypass post + doorbell
+//	HandlerInstrs   2550 → HandlerFixed 250 ns  CQ poll + dispatch
+//	WireGbps         400 → 0.02 ns/B, below resolution → SendPerByte 0
+//	SwitchDelayUs    0.8 → WireLatency 800 ns
+//	FaultInstrs    25500 → ProtFault   2.5 µs   SIGSEGV deliver+resume
+//	MProtectInstrs  8160 → MProtect    800 ns
+//	StoreCycles        5 → 1.47 ns → InstrStore 1 ns
+//	StoreOptCycles     3 → 0.88 ns → InstrStoreOpt 1 ns
+//	Copy/Cmp/Scan/Apply 3/5/3/3 cycles → 0.88/1.47/0.88/0.88 ns, all
+//	  rounding to 1 ns (MemGBps 450: bandwidth term ~0.02 ns never binds)
+func Model() platform.Model {
+	return platform.Model{
+		Name:     "grace",
+		Desc:     "2025 Grace-class node: 3.4 GHz Neoverse V2, ~450 GB/s memory, 400 Gb/s fabric",
+		Priority: "P0",
+		P: platform.Primitives{
+			CPUMHz:         3400,
+			IPC:            3,
+			SendInstrs:     6120,
+			HandlerInstrs:  2550,
+			NICPerByteNs:   0,
+			WireGbps:       400,
+			SwitchDelayUs:  0.8,
+			FaultInstrs:    25500,
+			MProtectInstrs: 8160,
+			StoreCycles:    5,
+			StoreOptCycles: 3,
+			CopyCycles:     3,
+			CompareCycles:  5,
+			ScanCycles:     3,
+			ApplyCycles:    3,
+			MemGBps:        450,
+		},
+		Refs: []platform.Reference{
+			{
+				Name: "small-message round trip", Want: 3.2, Unit: "µs", Tol: 0.06,
+				Source:   "NDR-class verbs RTTs through one switch (~3-3.5 µs)",
+				Quantity: platform.RTTUs,
+			},
+			{
+				Name: "8-processor barrier", Want: 5, Unit: "µs", Tol: 0.03,
+				Source:   "central-manager barrier estimate at the measured RTT and CQ-poll costs",
+				Quantity: func(cm fabric.CostModel) float64 { return platform.BarrierUs(cm, 8) },
+			},
+			{
+				Name: "4 KB page fetch", Want: 3.4, Unit: "µs", Tol: 0.06,
+				Source:   "RTT + 4 KB at 50 GB/s (~0.08 µs wire, below the 1 ns/B resolution)",
+				Quantity: platform.PageFetchUs,
+			},
+			{
+				Name: "protection fault", Want: 2.5, Unit: "µs", Tol: 0.02,
+				Source:   "SIGSEGV deliver+resume on current aarch64 Linux (~2.5 µs)",
+				Quantity: platform.ProtFaultUs,
+			},
+			{
+				Name: "4 KB page twin", Want: 0.9, Unit: "µs", Tol: 0.20,
+				Source:   "in-core bound: 1024 words × 3 cycles at 3.4 GHz ≈ 0.90 µs; the 1 ns/word floor quantizes to 1.02 µs",
+				Quantity: platform.PageCopyUs,
+			},
+			{
+				Name: "4 KB page diff", Want: 1.51, Unit: "µs", Tol: 0.40,
+				Source:   "in-core bound: 1024 words × 5 cycles ≈ 1.51 µs; quantization to 1 ns/word makes this the model's max error",
+				Quantity: platform.PageCompareUs,
+			},
+		},
+	}
+}

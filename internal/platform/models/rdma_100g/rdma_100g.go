@@ -1,0 +1,86 @@
+// Package rdma_100g models a contemporary datacenter fabric point: 3 GHz
+// x86 servers with 100 GbE RDMA NICs — kernel-bypass verbs send (no
+// per-byte CPU cost, zero-copy DMA), microsecond-scale switch traversal,
+// completion-queue polling instead of interrupts.
+//
+// This is the first model where the simulator's 1 ns resolution binds: the
+// wire costs 0.08 ns/byte (12.5 GB/s), which quantizes to a zero per-byte
+// cost — bulk bandwidth is effectively infinite and a 4 KB transfer is
+// charged only its fixed costs. The page-fetch check carries that
+// quantization as an honest ~7% calibration error, and a dedicated check
+// pins the per-byte constant at exactly zero so the quantization is a
+// documented contract, not an accident.
+package rdma_100g
+
+import (
+	"ecvslrc/internal/fabric"
+	"ecvslrc/internal/platform"
+)
+
+// Model returns the 100 GbE RDMA platform.
+//
+// Primitive derivation (3 GHz, 2 instructions/cycle → 1/6 ns/instr):
+//
+//	SendInstrs      4200 → SendFixed   700 ns   verbs post + doorbell
+//	HandlerInstrs   1800 → HandlerFixed 300 ns  CQ poll + dispatch
+//	NICPerByteNs       0 → zero-copy DMA; SendPerByte = wire share only
+//	WireGbps         100 → 0.08 ns/B, below resolution → SendPerByte 0
+//	SwitchDelayUs      1 → WireLatency 1 µs     switch + NIC traversal
+//	FaultInstrs    18000 → ProtFault   3 µs     Linux SIGSEGV round trip
+//	MProtectInstrs  6000 → MProtect    1 µs
+//	StoreCycles        6 → InstrStore  2 ns
+//	StoreOptCycles     3 → InstrStoreOpt 1 ns
+//	Copy/Cmp/Scan/Apply 2/3/2/2 cycles at 1/3 ns/cycle → all round to 1 ns
+//	  (MemGBps 40: the bandwidth term, 0.1-0.2 ns/word, never binds)
+func Model() platform.Model {
+	return platform.Model{
+		Name:     "rdma_100g",
+		Desc:     "100 GbE RDMA fabric: kernel-bypass verbs, zero-copy DMA, µs-scale switch",
+		Priority: "P0",
+		P: platform.Primitives{
+			CPUMHz:         3000,
+			IPC:            2,
+			SendInstrs:     4200,
+			HandlerInstrs:  1800,
+			NICPerByteNs:   0,
+			WireGbps:       100,
+			SwitchDelayUs:  1,
+			FaultInstrs:    18000,
+			MProtectInstrs: 6000,
+			StoreCycles:    6,
+			StoreOptCycles: 3,
+			CopyCycles:     2,
+			CompareCycles:  3,
+			ScanCycles:     2,
+			ApplyCycles:    2,
+			MemGBps:        40,
+		},
+		Refs: []platform.Reference{
+			{
+				Name: "small-message round trip", Want: 3.8, Unit: "µs", Tol: 0.10,
+				Source:   "measured RoCE verbs RTTs on 100 GbE (~3.5-4 µs through one switch)",
+				Quantity: platform.RTTUs,
+			},
+			{
+				Name: "4 KB page fetch", Want: 4.3, Unit: "µs", Tol: 0.15,
+				Source:   "RTT + 4 KB at 12.5 GB/s (~0.33 µs wire); the wire term is below the 1 ns/B resolution and quantizes away",
+				Quantity: platform.PageFetchUs,
+			},
+			{
+				Name: "8-processor barrier", Want: 6, Unit: "µs", Tol: 0.05,
+				Source:   "central-manager barrier estimate at the measured RTT and CQ-poll costs",
+				Quantity: func(cm fabric.CostModel) float64 { return platform.BarrierUs(cm, 8) },
+			},
+			{
+				Name: "protection fault", Want: 3, Unit: "µs", Tol: 0.02,
+				Source:   "Linux SIGSEGV deliver+resume microbenchmarks on current x86 (~3 µs)",
+				Quantity: platform.ProtFaultUs,
+			},
+			{
+				Name: "per-byte cost quantizes to zero", Want: 0, Unit: "ns/B", Tol: 0,
+				Source:   "0.08 ns/B wire share is below the simulator's 1 ns resolution — pinned so the quantization is a contract",
+				Quantity: func(cm fabric.CostModel) float64 { return float64(cm.SendPerByte) },
+			},
+		},
+	}
+}

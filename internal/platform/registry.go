@@ -1,0 +1,131 @@
+package platform
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ecvslrc/internal/fabric"
+)
+
+// registered holds the model library in registration order. The shipped
+// models live in internal/platform/models (one directory per platform);
+// importing that package populates this registry at init time, so the order
+// — and therefore fabric.Presets() — is deterministic.
+var registered []Model
+
+// Register adds a model to the library and surfaces it as a fabric cost
+// preset, so every preset consumer (CLIs, sweep axes, the root API) resolves
+// it by name. Registration happens at init time from a model library
+// package; an invalid model or duplicate name is a programming error and
+// panics.
+func Register(m Model) {
+	if err := m.validate(); err != nil {
+		panic(err)
+	}
+	if _, ok := ByName(m.Name); ok {
+		panic(fmt.Sprintf("platform: duplicate model %q", m.Name))
+	}
+	fabric.RegisterPreset(fabric.Preset{Name: m.Name, Desc: m.Desc, Cost: m.Derive()})
+	registered = append(registered, m)
+}
+
+// Models lists the registered models in registration order.
+func Models() []Model {
+	out := make([]Model, len(registered))
+	copy(out, registered)
+	return out
+}
+
+// ByName looks up a registered model.
+func ByName(name string) (Model, bool) {
+	for _, m := range registered {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Model{}, false
+}
+
+// knob is one composable cost-model transform Resolve accepts after the
+// preset name. The set mirrors the sweep engine's cost axes (net, cpu,
+// detect, diff); contention, faults and topologies are run options, not
+// cost-model transforms, and stay out of cost specs.
+type knob struct {
+	name    string
+	numeric bool // takes a xK factor
+	apply   func(cm fabric.CostModel, k float64) fabric.CostModel
+	value   string // fixed value for enumerated knobs ("hw", "free")
+}
+
+func knobs() []knob {
+	return []knob{
+		{name: "net", numeric: true,
+			apply: func(cm fabric.CostModel, k float64) fabric.CostModel { return cm.ScaleNetwork(k) }},
+		{name: "cpu", numeric: true,
+			apply: func(cm fabric.CostModel, k float64) fabric.CostModel { return cm.ScaleCPU(k) }},
+		{name: "detect", value: "hw",
+			apply: func(cm fabric.CostModel, _ float64) fabric.CostModel { return cm.HardwareWriteDetection() }},
+		{name: "diff", value: "free",
+			apply: func(cm fabric.CostModel, _ float64) fabric.CostModel { return cm.ZeroCostDiff() }},
+	}
+}
+
+// knobSyntax names the accepted knob spellings for error messages.
+const knobSyntax = "net=xK, cpu=xK, detect=hw, diff=free"
+
+// Resolve turns a cost spec into a cost model. A spec is a preset name —
+// any registered platform model or knob-composed preset — optionally
+// followed by "+"-separated knob settings applied left to right:
+//
+//	paper
+//	rdma_100g
+//	cluster_gbe+net=x2
+//	decstation_atm+detect=hw+diff=free
+//
+// This is the single entry point every CLI resolves its -preset flag
+// through, so "dsmrun -preset X", "dsmsweep -preset X" and "dsmbench
+// -preset X" accept identical specs. Unknown names and malformed knobs are
+// reported with the valid set.
+func Resolve(spec string) (fabric.CostModel, error) {
+	parts := strings.Split(spec, "+")
+	cm, err := fabric.PresetByName(parts[0])
+	if err != nil {
+		return fabric.CostModel{}, err
+	}
+	for _, part := range parts[1:] {
+		cm, err = applyKnob(cm, part, spec)
+		if err != nil {
+			return fabric.CostModel{}, err
+		}
+	}
+	return cm, nil
+}
+
+func applyKnob(cm fabric.CostModel, part, spec string) (fabric.CostModel, error) {
+	name, val, ok := strings.Cut(part, "=")
+	if !ok {
+		return cm, fmt.Errorf("platform: cost spec %q: %q is not a knob setting (knobs: %s)",
+			spec, part, knobSyntax)
+	}
+	for _, k := range knobs() {
+		if k.name != name {
+			continue
+		}
+		if !k.numeric {
+			if val != k.value {
+				return cm, fmt.Errorf("platform: cost spec %q: knob %q takes %q, got %q",
+					spec, name, k.value, val)
+			}
+			return k.apply(cm, 0), nil
+		}
+		factor, err := strconv.ParseFloat(strings.TrimPrefix(val, "x"), 64)
+		if err != nil || factor <= 0 {
+			return cm, fmt.Errorf("platform: cost spec %q: knob %q needs a positive xK factor, got %q",
+				spec, name, val)
+		}
+		return k.apply(cm, factor), nil
+	}
+	return cm, fmt.Errorf("platform: cost spec %q: unknown knob %q (knobs: %s)",
+		spec, name, knobSyntax)
+}

@@ -7,6 +7,12 @@ import (
 	"strings"
 
 	"ecvslrc/internal/fabric"
+
+	// The platform axis resolves values through the fabric preset table; the
+	// blank import guarantees the model library (decstation_atm, cluster_gbe,
+	// rdma_100g, grace, ...) is registered whenever the sweep engine is
+	// linked, so "platform=rdma_100g" parses the same in every binary.
+	_ "ecvslrc/internal/platform/models"
 )
 
 // ErrSpec is wrapped by every variant-spec parse failure.
@@ -26,6 +32,10 @@ type axis struct {
 
 func axes() []axis {
 	return []axis{
+		// The platform axis is first: it selects the starting cost model (any
+		// fabric preset — registered platform models included) that the knob
+		// axes below then transform. buildVariant resolves it directly.
+		{name: "platform", def: BaselineName, apply: nil, canon: canonPlatformSpec},
 		{name: "net", def: "x1", numeric: true,
 			apply: func(cm fabric.CostModel, k float64) fabric.CostModel { return cm.ScaleNetwork(k) }},
 		{name: "cpu", def: "x1", numeric: true,
@@ -42,6 +52,16 @@ func axes() []axis {
 		// buildVariant resolves the spec into Variant.Topology directly.
 		{name: "topo", def: "flat", apply: nil, canon: canonTopologySpec},
 	}
+}
+
+// canonPlatformSpec validates a platform= axis value against the fabric
+// preset table (which names the valid set on failure). Preset names are
+// already canonical.
+func canonPlatformSpec(v string) (string, error) {
+	if _, err := fabric.PresetByName(v); err != nil {
+		return "", fmt.Errorf("sweep: %w: axis \"platform\": %v", ErrSpec, err)
+	}
+	return v, nil
 }
 
 // canonTopologySpec validates a topo= axis value and returns the canonical
@@ -62,6 +82,11 @@ func canonTopologySpec(v string) (string, error) {
 // axes, e.g. "net=x2,x4 detect=sw,hw" yields four variants. Syntax: space-
 // separated axes, each "name=v1,v2,...". Axes:
 //
+//	platform=NAME cost-model starting point: any fabric preset, including
+//	      the registered platform models (decstation_atm, cluster_gbe,
+//	      rdma_100g, grace — see internal/platform). The knob axes below
+//	      apply on top, so "platform=rdma_100g net=x2" is the RDMA platform
+//	      with its messaging path doubled. Default: paper.
 //	net=xK        messaging path K times faster (ScaleNetwork)
 //	cpu=xK        memory-management software K times faster (ScaleCPU)
 //	detect=sw|hw  software write trapping vs free hardware dirty bits
@@ -213,6 +238,10 @@ func buildVariant(defs []axis, chosen [][]string, counts []int) Variant {
 			continue
 		}
 		parts = append(parts, ax.name+"="+val)
+		if ax.name == "platform" {
+			v.Cost, _ = fabric.PresetByName(val) // val validated by canonical
+			continue
+		}
 		if ax.name == "contention" {
 			v.Contention = true
 			continue

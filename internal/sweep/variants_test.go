@@ -82,6 +82,53 @@ func TestParseVariantSpecBaselineAlwaysFirst(t *testing.T) {
 	}
 }
 
+// TestParseVariantSpecPlatformAxis drives the platform axis: registered
+// model names select their derived cost models as the starting point, the
+// knob axes compose on top, and the explicit default collapses into the
+// baseline.
+func TestParseVariantSpecPlatformAxis(t *testing.T) {
+	vs, err := ParseVariantSpec("platform=rdma_100g,grace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"paper", "platform=rdma_100g", "platform=grace"}
+	if got := variantNames(vs); len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("variants = %v, want %v", got, want)
+	}
+	for _, v := range vs[1:] {
+		name := v.Name[len("platform="):]
+		cm, err := fabric.PresetByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Cost != cm {
+			t.Errorf("%s: cost is not the %s preset", v.Name, name)
+		}
+	}
+
+	// Knobs compose on top of the selected platform, in axis order.
+	vs, err = ParseVariantSpec("platform=cluster_gbe net=x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := fabric.PresetByName("cluster_gbe")
+	if got := variantNames(vs); len(got) != 2 || got[1] != "platform=cluster_gbe+net=x2" {
+		t.Fatalf("variants = %v", got)
+	}
+	if vs[1].Cost != base.ScaleNetwork(2) {
+		t.Errorf("platform+knob cost = %+v, want cluster_gbe.ScaleNetwork(2)", vs[1].Cost)
+	}
+
+	// The explicit default is the baseline, not a duplicate variant.
+	vs, err = ParseVariantSpec("platform=paper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := variantNames(vs); len(got) != 1 || got[0] != BaselineName {
+		t.Errorf("platform=paper variants = %v, want just the baseline", got)
+	}
+}
+
 func TestParseVariantSpecErrors(t *testing.T) {
 	for _, spec := range []string{
 		"bogus=1",       // unknown axis
@@ -92,6 +139,7 @@ func TestParseVariantSpecErrors(t *testing.T) {
 		"detect=maybe",  // unknown enum value
 		"net=x2 net=x4", // duplicate axis
 		"diff=, ,",      // only empty values
+		"platform=nope", // unknown platform preset
 	} {
 		_, err := ParseVariantSpec(spec)
 		if err == nil {

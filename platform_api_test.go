@@ -1,0 +1,57 @@
+package ecvslrc
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestResolveCost pins the unified cost-spec surface: the root resolver
+// accepts the same "name" and "name+knob" specs as every CLI's -preset flag,
+// and the preset table includes the registered platform models.
+func TestResolveCost(t *testing.T) {
+	if cm, err := ResolveCost("paper"); err != nil || cm != DefaultCost() {
+		t.Errorf(`ResolveCost("paper") = %+v, %v`, cm, err)
+	}
+	if cm, err := ResolveCost("paper+net=x2"); err != nil || cm != DefaultCost().ScaleNetwork(2) {
+		t.Errorf(`ResolveCost("paper+net=x2") = %+v, %v`, cm, err)
+	}
+	byName := make(map[string]CostModel)
+	for _, p := range CostPresets() {
+		byName[p.Name] = p.Cost
+	}
+	for _, name := range []string{"decstation_atm", "cluster_gbe", "rdma_100g", "grace"} {
+		want, ok := byName[name]
+		if !ok {
+			t.Errorf("CostPresets() lacks platform model %q", name)
+			continue
+		}
+		cm, err := ResolveCost(name)
+		if err != nil || cm != want {
+			t.Errorf("ResolveCost(%q) = %+v, %v; want the registered preset", name, cm, err)
+		}
+	}
+	if _, err := ResolveCost("quantum"); err == nil || !strings.Contains(err.Error(), "valid:") {
+		t.Errorf("ResolveCost unknown name error = %v, want the valid set", err)
+	}
+
+	// A resolved model drives a real run through the existing RunCost surface.
+	cm, err := ResolveCost("rdma_100g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := RunCost("SOR", "LRC-diff", 2, Test, cm, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Time <= 0 {
+		t.Errorf("rdma_100g run time = %v, want > 0", stats.Time)
+	}
+	// The modern fabric must beat the 1996 ATM on the same cell.
+	paper, err := RunCost("SOR", "LRC-diff", 2, Test, DefaultCost(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Time >= paper.Time {
+		t.Errorf("rdma_100g (%v) not faster than paper (%v)", stats.Time, paper.Time)
+	}
+}
